@@ -1,0 +1,56 @@
+"""Hierarchical 2PC ablation: coordinator message load vs tree fan-out.
+
+The paper's §VI claim: routing PREPARE/COMMIT over the tree topology
+bounds the coordinator's direct communication and aggregates votes in
+the tree, vs a flat 2PC where the coordinator talks to every participant.
+"""
+
+import pytest
+
+from repro.network.simnet import SimNetwork
+from repro.txn.twopc import TwoPCStats, XAManager
+from repro.txn.wal import LogManager
+from repro.util.fs import MemFS
+
+
+class _P:
+    def __init__(self, node_id):
+        self.node_id = node_id
+
+    def prepare(self, txn, coordinator):
+        return True
+
+    def commit(self, txn):
+        pass
+
+    def rollback(self, txn):
+        pass
+
+
+def _run_2pc(n_participants: int, n_max: int) -> TwoPCStats:
+    net = SimNetwork([999] + list(range(n_participants)))
+    xa = XAManager(999, net, n_max, LogManager(MemFS()))
+    stats = TwoPCStats()
+    parts = {i: _P(i) for i in range(n_participants)}
+    assert xa.commit(1, parts, stats)
+    return stats
+
+
+@pytest.mark.parametrize("n", [8, 32, 96])
+def test_hierarchical_2pc(benchmark, n):
+    stats = benchmark(_run_2pc, n, 4)
+    # coordinator only exchanges messages with its <=3 tree children
+    assert stats.coordinator_messages <= 3 * 3
+
+
+def test_flat_2pc_coordinator_load_grows():
+    """Fan-out = cluster size degenerates to flat 2PC: coordinator load
+    scales with participants; the tree keeps it constant."""
+    flat = _run_2pc(96, n_max=97)
+    tree = _run_2pc(96, n_max=4)
+    assert flat.coordinator_messages >= 96 * 2
+    assert tree.coordinator_messages <= 9
+    print(
+        f"\ncoordinator messages, 96 participants: flat={flat.coordinator_messages} "
+        f"tree(N_max=4)={tree.coordinator_messages}"
+    )

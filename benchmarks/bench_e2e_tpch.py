@@ -1,0 +1,60 @@
+"""End-to-end TPC-H on the real engine (small SF): distributed execution
+including the Hive-/Spark-/Greenplum-style executable baselines.
+
+Measures the full pipeline (parse -> optimize -> distribute -> execute)
+and the baseline engines' extra materialization on identical data.
+"""
+
+import pytest
+
+from repro.baselines import MapReduceStyleExecutor, MPPStyleExecutor, SparkStyleExecutor
+from repro.sql import parse
+from repro.workloads.tpch_queries import query
+
+from conftest import BENCH_SF
+
+FAST_QUERIES = [1, 3, 6, 12, 14]
+
+
+@pytest.mark.parametrize("qno", FAST_QUERIES)
+def test_tpch_query_hrdbms(benchmark, tpch_db, qno):
+    sql = query(qno, BENCH_SF)
+
+    def run():
+        return tpch_db.sql(sql)
+
+    result = benchmark(run)
+    assert result.stats.rows_returned >= 0
+
+
+def _baseline(tpch_db, cls, qno):
+    sql = query(qno, BENCH_SF)
+    _, phys = tpch_db.plan_select(parse(sql))
+    runtimes = {w: wk.runtime() for w, wk in tpch_db.workers.items()}
+    ex = cls(runtimes, tpch_db.coord_ids[0], tpch_db.net, tpch_db.config)
+    return ex, phys
+
+
+@pytest.mark.parametrize(
+    "cls", [MapReduceStyleExecutor, SparkStyleExecutor, MPPStyleExecutor]
+)
+def test_tpch_q3_baseline_engines(benchmark, tpch_db, cls):
+    ex, phys = _baseline(tpch_db, cls, 3)
+
+    def run():
+        return ex.execute(phys)
+
+    batch, _ = benchmark(run)
+    assert batch.length > 0
+
+
+def test_planning_only(benchmark, tpch_db):
+    """Optimizer throughput: full Phase 1-3 planning of Q5."""
+    sql = query(5, BENCH_SF)
+    stmt = parse(sql)
+
+    def run():
+        return tpch_db.plan_select(stmt)
+
+    logical, physical = benchmark(run)
+    assert physical.count_ops("scan") >= 5

@@ -1,0 +1,21 @@
+"""Figure 7 regenerator: TPC-H scale-out, 8-96 nodes, four systems.
+
+Prints the paper's three panels (total runtime, speedup vs 8 nodes,
+step-wise speedup) and asserts the headline shape while benchmarking the
+full regeneration (plan layer + cost layer for 4 systems x 5 sizes).
+"""
+
+from repro.bench import figures
+
+
+def test_fig7_regeneration(benchmark, capsys):
+    series = benchmark(figures.fig7_scaleout)
+    by = {s.system: s for s in series}
+    # headline claims (paper §VII)
+    assert by["greenplum"].seconds[0] < by["hrdbms"].seconds[0]
+    assert by["hrdbms"].seconds[-1] < by["greenplum"].seconds[-1]
+    assert by["hrdbms"].speedup[-1] > by["greenplum"].speedup[-1]
+    assert by["greenplum"].failed_at_8 == [9, 18]
+    with capsys.disabled():
+        print()
+        figures.print_fig7(series)

@@ -1,0 +1,62 @@
+"""Index-scan ablation: set-granular secondary indexes vs full scans.
+
+Ablates the storage-engine extension (DESIGN.md §4b): a selective
+equality/range predicate over an *unclustered* column — where min-max
+skipping is useless — should read only the page sets the index names.
+"""
+
+import numpy as np
+
+from repro.common import DataType, RowBatch, Schema
+from repro.sql import compile_predicate, parse_expr, to_scan_predicate
+from repro.storage.buffer import BufferManager
+from repro.storage.table import ScanStats, TableStorage
+from repro.util.fs import MemFS
+
+N = 60_000
+
+
+def _table(indexed: bool) -> TableStorage:
+    fs, bm = MemFS(), BufferManager(4, 512)
+    schema = Schema.of(("k", DataType.INT64), ("payload", DataType.INT64))
+    t = TableStorage(fs, bm, "t", schema, page_size=16 * 1024)
+    rng = np.random.default_rng(1)
+    t.load(
+        RowBatch.from_pairs(
+            ("k", DataType.INT64, rng.integers(0, 20_000, N)),
+            ("payload", DataType.INT64, rng.integers(0, 100, N)),
+        )
+    )
+    if indexed:
+        t.create_index("k")
+    return t
+
+
+def _point_lookup(t: TableStorage, value: int) -> int:
+    pred = compile_predicate(parse_expr(f"k = {value}"), t.schema)
+    sp = to_scan_predicate(parse_expr(f"k = {value}"), t.schema)
+    return sum(b.length for b in t.scan(["k", "payload"], pred, sp))
+
+
+def test_point_lookup_with_index(benchmark):
+    t = _table(indexed=True)
+    n = benchmark(_point_lookup, t, 777)
+    assert n == _point_lookup(_table(indexed=False), 777)
+
+
+def test_point_lookup_full_scan(benchmark):
+    t = _table(indexed=False)
+    benchmark(_point_lookup, t, 777)
+
+
+def test_index_prunes_sets():
+    t = _table(indexed=True)
+    pred = compile_predicate(parse_expr("k = 777"), t.schema)
+    sp = to_scan_predicate(parse_expr("k = 777"), t.schema)
+    st = ScanStats()
+    sum(b.length for b in t.scan(["k"], pred, sp, stats=st))
+    print(
+        f"\nindex skipped {st.sets_skipped_index}/{st.sets_total} sets "
+        f"(cache {st.sets_skipped_cache}, minmax {st.sets_skipped_minmax})"
+    )
+    assert st.sets_skipped_index > st.sets_total // 2

@@ -1,0 +1,108 @@
+"""Predicate-based data skipping: measured ablation on the real engine.
+
+Validates the §III claims executably: repeated selective scans get
+faster (pages skipped via the predicate cache + min-max), and the cache
+footprint for an 80-20 workload stays small (the paper reports
+~250 MB/node for 10 TB + 1000 queries; scaled down proportionally here).
+"""
+
+import numpy as np
+
+from repro.common import DataType, RowBatch, Schema
+from repro.storage.buffer import BufferManager
+from repro.storage.predicate_cache import Atom, Op, ScanPredicate
+from repro.storage.table import ScanStats, TableStorage
+from repro.util.fs import MemFS
+from repro.workloads.skew import SkewedWorkload
+
+N_ROWS = 60_000
+
+
+def _build_table():
+    fs = MemFS()
+    bm = BufferManager(4, 256)
+    schema = Schema.of(("ts", DataType.FLOAT64), ("v", DataType.INT64))
+    t = TableStorage(fs, bm, "t", schema, page_size=16 * 1024, clustering=["ts"])
+    rng = np.random.default_rng(0)
+    t.load(
+        RowBatch(
+            schema,
+            {
+                "ts": np.sort(rng.random(N_ROWS) * 1000.0),
+                "v": rng.integers(0, 1000, N_ROWS),
+            },
+        )
+    )
+    return t
+
+
+def _scan(t, lo, hi, skipping, stats=None):
+    pred = lambda b: (b.col("ts") >= lo) & (b.col("ts") < hi)
+    sp = ScanPredicate([Atom("ts", Op.GE, lo), Atom("ts", Op.LT, hi)])
+    return sum(
+        b.length for b in t.scan(["ts", "v"], pred, sp, skipping=skipping, stats=stats)
+    )
+
+
+def test_scan_with_skipping(benchmark):
+    t = _build_table()
+    _scan(t, 100.0, 120.0, True)  # warm the predicate cache
+
+    def run():
+        return _scan(t, 100.0, 120.0, True)
+
+    rows = benchmark(run)
+    assert rows == _scan(t, 100.0, 120.0, False)
+
+
+def test_scan_without_skipping(benchmark):
+    t = _build_table()
+
+    def run():
+        return _scan(t, 100.0, 120.0, False)
+
+    benchmark(run)
+
+
+def test_skipping_reduces_pages_read():
+    t = _build_table()
+    warm = ScanStats()
+    _scan(t, 100.0, 120.0, True, warm)
+    hot = ScanStats()
+    _scan(t, 100.0, 120.0, True, hot)
+    cold = ScanStats()
+    _scan(t, 100.0, 120.0, False, cold)
+    assert hot.pages_read < cold.pages_read
+    assert hot.sets_skipped_cache + hot.sets_skipped_minmax > 0
+    print(
+        f"\npages read: cold={cold.pages_read} hot={hot.pages_read} "
+        f"(skipped {hot.sets_skipped_cache + hot.sets_skipped_minmax}/{hot.sets_total} sets)"
+    )
+
+
+def test_8020_workload_cache_footprint():
+    """80-20 workload: high hit rates, bounded cache bytes (paper §III).
+
+    Uses an *unclustered* table (min-max ranges span the domain, so the
+    static scheme cannot skip) with highly selective hot-range queries:
+    exactly the regime where the predicate cache generalizes min-max."""
+    fs = MemFS()
+    bm = BufferManager(4, 256)
+    schema = Schema.of(("ts", DataType.FLOAT64), ("v", DataType.INT64))
+    t = TableStorage(fs, bm, "t8020", schema, page_size=16 * 1024)
+    rng = np.random.default_rng(0)
+    t.load(RowBatch(schema, {
+        "ts": rng.random(N_ROWS) * 1000.0,
+        "v": rng.integers(0, 1000, N_ROWS),
+    }))
+    wl = SkewedWorkload("ts", (0.0, 1000.0), range_fraction=0.00002, seed=3)
+    for q in wl.queries(200):
+        _scan(t, q.lo, q.hi, True)
+    cache_bytes = t.predicate_cache_bytes()
+    hits = sum(f.pred_cache.hits for f in t.fragments)
+    probes = sum(f.pred_cache.probes for f in t.fragments)
+    print(f"\ncache={cache_bytes / 1024:.1f} KiB, hit-rate={hits / max(probes, 1):.2%}")
+    # paper scale: 250 MB/node for 10 TB + 1000 queries. Our table is
+    # ~7 orders of magnitude smaller; the cache must stay well under 1 MB.
+    assert cache_bytes < 1_000_000
+    assert hits > 0

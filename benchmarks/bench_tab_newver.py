@@ -1,0 +1,12 @@
+"""Current-versions table regenerator: 8 nodes at full 384 GB memory."""
+
+from repro.bench import figures
+
+
+def test_tab_newver_regeneration(benchmark, capsys):
+    totals = benchmark(figures.tab_newver)
+    assert totals["greenplum"] < totals["hrdbms_v2"] < totals["hive_tez"] < totals["spark2"]
+    assert 2.2 < totals["hive_tez"] / totals["hrdbms_v2"] < 3.6  # paper: 2.9x
+    with capsys.disabled():
+        print()
+        figures.print_tab_newver()

@@ -1,0 +1,74 @@
+"""Topology ablation: the §IV claim that the n-to-m binomial topology
+bounds per-node connections at a modest forwarding cost.
+
+Runs a real all-to-all shuffle pattern through the simulated network
+under the hub topology vs. a direct mesh and reports connections, bytes,
+and hop inflation.
+"""
+
+import pytest
+
+from repro.network import BinomialGraphTopology, SimNetwork, TreeTopology
+
+N = 96
+N_MAX = 8
+PAYLOAD = b"x" * 1024
+
+
+def _all_to_all_hub():
+    net = SimNetwork(range(N))
+    topo = BinomialGraphTopology(range(N), N_MAX)
+    for i in range(N):
+        for j in range(N):
+            if i != j:
+                net.route_send(topo, i, j, PAYLOAD)
+    return net
+
+
+def _all_to_all_direct():
+    net = SimNetwork(range(N))
+    for i in range(N):
+        for j in range(N):
+            if i != j:
+                net.send(i, j, PAYLOAD)
+    return net
+
+
+def test_shuffle_hub_topology(benchmark):
+    net = benchmark(_all_to_all_hub)
+    assert net.max_connections() <= N_MAX
+
+
+def test_shuffle_direct_mesh(benchmark):
+    net = benchmark(_all_to_all_direct)
+    assert net.max_connections() == N - 1
+
+
+def test_connection_bound_vs_forwarding_tradeoff():
+    hub = _all_to_all_hub()
+    direct = _all_to_all_direct()
+    inflation = hub.total_bytes / direct.total_bytes
+    print(
+        f"\nn={N} N_max={N_MAX}: hub conns={hub.max_connections()} "
+        f"direct conns={direct.max_connections()} byte inflation={inflation:.2f}x"
+    )
+    # logarithmic topology: bounded connections, logarithmic byte inflation
+    assert hub.max_connections() <= N_MAX
+    assert inflation < 4.5
+
+
+@pytest.mark.parametrize("n", [16, 64, 256, 1024])
+def test_degree_and_diameter_scaling(n):
+    topo = BinomialGraphTopology(range(n), N_MAX)
+    assert topo.max_degree <= N_MAX
+    sample = [topo.route(0, d) for d in range(1, n, max(1, n // 32))]
+    assert max(len(p) for p in sample) <= 4 * (n ** (1 / (N_MAX // 2)))
+
+
+def test_tree_gather_depth(benchmark):
+    def build():
+        t = TreeTopology(range(N), N_MAX)
+        return t.height
+
+    height = benchmark(build)
+    assert height <= 3  # fan-out 7 covers 96 nodes in 3 levels

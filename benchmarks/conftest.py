@@ -1,0 +1,26 @@
+"""Shared benchmark fixtures: a small loaded TPC-H cluster."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ClusterConfig, Database
+from repro.workloads import tpch_dbgen, tpch_schema
+
+BENCH_SF = 0.002
+
+
+@pytest.fixture(scope="session")
+def tpch_db():
+    cfg = ClusterConfig(n_workers=4, n_max=4, page_size=32 * 1024, batch_size=4096)
+    db = Database(cfg)
+    data = tpch_dbgen.generate(sf=BENCH_SF)
+    for name, schema in tpch_schema.SCHEMAS.items():
+        db.create_table(name, schema, tpch_schema.PARTITIONING[name])
+        db.load(name, data[name])
+    return db
+
+
+@pytest.fixture(scope="session")
+def tpch_data():
+    return tpch_dbgen.generate(sf=BENCH_SF)

@@ -1,0 +1,69 @@
+"""External table framework: query data that was never ingested.
+
+HRDBMS's UET (user-defined external table) framework exposes an external
+source's horizontal partitioning so fragment scans distribute across
+workers — the paper's proof of concept reads CSV from HDFS. This example
+creates CSV "blocks" (standing in for HDFS blocks), registers them as an
+external table, and joins them against a native partitioned table.
+
+Run:  python examples/external_tables.py
+"""
+
+import os
+import tempfile
+
+from repro import ClusterConfig, Database, DataType, Schema
+from repro.storage.external import CsvExternalTable
+
+
+def main() -> None:
+    db = Database(ClusterConfig(n_workers=3, n_max=4))
+
+    # a native fact table
+    db.sql("create table sales (sku integer, qty integer) partition by hash (sku)")
+    db.sql(
+        "insert into sales values (1, 10), (1, 5), (2, 7), (3, 2), (3, 9), (4, 1)"
+    )
+
+    # external CSV files — one fragment per file, spread across workers
+    # (like HDFS blocks with locality hints)
+    tmp = tempfile.mkdtemp(prefix="repro_ext_")
+    files = []
+    blocks = ["1|widget|0.99\n2|gadget|4.50\n", "3|doohickey|2.25\n4|gizmo|9.99\n"]
+    for i, content in enumerate(blocks):
+        path = os.path.join(tmp, f"catalog_part{i}.csv")
+        with open(path, "w") as fh:
+            fh.write(content)
+        files.append(path)
+
+    schema = Schema.of(
+        ("sku_ext", DataType.INT64),
+        ("name", DataType.STRING),
+        ("price", DataType.DECIMAL),
+    )
+    db.register_external("catalog", CsvExternalTable(files, schema))
+
+    print("external scan with predicate pushdown:")
+    for row in db.sql("select name, price from catalog where price > 1.0 order by price").rows():
+        print("  ", row)
+
+    print("\njoin external x native (no ingestion step):")
+    result = db.sql(
+        """
+        select name, sum(qty) as sold, sum(qty * price) as revenue
+        from catalog, sales
+        where sku_ext = sku
+        group by name
+        order by revenue desc
+        """
+    )
+    for name, sold, revenue in result.rows():
+        print(f"  {name:<10s} sold={sold:>3d} revenue={revenue:8.2f}")
+
+    for f in files:
+        os.unlink(f)
+    os.rmdir(tmp)
+
+
+if __name__ == "__main__":
+    main()

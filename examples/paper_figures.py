@@ -1,0 +1,18 @@
+"""Regenerate every table and figure from the paper's evaluation (§VII).
+
+Runs the two-layer harness (real optimizer plans at SF1000 + calibrated
+per-system cost model — see DESIGN.md §4) for Figures 7-9, the 3 TB
+experiment, and the current-versions table.
+
+Run:  python examples/paper_figures.py
+"""
+
+from repro.bench import figures
+
+
+def main() -> None:
+    figures.main()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""Quickstart: create a distributed table, load rows, run SQL.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import ClusterConfig, Database
+
+
+def main() -> None:
+    # A 4-worker shared-nothing cluster (simulated in-process). N_max
+    # bounds how many peers any node may talk to directly.
+    db = Database(ClusterConfig(n_workers=4, n_max=4))
+
+    # DDL with partitioning — hash keys drive co-location, exactly like
+    # the paper's Example 3 layout.
+    db.sql(
+        """
+        create table employees (
+            emp_id integer,
+            dept varchar(20),
+            salary decimal(10,2),
+            hired date
+        ) partition by hash (emp_id)
+        """
+    )
+
+    db.sql(
+        """
+        insert into employees values
+            (1, 'eng',   95000.00, date '2019-03-01'),
+            (2, 'eng',  105000.00, date '2020-06-15'),
+            (3, 'sales',  70000.00, date '2018-01-20'),
+            (4, 'sales',  72000.00, date '2021-09-01'),
+            (5, 'ops',    64000.00, date '2022-02-11')
+        """
+    )
+
+    result = db.sql(
+        """
+        select dept, count(*) as headcount, avg(salary) as avg_salary
+        from employees
+        where hired >= date '2019-01-01'
+        group by dept
+        order by avg_salary desc
+        """
+    )
+    print("dept       headcount  avg_salary")
+    for dept, n, avg in result.rows():
+        print(f"{dept:<10s} {n:9d}  {avg:10.2f}")
+
+    # every query reports execution statistics from the simulated cluster
+    s = result.stats
+    print(
+        f"\nscanned {s.rows_scanned} rows, moved {s.network_bytes} bytes, "
+        f"max {s.max_connections} connections per node"
+    )
+
+    # DML is transactional (SS2PL + hierarchical 2PC under the hood)
+    db.sql("update employees set salary = salary * 1.1 where dept = 'ops'")
+    db.sql("delete from employees where emp_id = 3")
+    print("\nafter DML:", db.sql("select count(*) from employees").rows()[0][0], "rows")
+
+    # the distributed dataflow is inspectable
+    print("\n-- EXPLAIN --")
+    print(db.explain("select dept, sum(salary) from employees group by dept"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,22 @@
+"""Legacy setup shim.
+
+The offline environment ships setuptools without the ``wheel`` package,
+so PEP-517 editable installs (which build an editable wheel) fail. With
+this shim, ``pip install -e . --no-build-isolation`` falls back to the
+legacy ``setup.py develop`` path, which works offline.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of HRDBMS: a high-performance distributed relational "
+        "database for scalable OLAP (IPDPS 2019)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.23"],
+)

@@ -1,0 +1,34 @@
+"""repro — a reproduction of HRDBMS (IPDPS 2019).
+
+A distributed shared-nothing relational database for scalable OLAP
+processing, rebuilt in Python over a simulated cluster substrate:
+page-oriented storage with predicate-based data skipping, a cost-based
+three-phase optimizer, a vectorized distributed execution engine with
+N_max-bounded communication topologies, and SS2PL + hierarchical 2PC +
+ARIES-style transactions.
+
+Quickstart::
+
+    from repro import Database, ClusterConfig
+
+    db = Database(ClusterConfig(n_workers=4))
+    db.sql("create table t (a integer, b varchar) partition by hash (a)")
+    db.sql("insert into t values (1, 'x'), (2, 'y')")
+    print(db.sql("select a, count(*) from t group by a").rows())
+"""
+
+from .cluster.database import Database, QueryResult
+from .common import ClusterConfig, Column, DataType, RowBatch, Schema
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Database",
+    "QueryResult",
+    "ClusterConfig",
+    "Schema",
+    "Column",
+    "DataType",
+    "RowBatch",
+    "__version__",
+]

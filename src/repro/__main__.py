@@ -1,0 +1,100 @@
+"""Interactive SQL shell over a fresh simulated cluster.
+
+Usage::
+
+    python -m repro [--workers N] [--tpch SF]
+
+Commands: any SQL statement ending in ``;``, plus
+``\\explain <select>``, ``\\analyze <select>`` (actual-vs-estimated rows),
+``\\tables``, ``\\quit``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import ClusterConfig, Database
+
+
+def _load_tpch(db: Database, sf: float) -> None:
+    from .workloads import tpch_dbgen, tpch_schema
+
+    print(f"generating TPC-H SF={sf} ...", flush=True)
+    data = tpch_dbgen.generate(sf=sf)
+    for name, schema in tpch_schema.SCHEMAS.items():
+        db.create_table(
+            name, schema, tpch_schema.PARTITIONING[name],
+            clustering=tpch_schema.CLUSTERING.get(name, ()),
+        )
+        db.load(name, data[name])
+        print(f"  {name}: {db.table_rows(name)} rows")
+
+
+def repl(db: Database) -> None:  # pragma: no cover - interactive
+    buffer = ""
+    while True:
+        try:
+            prompt = "repro> " if not buffer else "   ...> "
+            line = input(prompt)
+        except (EOFError, KeyboardInterrupt):
+            print()
+            return
+        stripped = line.strip()
+        if not buffer and stripped.startswith("\\"):
+            cmd, _, rest = stripped.partition(" ")
+            if cmd in ("\\quit", "\\q"):
+                return
+            if cmd == "\\tables":
+                for name in sorted(db.catalog.tables):
+                    print(" ", name)
+                continue
+            if cmd == "\\explain":
+                print(db.explain(rest.rstrip(";")))
+                continue
+            if cmd == "\\analyze":
+                print(db.explain_analyze(rest.rstrip(";")))
+                continue
+            print(f"unknown command {cmd}")
+            continue
+        buffer += (" " if buffer else "") + line
+        if not buffer.rstrip().endswith(";"):
+            continue
+        sql, buffer = buffer.rstrip().rstrip(";"), ""
+        if not sql.strip():
+            continue
+        try:
+            result = db.sql(sql)
+        except Exception as e:
+            print(f"error: {type(e).__name__}: {e}")
+            continue
+        rows = result.rows()
+        if rows:
+            print(" | ".join(result.columns))
+            for r in rows[:50]:
+                print(" | ".join(str(v) for v in r))
+            if len(rows) > 50:
+                print(f"... ({len(rows)} rows)")
+        s = result.stats
+        print(
+            f"-- {len(rows)} rows; scanned={s.rows_scanned} "
+            f"net={s.network_bytes}B skipped={s.sets_skipped}/{s.sets_total}"
+        )
+
+
+def main(argv: list[str] | None = None) -> None:  # pragma: no cover
+    ap = argparse.ArgumentParser(prog="python -m repro")
+    ap.add_argument("--workers", type=int, default=4)
+    ap.add_argument("--nmax", type=int, default=8)
+    ap.add_argument("--tpch", type=float, default=None, metavar="SF",
+                    help="preload a TPC-H instance at this scale factor")
+    args = ap.parse_args(argv)
+    db = Database(ClusterConfig(n_workers=args.workers, n_max=args.nmax))
+    if args.tpch:
+        _load_tpch(db, args.tpch)
+    print(f"repro shell — {args.workers} workers, N_max={args.nmax}. \\q to quit.")
+    repl(db)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

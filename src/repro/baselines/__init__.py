@@ -1,0 +1,15 @@
+"""Executable baseline engines (Hive-, Spark-, Greenplum-style)."""
+
+from .engines import (
+    BaselineIOStats,
+    MapReduceStyleExecutor,
+    MPPStyleExecutor,
+    SparkStyleExecutor,
+)
+
+__all__ = [
+    "MapReduceStyleExecutor",
+    "SparkStyleExecutor",
+    "MPPStyleExecutor",
+    "BaselineIOStats",
+]

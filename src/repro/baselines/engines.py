@@ -1,0 +1,209 @@
+"""Executable baseline engines over the same cluster substrate.
+
+Each comparator in the paper's evaluation is reproduced as a variant of
+the distributed executor that re-introduces exactly the bottleneck the
+paper attributes to it — on the *same* storage, data, and network — so
+differences in measured behaviour (bytes written to disk, connection
+counts, sort work) are caused by the mechanism, not by unrelated code:
+
+* :class:`MapReduceStyleExecutor` (Hive 1.x on MapReduce): the shuffle is
+  **blocking and sort-based** — every producer sorts its outgoing
+  partition by key and writes it to local disk; consumers read the files
+  back before processing. Additionally every stage boundary (gather)
+  materializes its input to the distributed-filesystem stand-in.
+* :class:`SparkStyleExecutor` (Spark SQL 1.6): pipelined within stages,
+  but shuffle data is still **written to shuffle files** (no sort), per
+  Spark's default shuffle behaviour the paper calls out.
+* :class:`MPPStyleExecutor` (Greenplum 4.3): fully pipelined in-memory
+  shuffle like HRDBMS, but over a **direct all-to-all interconnect** —
+  every node opens a connection to every other node (no ``N_max`` bound,
+  no hub forwarding) — and without predicate-based data skipping or
+  Bloom-filtered shuffles.
+
+These run real queries; the analytic performance model
+(:mod:`repro.bench.model`) uses the same mechanism switches to project
+the paper's cluster sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..common.batch import RowBatch
+from ..core.executor import DistributedExecutor, SiteData, _value_hash
+from ..core.kernels import sort_indices
+from ..optimizer.physical import PhysOp
+from ..sql.ast import ColumnRef
+from ..sql.compiler import compile_expr
+
+
+@dataclass
+class BaselineIOStats:
+    """Disk traffic the baseline generated that HRDBMS would not."""
+
+    shuffle_bytes_written: int = 0
+    shuffle_bytes_read: int = 0
+    stage_bytes_written: int = 0
+    sort_rows: int = 0
+
+
+class _DiskShuffleMixin:
+    """Shared machinery: write shuffle partitions to worker-local files."""
+
+    sort_before_write = False
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.io_stats = BaselineIOStats()
+        self._file_seq = 0
+
+    def _spill_roundtrip(self, worker_id: int, batch: RowBatch, kind: str) -> RowBatch:
+        """Write a batch to the worker's disk and read it back (the
+        materialization the paper blames for Hive/Spark per-node cost)."""
+        fs = self.workers[worker_id].fs
+        self._file_seq += 1
+        path = f"temp/{kind}{self._file_seq}.part"
+        blob = batch.to_bytes()
+        fh = fs.open(path)
+        fh.pwrite(0, blob)
+        if kind == "shuffle":
+            self.io_stats.shuffle_bytes_written += len(blob)
+        else:
+            self.io_stats.stage_bytes_written += len(blob)
+        data = fh.pread(0, fh.size())
+        fh.close()
+        fs.delete(path)
+        if kind == "shuffle":
+            self.io_stats.shuffle_bytes_read += len(data)
+        return RowBatch.from_bytes(data[: len(blob)])
+
+    def _eval_shuffle(self, op: PhysOp, prefilter=None) -> SiteData:
+        # baselines do not use Bloom-filtered shuffles
+        child_op = op.children[0]
+        child = self._eval(child_op)
+        key_exprs = op.attrs["key_exprs"]
+        n = len(self.worker_ids)
+        compiled = [compile_expr(e, child_op.schema) for e in key_exprs]
+        outgoing: dict[int, dict[int, list[RowBatch]]] = {
+            w: {d: [] for d in self.worker_ids} for w in self.worker_ids
+        }
+        for src, batches in child.items():
+            for batch in batches:
+                if batch.length == 0:
+                    continue
+                arrays = [np.asarray(c.fn(batch)) for c in compiled]
+                codes = _value_hash(arrays)
+                dest_idx = (codes % np.uint64(n)).astype(np.int64)
+                for d in range(n):
+                    part = batch.filter(dest_idx == d)
+                    if part.length:
+                        outgoing[src][self.worker_ids[d]].append(part)
+        out: SiteData = {w: [] for w in self.worker_ids}
+        for src in self.worker_ids:
+            for dest, parts in outgoing[src].items():
+                if not parts:
+                    continue
+                merged = RowBatch.concat(op.schema, parts)
+                if self.sort_before_write and key_exprs:
+                    keys = [
+                        (str(e), True)
+                        for e in key_exprs
+                        if isinstance(e, ColumnRef) and str(e) in merged.schema
+                    ]
+                    if keys:
+                        merged = merged.take(sort_indices(merged, keys))
+                        self.io_stats.sort_rows += merged.length
+                # blocking, disk-materialized shuffle write on the sender
+                merged = self._spill_roundtrip(src, merged, "shuffle")
+                payload = merged.to_bytes()
+                if dest == src:
+                    out[dest].append(merged)
+                else:
+                    self._route(src, dest, payload, f"shuf{op.id}")
+        for w in self.worker_ids:
+            for _, _, payload in self.net.recv_all(w, f"shuf{op.id}"):
+                out[w].append(RowBatch.from_bytes(payload))
+        return out
+
+    def _route(self, src: int, dest: int, payload: bytes, tag: str) -> None:
+        self.net.route_send(self.ntm, src, dest, payload, tag)
+
+
+class MapReduceStyleExecutor(_DiskShuffleMixin, DistributedExecutor):
+    """Hive-on-MapReduce behaviour: sorted, materialized, blocking shuffle
+    plus per-stage DFS materialization."""
+
+    sort_before_write = True
+
+    def _eval_gather(self, op: PhysOp) -> SiteData:
+        result = super()._eval_gather(op)
+        # MapReduce writes reducer output to the DFS at every job boundary
+        out: SiteData = {}
+        for site, batches in result.items():
+            out[site] = [
+                self._spill_roundtrip(
+                    site if site in self.workers else self.worker_ids[0], b, "stage"
+                )
+                for b in batches
+            ]
+        return out
+
+
+class SparkStyleExecutor(_DiskShuffleMixin, DistributedExecutor):
+    """Spark SQL 1.6 behaviour: unsorted but disk-materialized shuffle."""
+
+    sort_before_write = False
+
+
+class MPPStyleExecutor(DistributedExecutor):
+    """Greenplum-style MPP: pipelined in-memory shuffle over a direct
+    all-to-all interconnect (each node talks to every other node)."""
+
+    def _route_send_direct(self, src: int, dest: int, payload: bytes, tag: str) -> None:
+        self.net.send(src, dest, payload, tag)
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        # replace topology routing with direct sends: O(n) connections/node
+        self.ntm = _DirectTopology(self.worker_ids)
+        self.tree = _DirectTopology([self.coord_id] + self.worker_ids, root=self.coord_id)
+
+    def _build_bloom_prefilter(self, *a, **kw):  # Greenplum 4.3: no bloom shuffle
+        return None
+
+
+class _DirectTopology:
+    """Degenerate topology: every pair is adjacent (for MPP baselines)."""
+
+    def __init__(self, nodes, root=None):
+        self.nodes = tuple(nodes)
+        self._root = root if root is not None else self.nodes[0]
+
+    def route(self, src: int, dst: int) -> list[int]:
+        return [dst]
+
+    def neighbors(self, node: int) -> set[int]:
+        return set(self.nodes) - {node}
+
+    def degree(self, node: int) -> int:
+        return len(self.nodes) - 1
+
+    @property
+    def max_degree(self) -> int:
+        return len(self.nodes) - 1
+
+    # tree-gather interface used by DistributedExecutor._tree_gather
+    @property
+    def root(self) -> int:
+        return self._root
+
+    def parent(self, node: int):
+        return None if node == self._root else self._root
+
+    def children(self, node: int) -> list[int]:
+        return [n for n in self.nodes if n != self._root] if node == self._root else []
+
+    def levels(self) -> list[list[int]]:
+        return [[self._root], [n for n in self.nodes if n != self._root]]

@@ -1,0 +1,1 @@
+"""Benchmark harness: per-figure regenerators + the calibrated model."""

@@ -1,0 +1,114 @@
+"""Export the regenerated figures as CSV/JSON for downstream plotting.
+
+Usage::
+
+    python -m repro.bench.export out/
+    # -> out/fig7_scaleout.csv, out/fig8_perquery_8.csv, out/fig9_q18.csv,
+    #    out/tab_3tb.csv, out/tab_newver.csv, out/figures.json
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import os
+import sys
+
+from . import figures
+
+
+def export_all(outdir: str) -> list[str]:
+    os.makedirs(outdir, exist_ok=True)
+    written: list[str] = []
+
+    series = figures.fig7_scaleout()
+    path = os.path.join(outdir, "fig7_scaleout.csv")
+    with open(path, "w", newline="") as fh:
+        w = csv.writer(fh)
+        w.writerow(["system", "nodes", "seconds", "speedup_vs_8", "stepwise"])
+        for s in series:
+            for n, sec, sp, st in zip(s.nodes, s.seconds, s.speedup, s.stepwise):
+                w.writerow([s.system, n, round(sec, 1), round(sp, 3), round(st, 3)])
+    written.append(path)
+
+    for nodes in (8, 96):
+        rows = figures.fig8_per_query(n_nodes=nodes)
+        path = os.path.join(outdir, f"fig8_perquery_{nodes}.csv")
+        with open(path, "w", newline="") as fh:
+            w = csv.writer(fh)
+            w.writerow(["query", "hrdbms_s", "greenplum_s", "gp_over_hr"])
+            for r in rows:
+                w.writerow([
+                    r.query, round(r.hrdbms, 1),
+                    "" if r.greenplum is None else round(r.greenplum, 1),
+                    "" if r.ratio is None else round(r.ratio, 3),
+                ])
+        written.append(path)
+
+    rows = figures.fig9_q18()
+    path = os.path.join(outdir, "fig9_q18.csv")
+    with open(path, "w", newline="") as fh:
+        w = csv.writer(fh)
+        w.writerow(["nodes", "greenplum_s", "gp_speedup", "hrdbms_s", "hr_speedup"])
+        for r in rows:
+            w.writerow([
+                r.nodes,
+                "" if r.greenplum is None else round(r.greenplum, 1),
+                "" if r.gp_speedup is None else round(r.gp_speedup, 3),
+                round(r.hrdbms, 1), round(r.hr_speedup, 3),
+            ])
+    written.append(path)
+
+    rows = figures.tab_3tb()
+    path = os.path.join(outdir, "tab_3tb.csv")
+    with open(path, "w", newline="") as fh:
+        w = csv.writer(fh)
+        w.writerow(["system", "seconds", "completed", "ratio_vs_1tb", "failed"])
+        for r in rows:
+            w.writerow([r.system, round(r.seconds, 1), r.completed,
+                        round(r.ratio_vs_1tb, 3), " ".join(map(str, r.failed))])
+    written.append(path)
+
+    totals = figures.tab_newver()
+    path = os.path.join(outdir, "tab_newver.csv")
+    with open(path, "w", newline="") as fh:
+        w = csv.writer(fh)
+        w.writerow(["system", "seconds"])
+        for k, v in totals.items():
+            w.writerow([k, round(v, 1)])
+    written.append(path)
+
+    # one JSON with everything (machine-readable companion to EXPERIMENTS.md)
+    blob = {
+        "fig7": [
+            {"system": s.system, "nodes": s.nodes, "seconds": s.seconds,
+             "speedup": s.speedup, "stepwise": s.stepwise,
+             "failed_at_8": s.failed_at_8}
+            for s in series
+        ],
+        "fig9": [
+            {"nodes": r.nodes, "greenplum": r.greenplum, "hrdbms": r.hrdbms}
+            for r in rows_fig9()
+        ],
+        "tab_newver": totals,
+    }
+    path = os.path.join(outdir, "figures.json")
+    with open(path, "w") as fh:
+        json.dump(blob, fh, indent=2)
+    written.append(path)
+    return written
+
+
+def rows_fig9():
+    return figures.fig9_q18()
+
+
+def main(argv: list[str] | None = None) -> None:  # pragma: no cover
+    args = argv if argv is not None else sys.argv[1:]
+    outdir = args[0] if args else "figures_out"
+    for path in export_all(outdir):
+        print("wrote", path)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,480 @@
+"""Calibrated performance model for the paper's evaluation (SF1000+).
+
+The figures in §VII ran 1-3 TB of TPC-H on 8-96 physical nodes; neither
+is available here, so the harness projects runtimes in two honest layers
+(see DESIGN.md §4):
+
+1. **Plan layer (real):** each query is parsed, bound, optimized and
+   *distributed by this repository's actual optimizer* against exact
+   analytic TPC-H statistics for the requested SF and cluster size.
+   Baseline systems get plans under their own planning regime — Hive and
+   Spark SQL cannot enforce co-location (every join repartitions unless
+   broadcast is cheaper), Greenplum plans like HRDBMS but without data
+   skipping or Bloom-filtered shuffles.
+2. **Cost layer (mechanism-based):** a per-system interpreter walks the
+   plan charging CPU, disk, and network per operator. Systems differ by
+   *mechanisms*, each traceable to the paper's §I-§II analysis:
+   materialized (and for Hive, sorted) shuffles; per-stage DFS
+   materialization and job startup; direct O(n) interconnects whose
+   per-connection overhead grows with the cluster vs. the N_max-bounded
+   hub topology that trades a logarithmic forwarding factor for constant
+   connection count; JVM memory pressure; spill-vs-OOM policies.
+
+Constants are calibrated once against the paper's anchor totals (the
+8-node current-versions table and the stated ratios); they are plain
+numbers below, never per-query fudge factors. EXPERIMENTS.md records
+paper-vs-model for every figure.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+from ..common.config import ClusterConfig
+from ..network.topology import BinomialGraphTopology
+from ..optimizer.physical import ARBITRARY, PhysOp, Partitioning
+from ..sql import parse
+from ..workloads import tpch_queries, tpch_schema, tpch_stats
+
+GB = 1024.0**3
+MB = 1024.0**2
+
+#: on-disk compression ratio for TPC-H pages (LZ4-class)
+COMPRESSION = 0.45
+
+
+@dataclass(frozen=True)
+class SystemProfile:
+    name: str
+    #: effective sequential scan throughput per disk (decompressed bytes/s)
+    scan_bps: float
+    disk_write_bps: float
+    #: vectorized/compiled row-processing rate per core (rows/s)
+    cpu_rows_per_sec: float
+    cores: int
+    net_bps: float
+    conn_setup: float  # seconds per connection opened for an exchange
+    #: throughput degradation once a node keeps many connections open:
+    #: eff = net_bps / (1 + (conns/conn_knee)^2)
+    conn_knee: float
+    startup: float  # per-query planning/launch
+    stage_startup: float  # per exchange-bounded stage (jobs on Hadoop)
+    shuffle_materialize: bool
+    shuffle_sort: bool
+    stage_materialize: bool
+    bounded_topology: bool  # N_max hub topology vs direct all-to-all
+    data_skipping: bool
+    locality: bool  # placement-aware planning (co-location)
+    bloom: bool
+    can_spill: bool
+    #: fraction of node memory one query's operator state may use before
+    #: spilling (spillers) or failing (non-spillers)
+    mem_fraction: float
+    #: state inflation (JVM object overhead etc.)
+    mem_overhead: float
+    #: GC/memory-pressure slowdown coefficient (Spark)
+    gc_coeff: float
+    #: caches/reuses identical intermediate results (Greenplum; the paper's
+    #: explanation for its Q2/Q11/Q21/Q22 wins — HRDBMS recomputes)
+    reuse_intermediates: bool = False
+    #: reorders CNF conjuncts to eliminate tuples early (Greenplum's Q19 win)
+    cnf_reorder: bool = False
+    #: spilling engines still die when state exceeds this multiple of node
+    #: memory (executor-loss cascades in Spark); None = never hard-fails
+    hard_oom_factor: float | None = None
+
+
+# Cooley-era node: 12 cores, FDR IB (~6 GB/s effective), 2+2 disks.
+_NET = 3.0e9
+_DISK = 350 * MB  # per disk, compressed stream decompressed downstream
+
+PROFILES: dict[str, SystemProfile] = {
+    # HRDBMS: compiled Java operators, pipelined in-memory shuffle over the
+    # n-to-m topology, skipping + bloom, spills under pressure.
+    "hrdbms": SystemProfile(
+        "hrdbms", scan_bps=_DISK / COMPRESSION, disk_write_bps=_DISK,
+        cpu_rows_per_sec=0.33e6, cores=12, net_bps=_NET,
+        conn_setup=3e-3, conn_knee=64.0, startup=0.4, stage_startup=0.0,
+        shuffle_materialize=False, shuffle_sort=False, stage_materialize=False,
+        bounded_topology=True, data_skipping=True, locality=True, bloom=True,
+        can_spill=True, mem_fraction=0.7, mem_overhead=1.0, gc_coeff=0.0,
+    ),
+    # Greenplum 4.3: mature C MPP executor (fastest per-node CPU), pipelined
+    # in-memory interconnect but direct O(n) connections, no skipping/bloom,
+    # hash operators fail rather than spill at tight work_mem.
+    "greenplum": SystemProfile(
+        "greenplum", scan_bps=_DISK / COMPRESSION, disk_write_bps=_DISK,
+        cpu_rows_per_sec=0.42e6, cores=12, net_bps=_NET,
+        conn_setup=2e-2, conn_knee=8.0, startup=0.3, stage_startup=0.0,
+        shuffle_materialize=False, shuffle_sort=False, stage_materialize=False,
+        bounded_topology=False, data_skipping=False, locality=True, bloom=False,
+        can_spill=False, mem_fraction=0.67, mem_overhead=1.0, gc_coeff=0.0,
+        reuse_intermediates=True, cnf_reorder=True,
+    ),
+    # Spark SQL 1.6: JVM row processing, disk-materialized shuffle files,
+    # no enforced locality, heavy memory pressure at small clusters.
+    "sparksql": SystemProfile(
+        "sparksql", scan_bps=_DISK / COMPRESSION * 0.8, disk_write_bps=_DISK,
+        cpu_rows_per_sec=0.085e6, cores=12, net_bps=_NET,
+        conn_setup=2e-3, conn_knee=96.0, startup=4.0, stage_startup=1.0,
+        shuffle_materialize=True, shuffle_sort=False, stage_materialize=False,
+        bounded_topology=False, data_skipping=False, locality=False, bloom=False,
+        can_spill=True, mem_fraction=0.6, mem_overhead=2.2, gc_coeff=0.9,
+        hard_oom_factor=4.5,
+    ),
+    # Hive 1.2 on MapReduce: SerDe row-at-a-time CPU, sorted + materialized
+    # shuffle, every stage written to HDFS, job startup per stage.
+    "hive": SystemProfile(
+        "hive", scan_bps=_DISK / COMPRESSION * 0.8, disk_write_bps=_DISK,
+        cpu_rows_per_sec=0.05e6, cores=12, net_bps=_NET,
+        conn_setup=2e-3, conn_knee=96.0, startup=15.0, stage_startup=12.0,
+        shuffle_materialize=True, shuffle_sort=True, stage_materialize=True,
+        bounded_topology=False, data_skipping=False, locality=False, bloom=False,
+        can_spill=True, mem_fraction=0.7, mem_overhead=1.3, gc_coeff=0.0,
+    ),
+}
+
+# "Current versions" variants (paper's last table, 384 GB nodes):
+# Hive 2.1 on Tez (3.7x over MR Hive), Spark 2.0 (~40% better),
+# HRDBMS tuned (~12% better). Greenplum unchanged but with full memory.
+PROFILES["hive_tez"] = SystemProfile(
+    **{**PROFILES["hive"].__dict__, "name": "hive_tez",
+       "cpu_rows_per_sec": PROFILES["hive"].cpu_rows_per_sec * 3.9,
+       "stage_startup": 1.5, "startup": 4.0, "stage_materialize": False,
+       "shuffle_sort": True, "shuffle_materialize": True}
+)
+PROFILES["spark2"] = SystemProfile(
+    **{**PROFILES["sparksql"].__dict__, "name": "spark2",
+       "cpu_rows_per_sec": PROFILES["sparksql"].cpu_rows_per_sec * 0.92,
+       "gc_coeff": 0.9}
+)
+PROFILES["hrdbms_v2"] = SystemProfile(
+    **{**PROFILES["hrdbms"].__dict__, "name": "hrdbms_v2",
+       "cpu_rows_per_sec": PROFILES["hrdbms"].cpu_rows_per_sec * 1.18}
+)
+
+
+@dataclass
+class QueryCost:
+    seconds: float
+    oom: bool = False
+    io_seconds: float = 0.0
+    cpu_seconds: float = 0.0
+    net_seconds: float = 0.0
+    spill_seconds: float = 0.0
+    startup_seconds: float = 0.0
+    peak_state_bytes: float = 0.0
+    n_stages: int = 1
+
+
+# ---------------------------------------------------------------------------
+# plan construction per system
+# ---------------------------------------------------------------------------
+
+
+class _PlanContext:
+    """Catalog + stats + planner for one (system, n_nodes, sf) setting."""
+
+    def __init__(self, system: str, n_nodes: int, sf: float):
+        from ..cluster.catalog import CatalogEntry, ClusterCatalog
+        from ..optimizer.binder import Binder
+        from ..optimizer.dataflow import DataflowPlanner
+        from ..optimizer.derive import StatsDeriver
+        from ..optimizer.rewrite import optimize_logical
+        from ..storage.partition import HashPartition, Replicated
+
+        profile = PROFILES[system]
+        self.catalog = ClusterCatalog()
+        for name, schema in tpch_schema.SCHEMAS.items():
+            kind, cols = tpch_schema.PARTITIONING[name]
+            scheme = Replicated() if kind == "replicated" else HashPartition(tuple(cols))
+            self.catalog.add(CatalogEntry(name, schema, scheme))
+        self.stats = tpch_stats.provider(sf)
+        self.binder = Binder(self.catalog)
+        self.deriver_factory = lambda: StatsDeriver(self.stats)
+        self.optimize = optimize_logical
+        cfg = ClusterConfig(
+            n_workers=n_nodes,
+            n_max=8,
+            bloom_filters=profile.bloom,
+            data_skipping=profile.data_skipping,
+        )
+        if profile.locality:
+            placement = lambda t: self.catalog.entry(t).partitioning()
+        else:
+            placement = lambda t: ARBITRARY
+        self.planner_factory = lambda: DataflowPlanner(placement, StatsDeriver(self.stats), cfg)
+
+
+@lru_cache(maxsize=512)
+def plan_query(system: str, qno: int, sf: float, n_nodes: int) -> PhysOp:
+    from ..optimizer.logical import reset_fresh_names
+
+    reset_fresh_names()  # plans must not depend on prior planning activity
+    ctx = _PlanContext(system, n_nodes, sf)
+    stmt = parse(tpch_queries.query(qno, sf))
+    logical = ctx.binder.bind(stmt)
+    logical = ctx.optimize(logical, ctx.deriver_factory())
+    return ctx.planner_factory().plan(logical)
+
+
+# ---------------------------------------------------------------------------
+# cost interpretation
+# ---------------------------------------------------------------------------
+
+
+def _avg_hops(n_nodes: int, n_max: int = 8) -> float:
+    """Average route length in the binomial n-to-m topology (hub cost)."""
+    if n_nodes <= n_max:
+        return 1.0
+    topo = BinomialGraphTopology(range(n_nodes), n_max)
+    sample = range(1, n_nodes, max(1, n_nodes // 16))
+    hops = [len(topo.route(0, d)) for d in sample]
+    return sum(hops) / len(hops)
+
+
+_TEMPORAL = ("shipdate", "orderdate", "receiptdate", "commitdate")
+
+
+def _skip_fraction(op: PhysOp, sf: float) -> float:
+    """Fraction of pages predicate-based skipping avoids reading.
+
+    Skipping pays off when the predicate is selective on a column whose
+    values correlate with insertion order (dates do: line items arrive in
+    order-date order), so page min/max ranges and cached predicates rule
+    whole pages out — the paper's Q6/Q14/Q15/Q20 wins.
+    """
+    pred = op.attrs.get("predicate")
+    if pred is None:
+        return 0.0
+    in_rows = op.attrs.get("est_input_rows", 0.0) or 1.0
+    out_rows = op.attrs.get("est_rows", in_rows)
+    sel = max(min(out_rows / in_rows, 1.0), 1e-6)
+    text = str(pred)
+    temporal = any(t in text for t in _TEMPORAL)
+    if not temporal:
+        return 0.0
+    # dbgen loads in date order, so page ranges are tight: a range of
+    # selectivity s touches ~1.3 s of the pages; correlation 0.92
+    return max(0.0, 0.92 * (1.0 - min(1.0, 1.3 * sel)))
+
+
+def cost_query(
+    plan: PhysOp,
+    profile: SystemProfile,
+    n_nodes: int,
+    mem_bytes: float = 24 * GB,
+    sf: float = 1000.0,
+) -> QueryCost:
+    c = QueryCost(seconds=0.0)
+    cpu_rate = profile.cpu_rows_per_sec * profile.cores
+    disks = 2
+    hops = _avg_hops(n_nodes) if profile.bounded_topology else 1.0
+    states: list[float] = []
+    join_states: list[float] = []
+
+    def per_node_rows(op: PhysOp) -> float:
+        rows = op.attrs.get("est_rows", 0.0)
+        if op.partitioning.kind == "replicated":
+            return rows
+        if op.site == "coord":
+            return rows
+        return rows / n_nodes
+
+    def per_node_bytes(op: PhysOp) -> float:
+        b = op.attrs.get("est_bytes", 0.0)
+        if op.partitioning.kind == "replicated":
+            return b
+        if op.site == "coord":
+            return b
+        return b / n_nodes
+
+    n_exchanges = 0
+    seen_scans: set[tuple] = set()
+    for op in plan.walk():
+        if op.op == "scan":
+            in_bytes = op.attrs.get("est_input_bytes", op.attrs.get("est_bytes", 0.0))
+            in_rows = op.attrs.get("est_input_rows", op.attrs.get("est_rows", 0.0))
+            if op.partitioning.kind != "replicated":
+                in_bytes /= n_nodes
+                in_rows /= n_nodes
+            skip = _skip_fraction(op, sf) if profile.data_skipping else 0.0
+            io = in_bytes * (1.0 - skip) / (profile.scan_bps * disks)
+            cpu = in_rows * (1.0 - skip) / cpu_rate
+            sig = (op.attrs.get("table"), str(op.attrs.get("predicate")))
+            if sig in seen_scans and (
+                profile.reuse_intermediates
+                # a repeated scan with the SAME selective predicate hits the
+                # predicate cache + buffer pool (Q15's inlined CTE); without
+                # a predicate only true intermediate-reuse helps (Q2/Q11)
+                or (profile.data_skipping and skip > 0.3)
+            ):
+                io *= 0.2
+                cpu *= 0.3
+            seen_scans.add(sig)
+            c.io_seconds += io
+            c.cpu_seconds += cpu
+        elif op.op in ("filter", "project"):
+            c.cpu_seconds += 0.3 * per_node_rows(op.children[0]) / cpu_rate
+        elif op.op == "hashjoin":
+            build, probe = op.children[1], op.children[0]
+            b_rows, p_rows = per_node_rows(build), per_node_rows(probe)
+            join_cpu = (2.5 * b_rows + 1.5 * p_rows) / cpu_rate
+            residual = op.attrs.get("residual") or []
+            if any("OR" in str(r) for r in residual):
+                # disjunctive residuals evaluate row-at-a-time; engines that
+                # reorder CNF conjuncts eliminate tuples early (Q19)
+                join_cpu *= 1.2 if profile.cnf_reorder else 3.0
+            c.cpu_seconds += join_cpu
+            state = per_node_bytes(build)
+            if op.attrs.get("kind") in ("inner", "cross"):
+                # engines hash the smaller input
+                state = min(state, per_node_bytes(probe))
+            state *= profile.mem_overhead
+            states.append(state)
+            join_states.append(state)
+        elif op.op == "agg":
+            rows_in = per_node_rows(op.children[0])
+            c.cpu_seconds += 2.0 * rows_in / cpu_rate
+            groups = per_node_rows(op)
+            width = max(op.attrs.get("est_bytes", 0.0) / max(op.attrs.get("est_rows", 1.0), 1.0), 16.0)
+            states.append(groups * width * profile.mem_overhead)
+        elif op.op == "sort":
+            r = per_node_rows(op)
+            if r > 1:
+                c.cpu_seconds += 3.0 * r * math.log2(max(r, 2.0)) / cpu_rate / 16.0
+            states.append(per_node_bytes(op) * profile.mem_overhead)
+        elif op.op in ("topk", "limit", "distinct", "union", "dual"):
+            c.cpu_seconds += 0.5 * per_node_rows(op) / cpu_rate
+        elif op.op == "shuffle":
+            n_exchanges += 1
+            vol = op.attrs.get("est_bytes", 0.0)
+            vol_node = vol / n_nodes
+            # Bloom-filtered probes travel reduced (paper §IV)
+            if profile.bloom and op.attrs.get("bloom_factor"):
+                vol_node *= op.attrs["bloom_factor"]
+            conns = min(n_nodes - 1, 8) if profile.bounded_topology else (n_nodes - 1)
+            # congestion collapse only bites when many senders push large
+            # volumes concurrently (Greenplum's UDP interconnect at scale)
+            gate = min(1.0, vol_node / (256 * MB))
+            eff_net = profile.net_bps / (1.0 + gate * (conns / profile.conn_knee) ** 2)
+            c.net_seconds += conns * profile.conn_setup
+            c.net_seconds += vol_node * hops / eff_net
+            if profile.shuffle_materialize:
+                c.io_seconds += vol_node / profile.disk_write_bps
+                c.io_seconds += vol_node / (profile.scan_bps * COMPRESSION)
+            if profile.shuffle_sort:
+                r = op.attrs.get("est_rows", 0.0) / n_nodes
+                if r > 1:
+                    c.cpu_seconds += 2.0 * r * math.log2(max(r, 2.0)) / cpu_rate / 16.0
+        elif op.op == "gather":
+            n_exchanges += 1
+            vol = op.attrs.get("est_bytes", 0.0)
+            if op.attrs.get("mode") in ("combine", "topk"):
+                vol = min(vol, 64 * MB)  # tree-combined: shrinks per level
+            c.net_seconds += vol / profile.net_bps
+            c.net_seconds += math.ceil(math.log(max(n_nodes, 2), 7)) * 1e-3
+            if profile.stage_materialize:
+                c.io_seconds += 2 * vol / n_nodes / profile.disk_write_bps
+        elif op.op == "broadcast":
+            n_exchanges += 1
+            vol = op.attrs.get("est_bytes", 0.0)
+            conns = min(n_nodes, 8) if profile.bounded_topology else n_nodes
+            c.net_seconds += vol / profile.net_bps + conns * profile.conn_setup
+            if profile.shuffle_materialize:
+                c.io_seconds += vol / profile.disk_write_bps
+
+        if profile.stage_materialize and op.op == "shuffle":
+            # MapReduce job boundary: map output + reduce input hit HDFS
+            vol_node = op.attrs.get("est_bytes", 0.0) / n_nodes
+            c.io_seconds += 2.0 * vol_node / profile.disk_write_bps
+
+    # memory: one query's concurrently-live operator state per node
+    peak = max(states) + 0.5 * (sum(states) - max(states)) if states else 0.0
+    c.peak_state_bytes = peak
+    budget = profile.mem_fraction * mem_bytes
+    if peak > budget:
+        if not profile.can_spill:
+            c.oom = True
+        elif (
+            profile.hard_oom_factor is not None
+            and join_states
+            and max(join_states) > profile.hard_oom_factor * mem_bytes
+        ):
+            # sort-based aggregation spills gracefully, but an overgrown
+            # hash-join build brings Spark executors down (paper: Q9/Q18
+            # OOM at 3 TB while everything completed at 1 TB)
+            c.oom = True
+        else:
+            excess = peak - budget
+            c.spill_seconds += 2.0 * excess / profile.disk_write_bps
+
+    # JVM memory pressure (Spark at small clusters)
+    if profile.gc_coeff > 0.0 and peak > 0.3 * mem_bytes:
+        pressure = (peak / mem_bytes - 0.3) * profile.gc_coeff
+        c.cpu_seconds *= 1.0 + min(2.0, max(0.0, pressure))
+
+    c.n_stages = n_exchanges + 1
+    c.startup_seconds = profile.startup + profile.stage_startup * c.n_stages
+    c.seconds = (
+        c.io_seconds + c.cpu_seconds + c.net_seconds + c.spill_seconds + c.startup_seconds
+    )
+    return c
+
+
+def _annotate_bloom(plan: PhysOp) -> None:
+    """Mark shuffles feeding Bloom-filtered joins with the traffic factor."""
+    for op in plan.walk():
+        if op.op == "hashjoin" and op.attrs.get("bloom") and op.attrs.get("pairs"):
+            probe = op.children[0]
+            if probe.op == "shuffle":
+                out_rows = op.attrs.get("est_rows", 0.0)
+                in_rows = max(probe.attrs.get("est_rows", 1.0), 1.0)
+                frac = min(1.0, max(out_rows / in_rows, 0.25))
+                probe.attrs["bloom_factor"] = frac
+
+
+# ---------------------------------------------------------------------------
+# public entry points
+# ---------------------------------------------------------------------------
+
+
+def model_query(
+    system: str, qno: int, sf: float = 1000.0, n_nodes: int = 8, mem_gb: float = 24.0
+) -> QueryCost:
+    plan = plan_query(system, qno, sf, n_nodes)
+    profile = PROFILES[system]
+    _annotate_bloom(plan)
+    return cost_query(plan, profile, n_nodes, mem_gb * GB, sf)
+
+
+@dataclass
+class TotalResult:
+    system: str
+    n_nodes: int
+    sf: float
+    seconds: float
+    completed: list[int] = field(default_factory=list)
+    failed: list[int] = field(default_factory=list)
+    per_query: dict[int, QueryCost] = field(default_factory=dict)
+
+
+def model_total(
+    system: str,
+    sf: float = 1000.0,
+    n_nodes: int = 8,
+    mem_gb: float = 24.0,
+    queries=tpch_queries.PAPER_QUERY_SET,
+) -> TotalResult:
+    out = TotalResult(system, n_nodes, sf, 0.0)
+    for q in queries:
+        qc = model_query(system, q, sf, n_nodes, mem_gb)
+        out.per_query[q] = qc
+        if qc.oom:
+            out.failed.append(q)
+        else:
+            out.completed.append(q)
+            out.seconds += qc.seconds
+    return out

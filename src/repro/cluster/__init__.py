@@ -1,0 +1,13 @@
+"""Cluster orchestration: workers, coordinators, catalog, Database façade."""
+
+from .catalog import CatalogEntry, ClusterCatalog
+from .database import Coordinator, Database, QueryResult, Worker
+
+__all__ = [
+    "Database",
+    "QueryResult",
+    "Worker",
+    "Coordinator",
+    "ClusterCatalog",
+    "CatalogEntry",
+]

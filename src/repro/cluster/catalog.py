@@ -1,0 +1,99 @@
+"""Cluster catalog: table metadata replicated across coordinators.
+
+Coordinators store metadata and statistics; HRDBMS replicates both
+across *all* coordinators so any coordinator can plan queries, keeping
+them in sync with the 2PC-backed metadata transaction path (paper §VI
+"Synchronization of Coordinator Metadata" — wired up in
+:mod:`repro.txn`). :class:`CatalogEntry` records what Phase 2/3 need:
+schema, partitioning scheme, storage format, clustering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..common.errors import CatalogError
+from ..common.schema import Schema
+from ..optimizer.binder import Catalog as BinderCatalog
+from ..optimizer.physical import ARBITRARY, REPLICATED, Partitioning, hash_part
+from ..storage.partition import (
+    HashPartition,
+    PartitionScheme,
+    RangePartition,
+    Replicated,
+    RoundRobin,
+)
+
+
+@dataclass
+class CatalogEntry:
+    name: str
+    schema: Schema
+    scheme: PartitionScheme
+    fmt: str = "column"
+    clustering: tuple[str, ...] = ()
+    external: bool = False
+
+    def partitioning(self) -> Partitioning:
+        if isinstance(self.scheme, Replicated):
+            return REPLICATED
+        if isinstance(self.scheme, HashPartition):
+            return hash_part(self.scheme.columns)
+        if isinstance(self.scheme, RangePartition):
+            # range partitioning co-locates equal keys just like hash
+            return Partitioning("hash", (self.scheme.column,))
+        return ARBITRARY
+
+
+class ClusterCatalog(BinderCatalog):
+    """One coordinator's copy of the metadata tables."""
+
+    def __init__(self):
+        self.tables: dict[str, CatalogEntry] = {}
+        self.version = 0
+
+    def table_schema(self, name: str) -> Schema:
+        return self.entry(name).schema
+
+    def entry(self, name: str) -> CatalogEntry:
+        try:
+            return self.tables[name]
+        except KeyError:
+            raise CatalogError(f"unknown table {name!r}") from None
+
+    def has_table(self, name: str) -> bool:
+        return name in self.tables
+
+    def add(self, entry: CatalogEntry) -> None:
+        if entry.name in self.tables:
+            raise CatalogError(f"table {entry.name!r} already exists")
+        self.tables[entry.name] = entry
+        self.version += 1
+
+    def drop(self, name: str) -> None:
+        if name not in self.tables:
+            raise CatalogError(f"unknown table {name!r}")
+        del self.tables[name]
+        self.version += 1
+
+    def snapshot(self) -> dict:
+        return {"tables": dict(self.tables), "version": self.version}
+
+    def restore(self, snap: dict) -> None:
+        self.tables = dict(snap["tables"])
+        self.version = snap["version"]
+
+
+def scheme_from_clause(
+    partition: Optional[tuple[str, tuple[str, ...]]], n_workers: int
+) -> PartitionScheme:
+    """CREATE TABLE's PARTITION BY clause -> a concrete scheme."""
+    if partition is None:
+        return RoundRobin()
+    kind, cols = partition
+    if kind == "hash":
+        return HashPartition(tuple(cols))
+    if kind == "replicated":
+        return Replicated()
+    raise CatalogError(f"unsupported partition kind {kind!r}")

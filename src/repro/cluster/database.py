@@ -1,0 +1,445 @@
+"""The ``Database`` façade — the library's primary public API.
+
+Builds a simulated HRDBMS cluster (coordinators + workers + network),
+owns the catalog/statistics, and drives the full query pipeline:
+
+    SQL text -> parse -> bind (decorrelate) -> Phase 1 global
+    optimization -> Phase 3 dataflow optimization -> distributed
+    execution over the simulated cluster -> result at the coordinator.
+
+Usage::
+
+    db = Database(ClusterConfig(n_workers=4))
+    db.create_table("t", Schema.of(("a", DataType.INT64)), partition=("hash", ("a",)))
+    db.load("t", batch)
+    result = db.sql("select sum(a) from t")
+    print(result.rows())
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..common.batch import RowBatch
+from ..common.config import ClusterConfig
+from ..common.errors import CatalogError, PlanError
+from ..common.schema import Schema
+from ..core.executor import DistributedExecutor, ExecStats, WorkerRuntime
+from ..core.reference import execute_logical
+from ..core.spill import MemoryGovernor
+from ..network.simnet import SimNetwork
+from ..optimizer.binder import Binder
+from ..optimizer.dataflow import DataflowPlanner, convert_naive
+from ..optimizer.derive import StatsDeriver
+from ..optimizer.logical import LogicalPlan
+from ..optimizer.physical import PhysOp
+from ..optimizer.rewrite import optimize_logical, push_filters
+from ..optimizer.stats import StatsProvider, TableStats
+from ..sql import parse
+from ..sql.ast import (
+    CreateTable,
+    DeleteStmt,
+    DropTable,
+    InsertValues,
+    Literal,
+    SelectStmt,
+    UpdateStmt,
+)
+from ..sql.compiler import compile_predicate
+from ..storage.buffer import BufferManager
+from ..storage.external import ExternalTableType
+from ..storage.partition import Replicated, disk_of_rows
+from ..storage.table import TableStorage
+from ..txn.manager import TransactionSystem
+from ..util.fs import FileSystem, LocalFS, MemFS
+from .catalog import CatalogEntry, ClusterCatalog, scheme_from_clause
+
+COORD_BASE = 10_000
+
+
+@dataclass
+class QueryResult:
+    batch: RowBatch
+    stats: ExecStats
+    logical: LogicalPlan | None = None
+    physical: PhysOp | None = None
+    rowcount: int = 0  # DML-affected rows
+
+    def rows(self) -> list[tuple]:
+        return self.batch.rows()
+
+    @property
+    def columns(self) -> list[str]:
+        return self.batch.schema.names()
+
+
+class Worker:
+    """A worker node: local storage, buffer pool, memory governor."""
+
+    def __init__(self, worker_id: int, config: ClusterConfig, fs: FileSystem):
+        self.worker_id = worker_id
+        self.config = config
+        self.fs = fs
+        self.bufmgr = BufferManager(config.buffer_stripes, config.pages_per_pool)
+        self.governor = MemoryGovernor(config.memory_per_node)
+        self.storage: dict[str, TableStorage] = {}
+        self.external: dict[str, object] = {}
+        # worker-level resource management (paper's level 2): DOP follows
+        # local memory pressure
+        from .resource import ResourceMonitor
+
+        self.monitor = ResourceMonitor(self.governor, config.disks_per_node)
+
+    def create_table(self, entry: CatalogEntry) -> TableStorage:
+        ts = TableStorage(
+            self.fs,
+            self.bufmgr,
+            entry.name,
+            entry.schema,
+            fmt=entry.fmt,
+            n_disks=self.config.disks_per_node,
+            page_size=self.config.page_size,
+            codec=self.config.compression,
+            clustering=entry.clustering,
+        )
+        self.storage[entry.name] = ts
+        return ts
+
+    def drop_table(self, name: str) -> None:
+        self.storage.pop(name, None)
+
+    def runtime(self) -> WorkerRuntime:
+        return WorkerRuntime(
+            worker_id=self.worker_id,
+            fs=self.fs,
+            storage=self.storage,
+            governor=self.governor,
+            external=self.external,
+            effective_dop=self.config.disks_per_node,
+            dop_source=self.monitor.effective_dop,
+        )
+
+
+class Coordinator:
+    """A coordinator node: catalog replica + statistics + planner."""
+
+    def __init__(self, coord_id: int):
+        self.coord_id = coord_id
+        self.catalog = ClusterCatalog()
+        self.stats = StatsProvider()
+
+
+class Database:
+    def __init__(self, config: ClusterConfig | None = None):
+        self.config = config or ClusterConfig()
+        n = self.config.n_workers
+        self.worker_ids = list(range(n))
+        self.coord_ids = [COORD_BASE + i for i in range(self.config.n_coordinators)]
+        self.net = SimNetwork(self.worker_ids + self.coord_ids)
+        self._fs_root: FileSystem | None = None
+        self.workers: dict[int, Worker] = {
+            w: Worker(w, self.config, self._make_fs(w)) for w in self.worker_ids
+        }
+        self.coordinators = [Coordinator(c) for c in self.coord_ids]
+        self.txn_system = TransactionSystem(self)
+        self._executor = DistributedExecutor(
+            {w: wk.runtime() for w, wk in self.workers.items()},
+            self.coord_ids[0],
+            self.net,
+            self.config,
+        )
+
+    def _make_fs(self, worker_id: int) -> FileSystem:
+        if self.config.data_dir:
+            return LocalFS(f"{self.config.data_dir}/worker{worker_id}")
+        return MemFS()
+
+    # -- catalog views ------------------------------------------------------------
+    @property
+    def catalog(self) -> ClusterCatalog:
+        return self.coordinators[0].catalog
+
+    @property
+    def stats(self) -> StatsProvider:
+        return self.coordinators[0].stats
+
+    def _replicate_metadata(self, fn) -> None:
+        """Apply a metadata mutation on every coordinator replica.
+
+        The 2PC-backed path in :mod:`repro.txn` uses this hook; outside a
+        transaction it still updates all replicas atomically-in-process.
+        """
+        for c in self.coordinators:
+            fn(c)
+
+    # -- DDL ---------------------------------------------------------------------
+    def create_table(
+        self,
+        name: str,
+        schema: Schema,
+        partition: Optional[tuple[str, tuple[str, ...]]] = None,
+        fmt: str = "column",
+        clustering: Sequence[str] = (),
+    ) -> None:
+        scheme = scheme_from_clause(partition, self.config.n_workers)
+        entry = CatalogEntry(name, schema, scheme, fmt, tuple(clustering))
+        self._replicate_metadata(lambda c: c.catalog.add(entry))
+        for w in self.workers.values():
+            w.create_table(entry)
+
+    def drop_table(self, name: str) -> None:
+        self._replicate_metadata(lambda c: c.catalog.drop(name))
+        for w in self.workers.values():
+            w.drop_table(name)
+
+    def create_index(self, table: str, column: str) -> None:
+        """Build the set-granular secondary index on every worker."""
+        entry = self.catalog.entry(table)
+        entry.schema.resolve(column)  # validate
+        for w in self.workers.values():
+            w.storage[table].create_index(column)
+
+    def register_external(self, name: str, uet: ExternalTableType) -> None:
+        """External table framework: expose a UET's fragments to workers."""
+        from ..storage.partition import RoundRobin
+
+        entry = CatalogEntry(name, uet.schema(), RoundRobin(), external=True)
+        self._replicate_metadata(lambda c: c.catalog.add(entry))
+        frags = uet.fragments(self.config.n_workers)
+        for w, wk in self.workers.items():
+            mine = [f for f in frags if (f.preferred_node is None or f.preferred_node == w)]
+            wk.external[name] = (uet, mine)
+
+    # -- loading & statistics ---------------------------------------------------------
+    def load(self, name: str, batch: RowBatch) -> None:
+        """Bulk-load rows, partitioning across workers per the table scheme."""
+        entry = self.catalog.entry(name)
+        n = self.config.n_workers
+        if isinstance(entry.scheme, Replicated):
+            for w in self.workers.values():
+                w.storage[name].load(batch)
+        else:
+            targets = entry.scheme.assign_nodes(batch, n)
+            for i, w in enumerate(self.worker_ids):
+                part = batch.filter(targets == i)
+                if part.length:
+                    disks = disk_of_rows(part, entry.scheme, self.config.disks_per_node)
+                    self.workers[w].storage[name].load(part, disks)
+        self.analyze(name, batch)
+
+    def analyze(self, name: str, sample: RowBatch | None = None) -> None:
+        """Refresh optimizer statistics (replicated to all coordinators)."""
+        if sample is None:
+            parts = []
+            for w in self.workers.values():
+                st = w.storage.get(name)
+                if st is not None:
+                    parts.append(st.fragments[0].schema and _all_of(st))
+            sample = RowBatch.concat(self.catalog.entry(name).schema, [p for p in parts if p])
+        stats = TableStats.from_batch(sample)
+        self._replicate_metadata(lambda c: c.stats.put(name, stats))
+
+    def set_table_stats(self, name: str, stats: TableStats) -> None:
+        """Install analytic statistics (used by SF1000 planning harnesses)."""
+        self._replicate_metadata(lambda c: c.stats.put(name, stats))
+
+    # -- query pipeline -----------------------------------------------------------------
+    def plan_select(
+        self, stmt: SelectStmt, naive_dataflow: bool = False, coordinator: int = 0
+    ) -> tuple[LogicalPlan, PhysOp]:
+        from ..optimizer.logical import reset_fresh_names
+
+        reset_fresh_names()  # deterministic plans per statement
+        coord = self.coordinators[coordinator]
+        binder = Binder(coord.catalog)
+        logical = binder.bind(stmt)
+        deriver = StatsDeriver(coord.stats)
+        logical = optimize_logical(logical, deriver)
+        placement = lambda t: coord.catalog.entry(t).partitioning()
+        if naive_dataflow:
+            physical = convert_naive(logical, placement)
+        else:
+            deriver2 = StatsDeriver(coord.stats)
+            physical = DataflowPlanner(placement, deriver2, self.config).plan(logical)
+        return logical, physical
+
+    def sql(
+        self,
+        text: str,
+        naive_dataflow: bool = False,
+        coordinator: int = 0,
+        txn=None,
+    ) -> QueryResult:
+        stmt = parse(text)
+        if isinstance(stmt, SelectStmt):
+            logical, physical = self.plan_select(stmt, naive_dataflow, coordinator)
+            if txn is not None:
+                # serializable reads: SS2PL shared locks on every scanned
+                # table, held until the transaction ends (paper §VI)
+                from ..optimizer.logical import Scan, walk
+
+                tables = {
+                    n.table
+                    for n in walk(logical)
+                    if isinstance(n, Scan) and n.table != "__dual"
+                    and not self.catalog.entry(n.table).external
+                }
+                self.txn_system.lock_read(txn, tables)
+            # fault tolerance (paper §I): a mid-query worker failure aborts
+            # the query; after the node recovers (ARIES handles its local
+            # state) the coordinator simply restarts the query
+            from ..common.errors import WorkerFailureError
+
+            attempts = 0
+            while True:
+                attempts += 1
+                try:
+                    batch, stats = self._executor.execute(physical)
+                    break
+                except WorkerFailureError:
+                    if attempts > self.config.n_workers:
+                        raise
+                    self.net.clear_inboxes()  # abandon in-flight exchanges
+            result = QueryResult(batch, stats, logical, physical)
+            result.stats.restarts = attempts - 1
+            return result
+        if isinstance(stmt, CreateTable):
+            schema = Schema.of(*((c.name, c.dtype) for c in stmt.columns))
+            self.create_table(stmt.name, schema, stmt.partition, stmt.fmt, stmt.clustering)
+            return _empty_result()
+        if isinstance(stmt, DropTable):
+            self.drop_table(stmt.name)
+            return _empty_result()
+        from ..sql.ast import CreateIndex
+
+        if isinstance(stmt, CreateIndex):
+            self.create_index(stmt.table, stmt.column)
+            return _empty_result()
+        if isinstance(stmt, InsertValues):
+            return self.insert_values(stmt, txn=txn)
+        if isinstance(stmt, DeleteStmt):
+            return self.delete_where(stmt, txn=txn)
+        if isinstance(stmt, UpdateStmt):
+            return self.update_where(stmt, txn=txn)
+        raise PlanError(f"unsupported statement {type(stmt).__name__}")
+
+    def explain(self, text: str, naive_dataflow: bool = False) -> str:
+        stmt = parse(text)
+        if not isinstance(stmt, SelectStmt):
+            raise PlanError("EXPLAIN supports SELECT only")
+        logical, physical = self.plan_select(stmt, naive_dataflow)
+        return f"-- logical --\n{logical.pretty()}\n-- dataflow --\n{physical.pretty()}"
+
+    def explain_analyze(self, text: str) -> str:
+        """Execute the query and render the dataflow annotated with actual
+        vs estimated row counts per operator."""
+        stmt = parse(text)
+        if not isinstance(stmt, SelectStmt):
+            raise PlanError("EXPLAIN ANALYZE supports SELECT only")
+        logical, physical = self.plan_select(stmt)
+        self._executor.execute(physical)
+        rows = self._executor.op_rows
+
+        def render(op, indent=0):
+            pad = "  " * indent
+            actual = rows.get(op.id, "?")
+            est = op.attrs.get("est_rows")
+            est_s = f" est={est:.0f}" if isinstance(est, float) else ""
+            head = op.pretty(0).splitlines()[0]
+            lines = [f"{pad}{head}  [rows={actual}{est_s}]"]
+            for c in op.children:
+                lines.append(render(c, indent + 1))
+            return "\n".join(lines)
+
+        return render(physical)
+
+    def execute_reference(self, text: str) -> RowBatch:
+        """Run via the single-node reference executor (oracle for tests)."""
+        stmt = parse(text)
+        if not isinstance(stmt, SelectStmt):
+            raise PlanError("reference executor supports SELECT only")
+        coord = self.coordinators[0]
+        logical = push_filters(Binder(coord.catalog).bind(stmt))
+
+        def source(tname: str) -> RowBatch:
+            entry = coord.catalog.entry(tname)
+            if entry.external:
+                uet, _ = next(iter(self.workers.values())).external[tname]
+                parts = []
+                for frag in uet.fragments(1):
+                    parts.extend(uet.scan_fragment(frag, self.config.batch_size))
+                return RowBatch.concat(entry.schema, parts)
+            if isinstance(entry.scheme, Replicated):
+                return _all_of(self.workers[self.worker_ids[0]].storage[tname])
+            parts = [_all_of(w.storage[tname]) for w in self.workers.values()]
+            return RowBatch.concat(entry.schema, parts)
+
+        return execute_logical(logical, source)
+
+    # -- DML (transactional paths live in repro.txn) ------------------------------------
+    def insert_values(self, stmt: InsertValues, txn=None) -> QueryResult:
+        entry = self.catalog.entry(stmt.table)
+        rows = []
+        for row in stmt.rows:
+            vals = []
+            for e in row:
+                if not isinstance(e, Literal):
+                    raise PlanError("INSERT VALUES requires literals")
+                vals.append(e.value)
+            rows.append(vals)
+        cols = {}
+        for i, c in enumerate(entry.schema.columns):
+            arr = np.asarray([r[i] for r in rows], dtype=c.dtype.numpy_dtype)
+            if c.dtype.numpy_dtype == object:
+                arr = np.empty(len(rows), dtype=object)
+                arr[:] = [r[i] for r in rows]
+            cols[c.name] = arr
+        batch = RowBatch(entry.schema, cols)
+        return self._dml(stmt.table, "insert", batch=batch, txn=txn)
+
+    def delete_where(self, stmt: DeleteStmt, txn=None) -> QueryResult:
+        return self._dml(stmt.table, "delete", predicate=stmt.where, txn=txn)
+
+    def update_where(self, stmt: UpdateStmt, txn=None) -> QueryResult:
+        return self._dml(stmt.table, "update", predicate=stmt.where, assignments=stmt.assignments, txn=txn)
+
+    def _dml(self, table: str, op: str, batch=None, predicate=None, assignments=None, txn=None) -> QueryResult:
+        n = self.txn_system.run_dml(table, op, batch=batch, predicate=predicate,
+                                    assignments=assignments, txn=txn)
+        res = _empty_result()
+        res.rowcount = n
+        return res
+
+    # -- observability --------------------------------------------------------------------
+    def predicate_cache_bytes(self) -> dict[int, int]:
+        return {
+            w: sum(ts.predicate_cache_bytes() for ts in wk.storage.values())
+            for w, wk in self.workers.items()
+        }
+
+    def table_rows(self, name: str) -> int:
+        entry = self.catalog.entry(name)
+        if isinstance(entry.scheme, Replicated):
+            return self.workers[self.worker_ids[0]].storage[name].row_count
+        return sum(w.storage[name].row_count for w in self.workers.values())
+
+    def reorganize(self, name: str) -> None:
+        for w in self.workers.values():
+            w.storage[name].reorganize()
+
+
+def _all_of(storage: TableStorage) -> RowBatch:
+    parts = [f.all_rows() for f in storage.fragments]
+    return RowBatch.concat(storage.schema, parts)
+
+
+def _empty_result() -> QueryResult:
+    from ..common.dtypes import DataType
+    from ..common.schema import Column
+
+    schema = Schema([Column("__ok", DataType.INT64)])
+    return QueryResult(RowBatch(schema, {"__ok": np.empty(0, dtype=np.int64)}), ExecStats())

@@ -1,0 +1,62 @@
+"""Three-level resource management (paper §I-A).
+
+HRDBMS deliberately manages its own resources instead of delegating to
+YARN/Mesos, decentralizing decisions:
+
+1. **Cluster level** — the optimizer balances load and communication
+   across workers (in this codebase: the Phase-3 planner's placement and
+   exchange decisions in :mod:`repro.optimizer.dataflow`).
+2. **Worker level** — each worker monitors its own memory pressure and
+   reduces the degree of parallelism of query operators when resources
+   are scarce (:class:`ResourceMonitor` below).
+3. **Operator level** — operators spill to disk to bound memory
+   (:mod:`repro.core.spill`).
+
+The decentralization matters for scalability: coordinators never make
+per-worker micro-decisions (paper: "avoids overloading coordinators with
+decisions that can be better made locally").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.spill import MemoryGovernor
+
+
+@dataclass
+class ResourceMonitor:
+    """Worker-local DOP control (resource-management level 2).
+
+    The base degree of parallelism equals the disk count (the paper's
+    scan rule); as the memory governor's utilization climbs, operator
+    parallelism is scaled back so concurrent operator state shrinks,
+    down to 1 under severe pressure.
+    """
+
+    governor: MemoryGovernor
+    base_dop: int
+    #: start throttling above this utilization
+    soft_threshold: float = 0.6
+    #: run single-threaded above this utilization
+    hard_threshold: float = 0.95
+
+    @property
+    def utilization(self) -> float:
+        if self.governor.budget <= 0:
+            return 1.0
+        return min(self.governor.used / self.governor.budget, 1.5)
+
+    def effective_dop(self) -> int:
+        u = self.utilization
+        if u <= self.soft_threshold:
+            return self.base_dop
+        if u >= self.hard_threshold:
+            return 1
+        # linear scale-back between the thresholds
+        span = self.hard_threshold - self.soft_threshold
+        frac = 1.0 - (u - self.soft_threshold) / span
+        return max(1, round(1 + frac * (self.base_dop - 1)))
+
+    def should_throttle(self) -> bool:
+        return self.effective_dop() < self.base_dop

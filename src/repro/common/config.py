@@ -1,0 +1,84 @@
+"""Cluster and engine configuration.
+
+One :class:`ClusterConfig` object parameterizes everything the paper's
+§I-A overview enumerates: node counts, the ``N_max`` neighbor limit for
+communication topologies, page size, buffer-pool sizing, per-node memory
+budget (used to reproduce the 24 GB vs 384 GB experiments), and
+degree-of-parallelism defaults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from .errors import ConfigError
+
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    #: worker nodes storing data and executing queries
+    n_workers: int = 4
+    #: coordinator nodes (metadata, planning, 2PC); the paper replicates
+    #: metadata across all of them and load-balances clients
+    n_coordinators: int = 1
+    #: disks per worker; scan DOP = number of disks (paper §IV)
+    disks_per_node: int = 2
+    #: maximum number of network neighbors per node (paper's N_max)
+    n_max: int = 8
+    #: page size in bytes (paper: configurable up to 64 MB)
+    page_size: int = 128 * KB
+    #: buffer pool bytes per node
+    buffer_pool_size: int = 64 * MB
+    #: number of buffer-pool stripes (one stripe manager each)
+    buffer_stripes: int = 8
+    #: per-node memory budget for query execution (drives spilling / OOM)
+    memory_per_node: int = 256 * MB
+    #: rows per execution batch
+    batch_size: int = 8192
+    #: enable predicate-based data skipping
+    data_skipping: bool = True
+    #: scan each table fragment in its own thread (paper §IV: "one scan
+    #: thread for each fragment"); DOP per worker = number of disks,
+    #: throttled by the worker's resource monitor
+    parallel_scans: bool = False
+    #: enable Bloom filters on hash joins
+    bloom_filters: bool = True
+    #: page compression ("lz4sim" = fast byte-oriented codec, "none")
+    compression: str = "lz4sim"
+    #: lock wait timeout, seconds of simulated time
+    lock_timeout: float = 10.0
+    #: deadlock detector period (paper: once a minute)
+    deadlock_interval: float = 60.0
+    #: directory for on-disk state; None = in-memory filesystem
+    data_dir: str | None = None
+
+    def __post_init__(self):
+        if self.n_workers < 1:
+            raise ConfigError("need at least one worker")
+        if self.n_coordinators < 1:
+            raise ConfigError("need at least one coordinator")
+        if self.n_max < 2:
+            raise ConfigError("N_max must be >= 2")
+        if self.page_size < 4 * KB or self.page_size > 64 * MB:
+            raise ConfigError("page size must be in [4KB, 64MB]")
+        if self.buffer_stripes < 1:
+            raise ConfigError("need at least one buffer stripe")
+        if self.batch_size < 1:
+            raise ConfigError("batch size must be positive")
+
+    def with_(self, **kwargs) -> "ClusterConfig":
+        """Functional update."""
+        return replace(self, **kwargs)
+
+    @property
+    def pages_per_pool(self) -> int:
+        return max(1, self.buffer_pool_size // self.page_size)
+
+
+#: Mirror of the paper's evaluation environment (Cooley):
+#: 12 cores, 2+2 disks, 24 GB RAM cap for the main experiments.
+PAPER_NODE = dict(disks_per_node=2, n_max=8)

@@ -1,0 +1,126 @@
+"""Relational schemas.
+
+A :class:`Schema` is an ordered list of :class:`Column` (name + type).
+Column names inside a batch are *qualified keys* of the form
+``alias.column`` when the producing scan carried a table alias, or the
+bare column name otherwise. TPC-H attribute names are globally unique, so
+bare names are the common case; aliases matter for self-joins (Q21's
+``lineitem l1, lineitem l2``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from .dtypes import DataType
+from .errors import CatalogError
+
+
+@dataclass(frozen=True)
+class Column:
+    name: str
+    dtype: DataType
+
+    def renamed(self, name: str) -> "Column":
+        return Column(name, self.dtype)
+
+    @property
+    def unqualified(self) -> str:
+        """Last path component: ``l1.l_orderkey -> l_orderkey``."""
+        return self.name.rsplit(".", 1)[-1]
+
+
+class Schema:
+    """Ordered, name-indexed column list."""
+
+    __slots__ = ("columns", "_index")
+
+    def __init__(self, columns: Iterable[Column]):
+        self.columns: tuple[Column, ...] = tuple(columns)
+        self._index: dict[str, int] = {}
+        for i, c in enumerate(self.columns):
+            if c.name in self._index:
+                raise CatalogError(f"duplicate column {c.name!r} in schema")
+            self._index[c.name] = i
+
+    # -- construction helpers -------------------------------------------------
+    @classmethod
+    def of(cls, *pairs: tuple[str, DataType]) -> "Schema":
+        return cls(Column(n, t) for n, t in pairs)
+
+    def qualified(self, alias: str) -> "Schema":
+        """Prefix every column with ``alias.``."""
+        return Schema(Column(f"{alias}.{c.unqualified}", c.dtype) for c in self.columns)
+
+    def concat(self, other: "Schema") -> "Schema":
+        return Schema(self.columns + other.columns)
+
+    def project(self, names: Iterable[str]) -> "Schema":
+        return Schema(self.column(n) for n in names)
+
+    # -- lookup ----------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def __iter__(self) -> Iterator[Column]:
+        return iter(self.columns)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._index
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Schema) and self.columns == other.columns
+
+    def __hash__(self) -> int:
+        return hash(self.columns)
+
+    def names(self) -> list[str]:
+        return [c.name for c in self.columns]
+
+    def index_of(self, name: str) -> int:
+        try:
+            return self._index[name]
+        except KeyError:
+            raise CatalogError(f"no column {name!r} in schema {self.names()}") from None
+
+    def column(self, name: str) -> Column:
+        return self.columns[self.index_of(name)]
+
+    def dtype_of(self, name: str) -> DataType:
+        return self.column(name).dtype
+
+    def resolve(self, identifier: str) -> str:
+        """Resolve a SQL identifier to a batch column key.
+
+        Accepts either a fully qualified key, a bare name that matches
+        exactly one column's unqualified name, or raises.
+        """
+        if identifier in self._index:
+            return identifier
+        matches = [c.name for c in self.columns if c.unqualified == identifier]
+        if len(matches) == 1:
+            return matches[0]
+        if len(matches) > 1:
+            raise CatalogError(f"ambiguous column {identifier!r}: matches {matches}")
+        if "." in identifier:
+            # a qualified ref over a schema whose columns lost the qualifier:
+            # match only columns that are themselves unqualified, so a ref
+            # like l1.l_orderkey can never bind to l2.l_orderkey
+            base = identifier.rsplit(".", 1)[-1]
+            matches = [c.name for c in self.columns if c.name == base]
+            if len(matches) == 1:
+                return matches[0]
+        raise CatalogError(
+            f"cannot resolve column {identifier!r}; have {self.names()}"
+        )
+
+    def try_resolve(self, identifier: str) -> str | None:
+        try:
+            return self.resolve(identifier)
+        except CatalogError:
+            return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        cols = ", ".join(f"{c.name}:{c.dtype.name}" for c in self.columns)
+        return f"Schema({cols})"

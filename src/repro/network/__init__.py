@@ -1,0 +1,15 @@
+"""Scalable communication: topologies + simulated network."""
+
+from .simnet import LinkStats, NetworkCostModel, SimNetwork
+from .topology import BinomialGraphTopology, Topology, TreeTopology, build_n_to_m, build_tree
+
+__all__ = [
+    "SimNetwork",
+    "LinkStats",
+    "NetworkCostModel",
+    "Topology",
+    "TreeTopology",
+    "BinomialGraphTopology",
+    "build_tree",
+    "build_n_to_m",
+]

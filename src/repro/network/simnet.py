@@ -1,0 +1,164 @@
+"""Simulated cluster network.
+
+Connects in-process node objects and *actually routes* payloads hop by
+hop through a :class:`~repro.network.topology.Topology`, so hub
+forwarding is real data movement, not an annotation. Per-link message
+and byte counters plus the set of distinct connections ever opened per
+node let tests and benchmarks verify the paper's central claim — the
+``N_max`` bound on per-node connections — and let the cost model charge
+for forwarding.
+
+Time is modeled, not wall-clock: :class:`NetworkCostModel` converts the
+recorded traffic into seconds using an alpha-beta (latency + bandwidth)
+model, the standard abstraction for cluster interconnects.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from ..common.errors import NetworkError
+from .topology import Topology
+
+
+@dataclass
+class LinkStats:
+    messages: int = 0
+    bytes: int = 0
+
+
+class SimNetwork:
+    def __init__(self, node_ids: Iterable[int]):
+        self.node_ids = set(node_ids)
+        self._inbox: dict[int, deque] = {n: deque() for n in self.node_ids}
+        self.links: dict[tuple[int, int], LinkStats] = defaultdict(LinkStats)
+        self.connections: dict[int, set[int]] = defaultdict(set)
+        self.total_messages = 0
+        self.total_bytes = 0
+        self.forwarded_bytes = 0  # bytes relayed through hub nodes
+
+    # -- raw link sends --------------------------------------------------------
+    def send(self, src: int, dst: int, payload: bytes, tag: str = "") -> None:
+        """Direct send over the (src, dst) link; opens the connection."""
+        self._check(src)
+        self._check(dst)
+        stats = self.links[(src, dst)]
+        stats.messages += 1
+        stats.bytes += len(payload)
+        self.connections[src].add(dst)
+        self.connections[dst].add(src)
+        self.total_messages += 1
+        self.total_bytes += len(payload)
+        self._inbox[dst].append((src, tag, payload))
+
+    def route_send(
+        self, topology: Topology, src: int, dst: int, payload: bytes, tag: str = ""
+    ) -> int:
+        """Send along the topology's route; returns the hop count.
+
+        Intermediate hops are charged as real link traffic (the hub
+        forwarding cost of the n-to-m topology) but the payload is only
+        delivered to ``dst``'s inbox.
+        """
+        if src == dst:
+            self._inbox[dst].append((src, tag, payload))
+            return 0
+        path = topology.route(src, dst)
+        prev = src
+        for hop in path:
+            stats = self.links[(prev, hop)]
+            stats.messages += 1
+            stats.bytes += len(payload)
+            self.connections[prev].add(hop)
+            self.connections[hop].add(prev)
+            self.total_messages += 1
+            self.total_bytes += len(payload)
+            if prev != src:
+                self.forwarded_bytes += len(payload)
+            prev = hop
+        if prev != dst:  # pragma: no cover - topology contract
+            raise NetworkError("route did not terminate at destination")
+        self._inbox[dst].append((src, tag, payload))
+        return len(path)
+
+    # -- receive ----------------------------------------------------------------
+    def recv_all(self, node: int, tag: str | None = None) -> list[tuple[int, str, bytes]]:
+        """Drain the node's inbox (optionally only messages with ``tag``)."""
+        self._check(node)
+        box = self._inbox[node]
+        if tag is None:
+            out = list(box)
+            box.clear()
+            return out
+        keep: deque = deque()
+        out = []
+        while box:
+            msg = box.popleft()
+            (out if msg[1] == tag else keep).append(msg)
+        self._inbox[node] = keep
+        return out
+
+    def pending(self, node: int) -> int:
+        return len(self._inbox[node])
+
+    def _check(self, node: int) -> None:
+        if node not in self.node_ids:
+            raise NetworkError(f"unknown node {node}")
+
+    # -- accounting ---------------------------------------------------------------
+    def max_connections(self) -> int:
+        """Maximum distinct neighbors any node has talked to."""
+        return max((len(v) for v in self.connections.values()), default=0)
+
+    def connections_of(self, node: int) -> int:
+        return len(self.connections.get(node, ()))
+
+    def clear_inboxes(self) -> None:
+        """Drop all undelivered messages (query-restart cleanup)."""
+        for box in self._inbox.values():
+            box.clear()
+
+    def reset_stats(self) -> None:
+        self.links.clear()
+        self.connections.clear()
+        self.total_messages = 0
+        self.total_bytes = 0
+        self.forwarded_bytes = 0
+
+
+@dataclass(frozen=True)
+class NetworkCostModel:
+    """Alpha-beta interconnect model.
+
+    ``time = alpha * messages + bytes / bandwidth`` per link; aggregate
+    query time uses the busiest link (the critical path under full
+    overlap), which is how shuffle-bound stages behave.
+
+    Defaults approximate the paper's FDR InfiniBand fabric as seen by a
+    JVM application (effective, not line-rate).
+    """
+
+    alpha: float = 5e-6  # per-message latency, seconds
+    bandwidth: float = 3e9  # effective bytes/second per link
+    connection_setup: float = 2e-4  # socket open + handshake, seconds
+
+    def link_time(self, stats: LinkStats) -> float:
+        return self.alpha * stats.messages + stats.bytes / self.bandwidth
+
+    def critical_path_time(self, net: SimNetwork) -> float:
+        """Busiest-link time plus connection setup on the busiest node."""
+        link = max((self.link_time(s) for s in net.links.values()), default=0.0)
+        conn = net.max_connections() * self.connection_setup
+        return link + conn
+
+    def per_node_time(self, net: SimNetwork, node: int) -> float:
+        t = 0.0
+        for (src, dst), stats in net.links.items():
+            if src == node or dst == node:
+                t += self.link_time(stats)
+        return t + self.connections_setup_time(net, node)
+
+    def connections_setup_time(self, net: SimNetwork, node: int) -> float:
+        return net.connections_of(node) * self.connection_setup

@@ -1,0 +1,44 @@
+"""Cost-based optimizer: binder, statistics, Phase 1-3 planning."""
+
+from .binder import Binder, Catalog
+from .derive import RelProfile, StatsDeriver
+from .logical import (
+    Aggregate,
+    AggSpec,
+    Distinct,
+    Filter,
+    Join,
+    Limit,
+    LogicalPlan,
+    Project,
+    Scan,
+    Sort,
+    UnionAll,
+)
+from .rewrite import optimize_logical, prune_columns, push_filters, reorder_joins
+from .stats import ColumnStats, StatsProvider, TableStats
+
+__all__ = [
+    "Binder",
+    "Catalog",
+    "LogicalPlan",
+    "Scan",
+    "Filter",
+    "Project",
+    "Join",
+    "Aggregate",
+    "AggSpec",
+    "Sort",
+    "Limit",
+    "Distinct",
+    "UnionAll",
+    "optimize_logical",
+    "push_filters",
+    "reorder_joins",
+    "prune_columns",
+    "StatsProvider",
+    "TableStats",
+    "ColumnStats",
+    "StatsDeriver",
+    "RelProfile",
+]

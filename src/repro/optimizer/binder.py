@@ -1,0 +1,705 @@
+"""Binder: SQL AST -> logical plan, including subquery decorrelation.
+
+HRDBMS "always de-correlates and un-nests nested subqueries if
+possible", using the classic rewrites of Kim (paper §V Phase 1). The
+binder performs those rewrites while lowering:
+
+* ``EXISTS`` / ``NOT EXISTS``    -> semi / anti join
+* ``x IN (SELECT ...)`` / NOT IN -> semi / anti join on the equality
+* correlated scalar-aggregate    -> aggregate grouped by the correlation
+  subqueries                        key joined back to the outer query
+* uncorrelated scalar subquery   -> ``single`` join (1-row relation)
+
+Derived tables and WITH (CTEs) are bound recursively and inlined;
+aggregates in SELECT/HAVING/ORDER BY are split into a pre-projection,
+an :class:`Aggregate`, and a post-projection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..common.errors import BindError, PlanError
+from ..common.schema import Schema
+from ..sql.ast import (
+    Between,
+    BinaryOp,
+    CaseExpr,
+    ColumnRef,
+    Exists,
+    Expr,
+    FromItem,
+    FuncCall,
+    InList,
+    InSubquery,
+    IsNull,
+    JoinRef,
+    Like,
+    Literal,
+    OrderItem,
+    ScalarSubquery,
+    SelectStmt,
+    SubqueryRef,
+    TableRef,
+    UnaryOp,
+    contains_subquery,
+    is_aggregate,
+)
+from .logical import (
+    Aggregate,
+    AggSpec,
+    Distinct,
+    Filter,
+    Join,
+    Limit,
+    LogicalPlan,
+    Project,
+    Scan,
+    Sort,
+    fresh_name,
+)
+
+
+class Catalog:
+    """Minimal catalog interface the binder needs."""
+
+    def table_schema(self, name: str) -> Schema:
+        raise NotImplementedError
+
+    def has_table(self, name: str) -> bool:
+        try:
+            self.table_schema(name)
+            return True
+        except Exception:
+            return False
+
+
+class Binder:
+    def __init__(self, catalog: Catalog, ctes: dict[str, SelectStmt] | None = None):
+        self.catalog = catalog
+        self.ctes = dict(ctes or {})
+
+    # ------------------------------------------------------------------ select
+    def bind(self, stmt: SelectStmt) -> LogicalPlan:
+        binder = self
+        if stmt.ctes:
+            binder = Binder(self.catalog, {**self.ctes, **dict(stmt.ctes)})
+        return binder._bind_select(stmt)
+
+    def _bind_select(self, stmt: SelectStmt) -> LogicalPlan:
+        if stmt.union_all:
+            return self._bind_union(stmt)
+        plan = self._bind_from(stmt.from_items)
+        # WHERE: plain conjuncts filter; subquery conjuncts decorrelate
+        if stmt.where is not None:
+            plan = self._apply_where(plan, stmt.where)
+        plan = self._apply_select(plan, stmt)
+        return plan
+
+    def _bind_union(self, stmt: SelectStmt) -> LogicalPlan:
+        """UNION ALL: bind each core, align positionally, then apply the
+        outer ORDER BY / LIMIT to the whole union."""
+        from dataclasses import replace
+
+        from .logical import UnionAll
+
+        first = replace(stmt, order_by=(), limit=None, union_all=())
+        plans = [self._bind_select(first)]
+        for branch in stmt.union_all:
+            plans.append(self._bind_select(branch))
+        head = plans[0].schema
+        aligned = [plans[0]]
+        for p in plans[1:]:
+            if len(p.schema) != len(head):
+                raise PlanError(
+                    f"UNION ALL arity mismatch: {len(head)} vs {len(p.schema)}"
+                )
+            exprs = tuple(
+                (hc.name, ColumnRef(pc.name))
+                for hc, pc in zip(head.columns, p.schema.columns)
+            )
+            aligned.append(Project(p, exprs))
+        plan: LogicalPlan = UnionAll(tuple(aligned))
+        if stmt.order_by:
+            plan = self._bind_order(plan, list(stmt.order_by), {}, [])
+        if stmt.limit is not None:
+            plan = Limit(plan, stmt.limit)
+        return plan
+
+    # ------------------------------------------------------------------ FROM
+    def _bind_from(self, items: tuple[FromItem, ...]) -> LogicalPlan:
+        if not items:
+            # SELECT without FROM: a one-row dummy relation
+            from ..common.dtypes import DataType
+            from ..common.schema import Column
+
+            return Scan("__dual", None, Schema([Column("__one", DataType.INT64)]))
+        plans = [self._bind_from_item(i) for i in items]
+        plan = plans[0]
+        for p in plans[1:]:
+            plan = Join(plan, p, "cross", None)
+        return plan
+
+    def _bind_from_item(self, item: FromItem) -> LogicalPlan:
+        if isinstance(item, TableRef):
+            if item.name in self.ctes:
+                sub = self.bind(self.ctes[item.name])
+                alias = item.alias or item.name
+                return _alias_plan(sub, alias)
+            schema = self.catalog.table_schema(item.name)
+            if item.alias:
+                schema = schema.qualified(item.alias)
+            return Scan(item.name, item.alias, schema)
+        if isinstance(item, SubqueryRef):
+            sub = self.bind(item.select)
+            return _alias_plan(sub, item.alias)
+        if isinstance(item, JoinRef):
+            left = self._bind_from_item(item.left)
+            right = self._bind_from_item(item.right)
+            kind = item.kind
+            if kind == "cross":
+                return Join(left, right, "cross", None)
+            if kind == "right":
+                left, right, kind = right, left, "left"
+            if kind == "full":
+                raise PlanError("FULL OUTER JOIN is not supported")
+            if kind == "inner":
+                plan = Join(left, right, "cross", None)
+                return self._apply_where(plan, item.condition)
+            # left outer join: correlated conditions stay in the join
+            return Join(left, right, "left", item.condition)
+        raise PlanError(f"unsupported FROM item {item!r}")
+
+    # ------------------------------------------------------------------ WHERE
+    def _apply_where(self, plan: LogicalPlan, where: Expr) -> LogicalPlan:
+        plain: list[Expr] = []
+        for conjunct in _split_and(where):
+            if contains_subquery(conjunct):
+                plan = self._apply_filters(plan, plain)
+                plain = []
+                plan = self._decorrelate_conjunct(plan, conjunct)
+            else:
+                plain.append(conjunct)
+        return self._apply_filters(plan, plain)
+
+    @staticmethod
+    def _apply_filters(plan: LogicalPlan, conjuncts: list[Expr]) -> LogicalPlan:
+        if not conjuncts:
+            return plan
+        pred = conjuncts[0]
+        for c in conjuncts[1:]:
+            pred = BinaryOp("AND", pred, c)
+        return Filter(plan, pred)
+
+    # ----------------------------------------------------------- decorrelation
+    def _decorrelate_conjunct(self, outer: LogicalPlan, conjunct: Expr) -> LogicalPlan:
+        negated = False
+        inner_expr = conjunct
+        while isinstance(inner_expr, UnaryOp) and inner_expr.op == "NOT":
+            negated = not negated
+            inner_expr = inner_expr.operand
+
+        if isinstance(inner_expr, Exists):
+            neg = negated ^ inner_expr.negated
+            return self._bind_exists(outer, inner_expr.subquery, neg)
+        if isinstance(inner_expr, InSubquery):
+            neg = negated ^ inner_expr.negated
+            return self._bind_in_subquery(outer, inner_expr.expr, inner_expr.subquery, neg)
+        if isinstance(inner_expr, BinaryOp) and inner_expr.op in ("=", "<>", "<", "<=", ">", ">="):
+            lhs, rhs = inner_expr.left, inner_expr.right
+            if isinstance(lhs, ScalarSubquery) and not contains_subquery(rhs):
+                flip = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "=", "<>": "<>"}
+                return self._bind_scalar_cmp(outer, rhs, flip[inner_expr.op], lhs.subquery, negated)
+            if isinstance(rhs, ScalarSubquery) and not contains_subquery(lhs):
+                return self._bind_scalar_cmp(outer, lhs, inner_expr.op, rhs.subquery, negated)
+        raise PlanError(f"cannot decorrelate predicate {conjunct}")
+
+    def _bind_subplan(
+        self, outer_schema: Schema, sub: SelectStmt
+    ) -> tuple[LogicalPlan, list[Expr], dict[str, str], "Binder"]:
+        """Bind a subquery's FROM+WHERE for decorrelation.
+
+        The inner plan's columns are renamed to fresh unique names so the
+        later join can never collide with (or shadow) outer columns —
+        TPC-H self-referencing subqueries (Q17, Q18, Q21) make collisions
+        the norm, not the exception. Correlation conjuncts are rewritten
+        to the fresh names; unqualified ambiguous refs resolve to the
+        *inner* scope first (SQL scoping rules).
+
+        Returns (renamed inner plan with pure-inner filters applied,
+        rewritten correlation conjuncts, original->fresh mapping, binder).
+        """
+        binder = self
+        if sub.ctes:
+            binder = Binder(self.catalog, {**self.ctes, **dict(sub.ctes)})
+        inner = binder._bind_from(sub.from_items)
+        corr: list[Expr] = []
+        plain: list[Expr] = []
+        if sub.where is not None:
+            for conjunct in _split_and(sub.where):
+                if contains_subquery(conjunct):
+                    # nested subquery (Q20): decorrelate against the inner plan
+                    inner = binder._apply_filters(inner, plain)
+                    plain = []
+                    inner = binder._decorrelate_conjunct(inner, conjunct)
+                    continue
+                scope = _ref_scope(conjunct, inner.schema, outer_schema)
+                if scope == "inner":
+                    plain.append(conjunct)
+                else:
+                    corr.append(conjunct)
+        inner = binder._apply_filters(inner, plain)
+
+        # rename every inner column to a fresh unique name
+        orig_schema = inner.schema
+        mapping: dict[str, str] = {}
+        exprs = []
+        tag = fresh_name("sq")
+        for c in inner.schema:
+            new = f"{tag}_{c.unqualified}"
+            if new in mapping.values():
+                new = fresh_name("sqc")
+            mapping[c.name] = new
+            exprs.append((new, ColumnRef(c.name)))
+        inner = Project(inner, tuple(exprs))
+        corr = [_rewrite_inner_refs(c, mapping, orig_schema) for c in corr]
+        return inner, corr, mapping, binder
+
+    def _bind_exists(self, outer: LogicalPlan, sub: SelectStmt, negated: bool) -> LogicalPlan:
+        inner, corr, _, _ = self._bind_subplan(outer.schema, sub)
+        if not corr:
+            raise PlanError("uncorrelated EXISTS is not supported (constant-fold it)")
+        cond = _and_all(corr)
+        return Join(outer, inner, "anti" if negated else "semi", cond)
+
+    def _bind_in_subquery(
+        self, outer: LogicalPlan, expr: Expr, sub: SelectStmt, negated: bool
+    ) -> LogicalPlan:
+        inner, corr, mapping, binder = self._bind_subplan(outer.schema, sub)
+        if len(sub.items) != 1:
+            raise PlanError("IN subquery must select exactly one column")
+        item = sub.items[0]
+        # project the inner value (handles DISTINCT implicitly via semi join)
+        if isinstance(item.expr, ColumnRef):
+            # resolve through the rename mapping
+            orig_keys = [k for k in mapping if k == item.expr.key or k.rsplit(".", 1)[-1] == item.expr.key]
+            if len(orig_keys) != 1:
+                inner_key = inner.schema.resolve(item.expr.key)
+            else:
+                inner_key = mapping[orig_keys[0]]
+        else:
+            inner_key = fresh_name("inkey")
+            rewritten = _rewrite_inner_refs_via_mapping(item.expr, mapping)
+            exprs = [(c.name, ColumnRef(c.name)) for c in inner.schema]
+            exprs.append((inner_key, rewritten))
+            inner = Project(inner, tuple(exprs))
+        cond = BinaryOp("=", expr, ColumnRef(inner_key))
+        for c in corr:
+            cond = BinaryOp("AND", cond, c)
+        return Join(outer, inner, "anti" if negated else "semi", cond)
+
+    def _bind_scalar_cmp(
+        self, outer: LogicalPlan, lhs: Expr, op: str, sub: SelectStmt, negated: bool
+    ) -> LogicalPlan:
+        inner, corr, mapping, binder = self._bind_subplan(outer.schema, sub)
+        if len(sub.items) != 1:
+            raise PlanError("scalar subquery must select exactly one expression")
+        item_expr = _rewrite_inner_refs_via_mapping(sub.items[0].expr, mapping)
+        if corr:
+            # correlated: aggregate grouped by inner correlation keys
+            eq_pairs = []
+            residual = []
+            for c in corr:
+                pair = _equi_pair(c, outer.schema, inner.schema)
+                if pair is None:
+                    residual.append(c)
+                else:
+                    eq_pairs.append(pair)
+            if not eq_pairs:
+                raise PlanError(f"correlated scalar subquery needs equi correlation: {corr}")
+            if residual:
+                raise PlanError(
+                    f"non-equi correlation in scalar subquery unsupported: {residual}"
+                )
+            if not is_aggregate(item_expr):
+                raise PlanError("correlated scalar subquery must be an aggregate")
+            inner_keys = [ik for _, ik in eq_pairs]
+            agg_name = fresh_name("scalar")
+            inner_agg = _build_scalar_aggregate(inner, inner_keys, item_expr, agg_name)
+            cond = None
+            for (ok, ik) in eq_pairs:
+                eq = BinaryOp("=", ColumnRef(ok), ColumnRef(ik))
+                cond = eq if cond is None else BinaryOp("AND", cond, eq)
+            joined = Join(outer, inner_agg, "inner", cond)
+            cmp_expr: Expr = BinaryOp(op, lhs, ColumnRef(agg_name))
+            if negated:
+                cmp_expr = UnaryOp("NOT", cmp_expr)
+            filtered = Filter(joined, cmp_expr)
+            keep = [(c.name, ColumnRef(c.name)) for c in outer.schema]
+            return Project(filtered, tuple(keep))
+        # uncorrelated scalar: single-row join + comparison filter
+        agg_name = fresh_name("scalar")
+        if is_aggregate(item_expr):
+            inner_agg = _build_scalar_aggregate(inner, [], item_expr, agg_name)
+        else:
+            inner_agg = Limit(Project(inner, ((agg_name, item_expr),)), 1)
+        joined = Join(outer, inner_agg, "single", None)
+        cmp_expr = BinaryOp(op, lhs, ColumnRef(agg_name))
+        if negated:
+            cmp_expr = UnaryOp("NOT", cmp_expr)
+        filtered = Filter(joined, cmp_expr)
+        keep = [(c.name, ColumnRef(c.name)) for c in outer.schema]
+        return Project(filtered, tuple(keep))
+
+    # ------------------------------------------------------- SELECT/GROUP/ORDER
+    def _apply_select(self, plan: LogicalPlan, stmt: SelectStmt) -> LogicalPlan:
+        items = list(stmt.items)
+        # expand SELECT *
+        if len(items) == 1 and isinstance(items[0].expr, ColumnRef) and items[0].expr.name == "*":
+            from ..sql.ast import SelectItem
+
+            items = [SelectItem(ColumnRef(c.name), None) for c in plan.schema]
+        has_agg = bool(stmt.group_by) or any(is_aggregate(i.expr) for i in items)
+        if stmt.having is not None:
+            has_agg = True
+
+        order_items = list(stmt.order_by)
+        alias_map = {
+            i.alias: i.expr for i in items if i.alias is not None
+        }
+
+        if has_agg:
+            plan = self._bind_aggregate(plan, stmt, items, alias_map)
+        else:
+            exprs = []
+            for pos, item in enumerate(items):
+                name = item.output_name(pos)
+                exprs.append((name, item.expr))
+            plan = Project(plan, tuple(exprs))
+
+        if stmt.distinct:
+            plan = Distinct(plan)
+
+        if order_items:
+            plan = self._bind_order(plan, order_items, alias_map, items)
+        if stmt.limit is not None:
+            plan = Limit(plan, stmt.limit)
+        return plan
+
+    def _bind_aggregate(
+        self,
+        plan: LogicalPlan,
+        stmt: SelectStmt,
+        items: list,
+        alias_map: dict[str, Expr],
+    ) -> LogicalPlan:
+        # 1) group keys: plain columns keep names, expressions get names
+        group_exprs: list[tuple[str, Expr]] = []
+        key_of: dict[str, str] = {}  # str(expr) -> key column
+        for g in stmt.group_by:
+            ge = alias_map.get(g.name) if isinstance(g, ColumnRef) and g.name in alias_map else g
+            if isinstance(ge, ColumnRef):
+                key = plan.schema.resolve(ge.key)
+                name = key
+            else:
+                name = fresh_name("grp")
+            group_exprs.append((name, ge))
+            key_of[str(ge)] = name
+            if isinstance(g, ColumnRef):
+                key_of[str(g)] = name
+
+        # 2) collect aggregates from select items, having, order by
+        agg_specs: list[AggSpec] = []
+        agg_inputs: list[tuple[str, Expr]] = []
+        agg_of: dict[str, str] = {}  # str(agg FuncCall) -> output column
+
+        nullable_info = _nullable_side_info(plan)
+
+        def register_agg(fc: FuncCall) -> str:
+            sig = str(fc)
+            if sig in agg_of:
+                return agg_of[sig]
+            out = fresh_name("agg")
+            if fc.star:
+                agg_specs.append(AggSpec(out, "COUNT", None))
+            else:
+                arg = fc.args[0]
+                if isinstance(arg, ColumnRef):
+                    arg_col = plan.schema.resolve(arg.key)
+                else:
+                    arg_col = fresh_name("aggin")
+                    agg_inputs.append((arg_col, arg))
+                valid = None
+                if fc.name == "COUNT" and isinstance(arg, ColumnRef):
+                    valid = nullable_info.get(plan.schema.resolve(arg.key))
+                agg_specs.append(AggSpec(out, fc.name, arg_col, fc.distinct, valid))
+            agg_of[sig] = out
+            return out
+
+        def rewrite(e: Expr) -> Expr:
+            if isinstance(e, FuncCall) and e.name in ("SUM", "AVG", "COUNT", "MIN", "MAX"):
+                return ColumnRef(register_agg(e))
+            if str(e) in key_of:
+                return ColumnRef(key_of[str(e)])
+            return _map_children(e, rewrite)
+
+        final_items: list[tuple[str, Expr]] = []
+        for pos, item in enumerate(items):
+            final_items.append((item.output_name(pos), rewrite(item.expr)))
+        # HAVING aggregates must be registered BEFORE the Aggregate is built,
+        # so rewrite each conjunct now and remember whether it has a subquery
+        # (e.g. Q11: HAVING agg > (uncorrelated scalar subquery)).
+        having_conjuncts: list[tuple[Expr, bool]] = []
+        if stmt.having is not None:
+            for c in _split_and(stmt.having):
+                if contains_subquery(c):
+                    having_conjuncts.append((_map_children_deep_no_subq(c, rewrite), True))
+                else:
+                    having_conjuncts.append((rewrite(c), False))
+
+        # 3) pre-projection: pass-through + group keys + agg inputs
+        pre_exprs: list[tuple[str, Expr]] = [
+            (c.name, ColumnRef(c.name)) for c in plan.schema
+        ]
+        seen = {c.name for c in plan.schema}
+        for name, e in group_exprs + agg_inputs:
+            if name not in seen:
+                pre_exprs.append((name, e))
+                seen.add(name)
+        pre = Project(plan, tuple(pre_exprs))
+        agg = Aggregate(pre, tuple(n for n, _ in group_exprs), tuple(agg_specs))
+        out: LogicalPlan = agg
+
+        plain_having: list[Expr] = []
+        for c, has_sub in having_conjuncts:
+            if has_sub:
+                out = self._apply_filters(out, plain_having)
+                plain_having = []
+                out = self._decorrelate_conjunct(out, c)
+            else:
+                plain_having.append(c)
+        out = self._apply_filters(out, plain_having)
+
+        return Project(out, tuple(final_items))
+
+    def _bind_order(
+        self,
+        plan: LogicalPlan,
+        order_items: list[OrderItem],
+        alias_map: dict[str, Expr],
+        items: list,
+    ) -> LogicalPlan:
+        keys: list[tuple[str, bool]] = []
+        extra: list[tuple[str, Expr]] = []
+        for oi in order_items:
+            e = oi.expr
+            if isinstance(e, ColumnRef) and plan.schema.try_resolve(e.key):
+                keys.append((plan.schema.resolve(e.key), oi.ascending))
+                continue
+            if isinstance(e, Literal) and isinstance(e.value, int):
+                # ORDER BY ordinal
+                name = plan.schema.columns[e.value - 1].name
+                keys.append((name, oi.ascending))
+                continue
+            # expression over output columns: compute a hidden sort column
+            name = fresh_name("ord")
+            extra.append((name, e))
+            keys.append((name, oi.ascending))
+        if extra:
+            exprs = [(c.name, ColumnRef(c.name)) for c in plan.schema] + extra
+            widened = Project(plan, tuple(exprs))
+            sorted_plan = Sort(widened, tuple(keys))
+            narrow = [(c.name, ColumnRef(c.name)) for c in plan.schema]
+            return Project(sorted_plan, tuple(narrow))
+        return Sort(plan, tuple(keys))
+
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+
+
+def _split_and(expr: Expr) -> list[Expr]:
+    if isinstance(expr, BinaryOp) and expr.op == "AND":
+        return _split_and(expr.left) + _split_and(expr.right)
+    return [expr]
+
+
+def _and_all(conjuncts: list[Expr]) -> Expr:
+    out = conjuncts[0]
+    for c in conjuncts[1:]:
+        out = BinaryOp("AND", out, c)
+    return out
+
+
+def _ref_scope(expr: Expr, inner: Schema, outer: Schema) -> str:
+    """'inner' when all refs bind inside; 'both' when any ref escapes.
+
+    Qualified refs bind strictly by their qualifier (``l1.x`` can never
+    bind to alias ``l2`` inside the subquery), so only ``ref.key`` is
+    consulted — :meth:`Schema.try_resolve` already handles the
+    lost-qualifier case safely.
+    """
+    from ..sql.ast import column_refs
+
+    for ref in column_refs(expr):
+        if inner.try_resolve(ref.key) is None:
+            if outer.try_resolve(ref.key) is not None:
+                return "both"
+            raise BindError(f"unresolvable column {ref.key}")
+    return "inner"
+
+
+def _equi_pair(conjunct: Expr, outer: Schema, inner: Schema) -> tuple[str, str] | None:
+    """Correlation conjunct ``outer_col = inner_col`` -> (outer, inner)."""
+    if not (isinstance(conjunct, BinaryOp) and conjunct.op == "="):
+        return None
+    l, r = conjunct.left, conjunct.right
+    if not (isinstance(l, ColumnRef) and isinstance(r, ColumnRef)):
+        return None
+    lo = outer.try_resolve(l.key) or outer.try_resolve(l.name)
+    li = inner.try_resolve(l.key) or inner.try_resolve(l.name)
+    ro = outer.try_resolve(r.key) or outer.try_resolve(r.name)
+    ri = inner.try_resolve(r.key) or inner.try_resolve(r.name)
+    if li is not None and ro is not None and lo is None:
+        return (ro, li)
+    if lo is not None and ri is not None and ro is None:
+        return (lo, ri)
+    # ambiguous (both resolve inner+outer): prefer inner for one side
+    if lo is not None and ri is not None:
+        return (lo, ri)
+    if ro is not None and li is not None:
+        return (ro, li)
+    return None
+
+
+def _build_scalar_aggregate(
+    inner: LogicalPlan, group_cols: list[str], agg_expr: Expr, out_name: str
+) -> LogicalPlan:
+    """Aggregate ``agg_expr`` (one aggregate call, possibly scaled, e.g.
+    ``0.5 * sum(l_quantity)``) grouped by ``group_cols``."""
+    aggs: list[AggSpec] = []
+    inputs: list[tuple[str, Expr]] = []
+    agg_map: dict[str, str] = {}
+
+    def reg(fc: FuncCall) -> str:
+        sig = str(fc)
+        if sig in agg_map:
+            return agg_map[sig]
+        col = fresh_name("agg")
+        if fc.star:
+            aggs.append(AggSpec(col, "COUNT", None))
+        else:
+            arg = fc.args[0]
+            if isinstance(arg, ColumnRef):
+                arg_col = inner.schema.resolve(arg.key)
+            else:
+                arg_col = fresh_name("aggin")
+                inputs.append((arg_col, arg))
+            aggs.append(AggSpec(col, fc.name, arg_col, fc.distinct))
+        agg_map[sig] = col
+        return col
+
+    def rewrite(e: Expr) -> Expr:
+        if isinstance(e, FuncCall) and e.name in ("SUM", "AVG", "COUNT", "MIN", "MAX"):
+            return ColumnRef(reg(e))
+        return _map_children(e, rewrite)
+
+    final = rewrite(agg_expr)
+    pre_exprs = [(c.name, ColumnRef(c.name)) for c in inner.schema]
+    seen = {c.name for c in inner.schema}
+    for name, e in inputs:
+        if name not in seen:
+            pre_exprs.append((name, e))
+    pre = Project(inner, tuple(pre_exprs))
+    agg = Aggregate(pre, tuple(group_cols), tuple(aggs))
+    post = [(k, ColumnRef(k)) for k in group_cols]
+    post.append((out_name, final))
+    return Project(agg, tuple(post))
+
+
+def _alias_plan(plan: LogicalPlan, alias: str) -> LogicalPlan:
+    """Qualify a derived table's outputs with its alias."""
+    exprs = []
+    for c in plan.schema:
+        base = c.unqualified
+        exprs.append((f"{alias}.{base}", ColumnRef(c.name)))
+    return Project(plan, tuple(exprs))
+
+
+def _nullable_side_info(plan: LogicalPlan) -> dict[str, str]:
+    """column -> match-column for columns on the nullable side of left joins."""
+    out: dict[str, str] = {}
+    from .logical import walk
+
+    for node in walk(plan):
+        if isinstance(node, Join) and node.kind == "left":
+            match = node.match_column
+            for c in node.right.schema:
+                out[c.name] = match
+    return out
+
+
+def _rewrite_inner_refs(expr: Expr, mapping: dict[str, str], inner_schema: Schema) -> Expr:
+    """Rewrite refs that bind in the (pre-rename) inner schema to the fresh
+    names; inner scope wins for ambiguous unqualified refs (SQL scoping)."""
+
+    def fn(e: Expr) -> Expr:
+        if isinstance(e, ColumnRef):
+            k = inner_schema.try_resolve(e.key)
+            if k is not None and k in mapping:
+                return ColumnRef(mapping[k])
+            return e
+        return _map_children(e, fn)
+
+    return fn(expr)
+
+
+def _rewrite_inner_refs_via_mapping(expr: Expr, mapping: dict[str, str]) -> Expr:
+    """Rewrite refs whose original inner name appears in the mapping."""
+
+    def fn(e: Expr) -> Expr:
+        if isinstance(e, ColumnRef):
+            if e.key in mapping:
+                return ColumnRef(mapping[e.key])
+            hits = [k for k in mapping if k.rsplit(".", 1)[-1] == e.key]
+            if len(hits) == 1:
+                return ColumnRef(mapping[hits[0]])
+            return e
+        return _map_children(e, fn)
+
+    return fn(expr)
+
+
+def _map_children(expr: Expr, fn: Callable[[Expr], Expr]) -> Expr:
+    """Rebuild an expression with children mapped through ``fn``."""
+    if isinstance(expr, BinaryOp):
+        return BinaryOp(expr.op, fn(expr.left), fn(expr.right))
+    if isinstance(expr, UnaryOp):
+        return UnaryOp(expr.op, fn(expr.operand))
+    if isinstance(expr, FuncCall):
+        return FuncCall(expr.name, tuple(fn(a) for a in expr.args), expr.distinct, expr.star)
+    if isinstance(expr, CaseExpr):
+        whens = tuple((fn(c), fn(r)) for c, r in expr.whens)
+        return CaseExpr(whens, fn(expr.else_) if expr.else_ is not None else None)
+    if isinstance(expr, InList):
+        return InList(fn(expr.expr), tuple(fn(i) for i in expr.items), expr.negated)
+    if isinstance(expr, Like):
+        return Like(fn(expr.expr), expr.pattern, expr.negated)
+    if isinstance(expr, Between):
+        return Between(fn(expr.expr), fn(expr.lo), fn(expr.hi), expr.negated)
+    if isinstance(expr, IsNull):
+        return IsNull(fn(expr.expr), expr.negated)
+    return expr
+
+
+def _map_children_deep_no_subq(expr: Expr, fn: Callable[[Expr], Expr]) -> Expr:
+    """Map ``fn`` over non-subquery children, leaving subqueries intact."""
+    if isinstance(expr, (InSubquery, Exists, ScalarSubquery)):
+        return expr
+    if isinstance(expr, BinaryOp):
+        l = expr.left if isinstance(expr.left, (InSubquery, Exists, ScalarSubquery)) else fn(expr.left)
+        r = expr.right if isinstance(expr.right, (InSubquery, Exists, ScalarSubquery)) else fn(expr.right)
+        return BinaryOp(expr.op, l, r)
+    return _map_children(expr, fn)

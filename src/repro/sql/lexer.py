@@ -1,0 +1,126 @@
+"""SQL tokenizer.
+
+Hand-rolled single-pass scanner producing a flat token list; the parser
+indexes into it with one-token lookahead. Comments (``--`` and ``/* */``)
+are stripped; keywords are recognized case-insensitively.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..common.errors import LexError
+
+
+class TokKind(enum.Enum):
+    IDENT = "ident"
+    KEYWORD = "keyword"
+    NUMBER = "number"
+    STRING = "string"
+    OP = "op"
+    EOF = "eof"
+
+
+KEYWORDS = frozenset(
+    """
+    SELECT FROM WHERE GROUP BY HAVING ORDER LIMIT AS AND OR NOT IN EXISTS
+    BETWEEN LIKE IS NULL TRUE FALSE CASE WHEN THEN ELSE END JOIN INNER LEFT
+    RIGHT FULL OUTER CROSS ON DISTINCT ASC DESC UNION ALL WITH DATE INTERVAL
+    YEAR MONTH DAY EXTRACT SUBSTRING FOR CREATE TABLE INSERT INTO VALUES
+    DELETE UPDATE SET DROP PRIMARY KEY PARTITION HASH REPLICATED RANGE
+    CLUSTER ROW COLUMN ANY SOME
+    """.split()
+)
+
+_TWO_CHAR_OPS = ("<=", ">=", "<>", "!=", "||")
+_ONE_CHAR_OPS = "+-*/%(),.=<>;"
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokKind
+    text: str
+    pos: int
+
+    @property
+    def upper(self) -> str:
+        return self.text.upper()
+
+    def is_kw(self, *names: str) -> bool:
+        return self.kind == TokKind.KEYWORD and self.upper in names
+
+    def __str__(self) -> str:
+        return self.text or "<eof>"
+
+
+def tokenize(sql: str) -> list[Token]:
+    toks: list[Token] = []
+    i = 0
+    n = len(sql)
+    while i < n:
+        ch = sql[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if sql.startswith("--", i):
+            nl = sql.find("\n", i)
+            i = n if nl < 0 else nl + 1
+            continue
+        if sql.startswith("/*", i):
+            end = sql.find("*/", i + 2)
+            if end < 0:
+                raise LexError("unterminated block comment", i)
+            i = end + 2
+            continue
+        if ch == "'":
+            j = i + 1
+            buf: list[str] = []
+            while True:
+                if j >= n:
+                    raise LexError("unterminated string literal", i)
+                if sql[j] == "'":
+                    if j + 1 < n and sql[j + 1] == "'":  # escaped quote
+                        buf.append("'")
+                        j += 2
+                        continue
+                    break
+                buf.append(sql[j])
+                j += 1
+            toks.append(Token(TokKind.STRING, "".join(buf), i))
+            i = j + 1
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and sql[i + 1].isdigit()):
+            j = i
+            seen_dot = False
+            while j < n and (sql[j].isdigit() or (sql[j] == "." and not seen_dot)):
+                if sql[j] == ".":
+                    # don't swallow a trailing qualifier dot like "t1.c"
+                    if j + 1 >= n or not sql[j + 1].isdigit():
+                        break
+                    seen_dot = True
+                j += 1
+            toks.append(Token(TokKind.NUMBER, sql[i:j], i))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (sql[j].isalnum() or sql[j] == "_"):
+                j += 1
+            text = sql[i:j]
+            kind = TokKind.KEYWORD if text.upper() in KEYWORDS else TokKind.IDENT
+            toks.append(Token(kind, text, i))
+            i = j
+            continue
+        two = sql[i : i + 2]
+        if two in _TWO_CHAR_OPS:
+            toks.append(Token(TokKind.OP, two, i))
+            i += 2
+            continue
+        if ch in _ONE_CHAR_OPS:
+            toks.append(Token(TokKind.OP, ch, i))
+            i += 1
+            continue
+        raise LexError(f"unexpected character {ch!r}", i)
+    toks.append(Token(TokKind.EOF, "", n))
+    return toks

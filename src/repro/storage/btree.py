@@ -1,0 +1,223 @@
+"""Disk-resident B+-tree.
+
+Standard B+-tree over composite scalar keys, one node per page, accessed
+through the buffer manager so index pages compete with data pages for
+pool space exactly as in the paper. Values are opaque (typically RIDs).
+
+Deletes are logical at the leaf level (no rebalancing) — matching the
+paper's pragmatic treatment of index maintenance for an OLAP-first
+system; ``reorganize`` rebuilds the tree compactly.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Iterator, Sequence
+
+from ..common.errors import IndexError_
+from ..util.fs import FileSystem
+from .buffer import BufferManager
+from .page import PagedFile
+
+_LEAF = 0
+_INNER = 1
+
+
+class BPlusTree:
+    def __init__(
+        self,
+        fs: FileSystem,
+        bufmgr: BufferManager,
+        path: str,
+        page_size: int = 32 * 1024,
+        order: int | None = None,
+        codec: str = "lz4sim",
+    ):
+        self.fs = fs
+        self.bufmgr = bufmgr
+        self.path = path
+        self.meta_path = path + ".meta"
+        self.file = PagedFile(fs, path, page_size, codec)
+        bufmgr.register_file(self.file)
+        #: max keys per node; conservative default keeps nodes within a page
+        self.order = order or max(16, page_size // 64)
+        if fs.exists(self.meta_path):
+            meta = self._read_meta()
+            self.root = meta["root"]
+            self.next_page = meta["next_page"]
+            self.order = meta["order"]
+        else:
+            self.root = self._new_node(_LEAF, [], [], nxt=-1)
+            self.next_page = self.root + 1
+            self._save_meta()
+
+    # -- node I/O ------------------------------------------------------------------
+    def _new_node(self, kind: int, keys: list, payload: list, nxt: int = -1) -> int:
+        page_no = getattr(self, "next_page", 0)
+        self.next_page = page_no + 1
+        self._write_node(page_no, kind, keys, payload, nxt)
+        return page_no
+
+    def _write_node(self, page_no: int, kind: int, keys: list, payload: list, nxt: int) -> None:
+        blob = pickle.dumps((kind, keys, payload, nxt), protocol=4)
+        if len(blob) > self.file.max_payload:
+            raise IndexError_("B+-tree node exceeds page size; lower the order")
+        self.bufmgr.put(self.path, page_no, blob)
+
+    def _read_node(self, page_no: int) -> tuple[int, list, list, int]:
+        return pickle.loads(self.bufmgr.get(self.path, page_no, pin=False))
+
+    def _save_meta(self) -> None:
+        fh = self.fs.open(self.meta_path)
+        blob = pickle.dumps({"root": self.root, "next_page": self.next_page, "order": self.order})
+        fh.truncate(0)
+        fh.pwrite(0, blob)
+        fh.close()
+
+    def _read_meta(self) -> dict:
+        fh = self.fs.open(self.meta_path, create=False)
+        blob = fh.pread(0, fh.size())
+        fh.close()
+        return pickle.loads(blob)
+
+    # -- operations ------------------------------------------------------------------
+    def insert(self, key, value) -> None:
+        split = self._insert(self.root, key, value)
+        if split is not None:
+            sep, right = split
+            self.root = self._new_node(_INNER, [sep], [self.root, right])
+        self._save_meta()
+
+    def _insert(self, page_no: int, key, value):
+        kind, keys, payload, nxt = self._read_node(page_no)
+        if kind == _LEAF:
+            i = _lower_bound(keys, key)
+            keys.insert(i, key)
+            payload.insert(i, value)
+            if len(keys) > self.order:
+                mid = len(keys) // 2
+                right = self._new_node(_LEAF, keys[mid:], payload[mid:], nxt)
+                self._write_node(page_no, _LEAF, keys[:mid], payload[:mid], right)
+                return keys[mid], right
+            self._write_node(page_no, _LEAF, keys, payload, nxt)
+            return None
+        i = _upper_bound(keys, key)
+        split = self._insert(payload[i], key, value)
+        if split is not None:
+            sep, right = split
+            keys.insert(i, sep)
+            payload.insert(i + 1, right)
+            if len(keys) > self.order:
+                mid = len(keys) // 2
+                sep_up = keys[mid]
+                right_node = self._new_node(_INNER, keys[mid + 1 :], payload[mid + 1 :])
+                self._write_node(page_no, _INNER, keys[:mid], payload[: mid + 1], -1)
+                return sep_up, right_node
+        self._write_node(page_no, _INNER, keys, payload, -1)
+        return None
+
+    def search(self, key) -> list:
+        """All values for an exact key (duplicates allowed)."""
+        return [v for _, v in self.range_scan(key, key, True, True)]
+
+    def range_scan(
+        self, lo=None, hi=None, lo_inclusive: bool = True, hi_inclusive: bool = True
+    ) -> Iterator[tuple[object, object]]:
+        """Yield (key, value) in key order within [lo, hi]."""
+        page_no = self.root
+        while True:
+            kind, keys, payload, nxt = self._read_node(page_no)
+            if kind == _LEAF:
+                break
+            i = _upper_bound(keys, lo) if lo is not None else 0
+            page_no = payload[i]
+        while True:
+            kind, keys, payload, nxt = self._read_node(page_no)
+            for k, v in zip(keys, payload):
+                if lo is not None and (k < lo or (k == lo and not lo_inclusive)):
+                    continue
+                if hi is not None and (k > hi or (k == hi and not hi_inclusive)):
+                    return
+                if v is not None:  # logical deletes store None
+                    yield k, v
+            if nxt < 0:
+                return
+            page_no = nxt
+
+    def delete(self, key, value=None) -> int:
+        """Logical delete: null out matching entries; returns count."""
+        n = 0
+        page_no = self.root
+        while True:
+            kind, keys, payload, nxt = self._read_node(page_no)
+            if kind == _LEAF:
+                break
+            i = _upper_bound(keys, key)
+            page_no = payload[i]
+        while True:
+            kind, keys, payload, nxt = self._read_node(page_no)
+            changed = False
+            for i, (k, v) in enumerate(zip(keys, payload)):
+                if k == key and v is not None and (value is None or v == value):
+                    payload[i] = None
+                    changed = True
+                    n += 1
+                if k > key:
+                    if changed:
+                        self._write_node(page_no, kind, keys, payload, nxt)
+                    return n
+            if changed:
+                self._write_node(page_no, kind, keys, payload, nxt)
+            if nxt < 0 or (keys and keys[-1] > key):
+                return n
+            page_no = nxt
+
+    def items(self) -> Iterator[tuple[object, object]]:
+        return self.range_scan()
+
+    def height(self) -> int:
+        h = 1
+        page_no = self.root
+        while True:
+            kind, _, payload, _ = self._read_node(page_no)
+            if kind == _LEAF:
+                return h
+            page_no = payload[0]
+            h += 1
+
+    @classmethod
+    def bulk_build(
+        cls,
+        fs: FileSystem,
+        bufmgr: BufferManager,
+        path: str,
+        items: Sequence[tuple[object, object]],
+        **kw,
+    ) -> "BPlusTree":
+        """Sorted bulk load (used at CREATE INDEX / reorganize time)."""
+        tree = cls(fs, bufmgr, path, **kw)
+        for k, v in sorted(items, key=lambda kv: kv[0]):
+            tree.insert(k, v)
+        return tree
+
+
+def _lower_bound(keys: list, key) -> int:
+    lo, hi = 0, len(keys)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if keys[mid] < key:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo
+
+
+def _upper_bound(keys: list, key) -> int:
+    lo, hi = 0, len(keys)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if keys[mid] <= key:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo

@@ -1,0 +1,175 @@
+"""Table partitioning strategies.
+
+Tables are hash- or range-partitioned across worker nodes, or replicated
+to every node; within a node a second hash level spreads rows across the
+node's disks (paper §III). The strategy is fixed at table-creation time
+and recorded in the catalog, which is what lets the optimizer reason
+about co-location (Phase 3) and prune fragments.
+
+The node-assignment hash is *identical* to the execution engine's shuffle
+hash (:meth:`RowBatch.hash_codes`), so "table is partitioned on X" and
+"stream was shuffled on X" are interchangeable facts for the optimizer.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..common.batch import RowBatch
+from ..common.errors import CatalogError
+
+
+@dataclass(frozen=True)
+class PartitionScheme:
+    """Base class; concrete schemes below."""
+
+    def assign_nodes(self, batch: RowBatch, n_nodes: int) -> np.ndarray:
+        """Per-row target node ids (replicated tables override placement)."""
+        raise NotImplementedError
+
+    @property
+    def is_replicated(self) -> bool:
+        return False
+
+    #: columns that determine node placement ((), for replicated/roundrobin)
+    @property
+    def keys(self) -> tuple[str, ...]:
+        return ()
+
+    def co_located_on(self, columns: Sequence[str]) -> bool:
+        """True if equal values on ``columns`` imply same node.
+
+        Holds when the partition keys are a subset of ``columns`` (the
+        paper's shuffle-elimination rule: partitioned on ``a`` implies
+        partitioned on ``(a, b)``).
+        """
+        ks = self.keys
+        return bool(ks) and set(ks) <= {c.rsplit(".", 1)[-1] for c in columns}
+
+    def prunable_nodes(self, n_nodes: int, column: str, op: str, value) -> list[int] | None:
+        """Nodes that *may* hold matching rows, or None if no pruning."""
+        return None
+
+
+@dataclass(frozen=True)
+class HashPartition(PartitionScheme):
+    columns: tuple[str, ...]
+
+    def __post_init__(self):
+        if not self.columns:
+            raise CatalogError("hash partitioning needs at least one column")
+
+    @property
+    def keys(self) -> tuple[str, ...]:
+        return self.columns
+
+    def assign_nodes(self, batch: RowBatch, n_nodes: int) -> np.ndarray:
+        keys = [batch.schema.resolve(c) for c in self.columns]
+        return (batch.hash_codes(keys) % np.uint64(n_nodes)).astype(np.int64)
+
+    def prunable_nodes(self, n_nodes: int, column: str, op: str, value) -> list[int] | None:
+        # Equality on the full single-column hash key pins one node.
+        if op == "=" and len(self.columns) == 1 and column.rsplit(".", 1)[-1] == self.columns[0]:
+            one = RowBatch.from_pairs((self.columns[0], _dtype_of(value), [value]))
+            node = int(one.hash_codes([self.columns[0]])[0] % n_nodes)
+            return [node]
+        return None
+
+
+@dataclass(frozen=True)
+class RangePartition(PartitionScheme):
+    """Range partitioning on one column with explicit split points.
+
+    ``bounds`` are upper-exclusive split points; node ``i`` holds values in
+    ``[bounds[i-1], bounds[i])``. ``len(bounds) == n_nodes - 1``.
+    """
+
+    column: str
+    bounds: tuple
+
+    @property
+    def keys(self) -> tuple[str, ...]:
+        return (self.column,)
+
+    def assign_nodes(self, batch: RowBatch, n_nodes: int) -> np.ndarray:
+        if len(self.bounds) != n_nodes - 1:
+            raise CatalogError(
+                f"range partition has {len(self.bounds)} bounds for {n_nodes} nodes"
+            )
+        key = batch.schema.resolve(self.column)
+        arr = batch.col(key)
+        return np.searchsorted(np.asarray(self.bounds), arr, side="right").astype(np.int64)
+
+    def prunable_nodes(self, n_nodes: int, column: str, op: str, value) -> list[int] | None:
+        """Fragment pruning for (in)equality predicates (paper Phase 2)."""
+        if column.rsplit(".", 1)[-1] != self.column:
+            return None
+        lo, hi = 0, n_nodes - 1
+        try:
+            if op == "=":
+                lo = hi = bisect.bisect_right(self.bounds, value)
+            elif op in ("<", "<="):
+                hi = bisect.bisect_right(self.bounds, value)
+            elif op in (">", ">="):
+                lo = bisect.bisect_left(self.bounds, value)
+            else:
+                return None
+        except TypeError:
+            return None
+        return list(range(max(lo, 0), min(hi, n_nodes - 1) + 1))
+
+
+@dataclass(frozen=True)
+class Replicated(PartitionScheme):
+    """Full copy on every node (paper: small tables, e.g. nation)."""
+
+    @property
+    def is_replicated(self) -> bool:
+        return True
+
+    def assign_nodes(self, batch: RowBatch, n_nodes: int) -> np.ndarray:
+        raise CatalogError("replicated tables are copied, not row-assigned")
+
+    def co_located_on(self, columns: Sequence[str]) -> bool:
+        return True  # every node has all rows: any join key is co-located
+
+
+@dataclass(frozen=True)
+class RoundRobin(PartitionScheme):
+    """Even spread with no placement key (load files, staging tables)."""
+
+    def assign_nodes(self, batch: RowBatch, n_nodes: int) -> np.ndarray:
+        return np.arange(batch.length, dtype=np.int64) % n_nodes
+
+
+def disk_of_rows(batch: RowBatch, scheme: PartitionScheme, n_disks: int) -> np.ndarray:
+    """Second-level partitioning across a node's disks.
+
+    Uses the same keys when available (keeps clustering) or row position.
+    """
+    if n_disks == 1:
+        return np.zeros(batch.length, dtype=np.int64)
+    keys = [batch.schema.resolve(c) for c in scheme.keys] if scheme.keys else None
+    if keys:
+        # decorrelate from the node hash by salting
+        h = batch.hash_codes(keys)
+        h ^= h >> np.uint64(17)
+        h *= np.uint64(0xC2B2AE3D27D4EB4F)
+        return (h % np.uint64(n_disks)).astype(np.int64)
+    return np.arange(batch.length, dtype=np.int64) % n_disks
+
+
+def _dtype_of(value):
+    from ..common.dtypes import DataType
+
+    if isinstance(value, bool):
+        return DataType.BOOL
+    if isinstance(value, int):
+        return DataType.INT64
+    if isinstance(value, float):
+        return DataType.FLOAT64
+    return DataType.STRING

@@ -1,0 +1,326 @@
+"""Predicate-based data skipping (the paper's novel storage technique).
+
+During a table scan, pages that yield *zero* matching rows for the scan's
+predicate are recorded in a per-page predicate cache
+``cache : P -> { theta_i }``. A later scan with predicate ``theta`` may
+skip page ``P`` when
+
+* ``theta`` is in ``cache(P)``, or
+* ``theta`` logically implies some ``theta_i`` in ``cache(P)`` — if no
+  row matches the weaker ``theta_i``, none can match ``theta``.
+
+Inserts are append-only and updates are not in place, so cached entries
+for full pages stay valid until the table is reorganized (which clears
+the cache).
+
+The module also implements classic per-page min-max statistics (small
+materialized aggregates [Moerkotte 98]) which the paper's technique
+generalizes — keeping both lets benchmarks ablate one against the other.
+
+Predicates are *canonicalized conjunctions*: a set of simple atoms
+``(column, op, constant)`` plus optionally a set of opaque conjunct
+fingerprints (complex terms cached only by structural equality).
+"""
+
+from __future__ import annotations
+
+import enum
+import pickle
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from ..common.errors import StorageError
+
+
+class Op(enum.Enum):
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+    EQ = "="
+    NE = "<>"
+
+
+_FLIP = {Op.LT: Op.GT, Op.LE: Op.GE, Op.GT: Op.LT, Op.GE: Op.LE, Op.EQ: Op.EQ, Op.NE: Op.NE}
+
+
+@dataclass(frozen=True, order=True)
+class Atom:
+    """A simple comparison ``column op constant``."""
+
+    column: str
+    op: Op
+    value: object
+
+    def flipped(self) -> "Atom":
+        return Atom(self.column, _FLIP[self.op], self.value)
+
+
+class ScanPredicate:
+    """Canonical conjunction of atoms + opaque fingerprints.
+
+    Hashable and order-insensitive, so structurally identical predicates
+    from different queries compare equal — the 80/20 workload case the
+    paper targets.
+    """
+
+    __slots__ = ("atoms", "opaque", "_hash")
+
+    def __init__(self, atoms: Iterable[Atom] = (), opaque: Iterable[str] = ()):
+        self.atoms: frozenset[Atom] = frozenset(atoms)
+        self.opaque: frozenset[str] = frozenset(opaque)
+        self._hash = hash((self.atoms, self.opaque))
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, ScanPredicate)
+            and self.atoms == other.atoms
+            and self.opaque == other.opaque
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:  # pragma: no cover
+        parts = [f"{a.column}{a.op.value}{a.value!r}" for a in sorted(self.atoms, key=str)]
+        parts += sorted(self.opaque)
+        return "Pred(" + " AND ".join(parts) + ")"
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.atoms and not self.opaque
+
+    # -- implication ------------------------------------------------------------
+    def implies(self, other: "ScanPredicate") -> bool:
+        """True when every row satisfying ``self`` satisfies ``other``.
+
+        Sound but deliberately incomplete (fast syntactic + interval
+        reasoning); incompleteness only costs skipping opportunities,
+        never correctness.
+        """
+        if not other.opaque <= self.opaque:
+            return False
+        ivs = _intervals(self.atoms)
+        if ivs is None:  # self is unsatisfiable => implies anything
+            return True
+        for atom in other.atoms:
+            if atom in self.atoms:
+                continue
+            iv = ivs.get(atom.column)
+            if iv is None or not iv.entails(atom):
+                return False
+        return True
+
+
+class _Interval:
+    """Per-column constraint region derived from a conjunction."""
+
+    __slots__ = ("lo", "lo_strict", "hi", "hi_strict", "ne")
+
+    def __init__(self):
+        self.lo = None
+        self.lo_strict = False
+        self.hi = None
+        self.hi_strict = False
+        self.ne: set = set()
+
+    def add(self, atom: Atom) -> bool:
+        """Tighten with ``atom``; returns False if now unsatisfiable."""
+        v = atom.value
+        if atom.op == Op.EQ:
+            self._raise_lo(v, False)
+            self._raise_hi(v, False)
+        elif atom.op == Op.NE:
+            self.ne.add(v)
+        elif atom.op == Op.LT:
+            self._raise_hi(v, True)
+        elif atom.op == Op.LE:
+            self._raise_hi(v, False)
+        elif atom.op == Op.GT:
+            self._raise_lo(v, True)
+        elif atom.op == Op.GE:
+            self._raise_lo(v, False)
+        return self.satisfiable()
+
+    def _raise_lo(self, v, strict: bool):
+        if self.lo is None or v > self.lo or (v == self.lo and strict):
+            self.lo, self.lo_strict = v, strict
+
+    def _raise_hi(self, v, strict: bool):
+        if self.hi is None or v < self.hi or (v == self.hi and strict):
+            self.hi, self.hi_strict = v, strict
+
+    def satisfiable(self) -> bool:
+        if self.lo is not None and self.hi is not None:
+            if self.lo > self.hi:
+                return False
+            if self.lo == self.hi and (self.lo_strict or self.hi_strict):
+                return False
+            if self.lo == self.hi and self.lo in self.ne:
+                return False
+        return True
+
+    def entails(self, atom: Atom) -> bool:
+        """Is region(self) contained in region(atom)?"""
+        v = atom.value
+        try:
+            if atom.op == Op.LT:
+                return self.hi is not None and (self.hi < v or (self.hi == v and self.hi_strict))
+            if atom.op == Op.LE:
+                return self.hi is not None and self.hi <= v
+            if atom.op == Op.GT:
+                return self.lo is not None and (self.lo > v or (self.lo == v and self.lo_strict))
+            if atom.op == Op.GE:
+                return self.lo is not None and self.lo >= v
+            if atom.op == Op.EQ:
+                return (
+                    self.lo is not None
+                    and self.hi is not None
+                    and self.lo == self.hi == v
+                    and not self.lo_strict
+                    and not self.hi_strict
+                )
+            if atom.op == Op.NE:
+                if v in self.ne:
+                    return True
+                if self.hi is not None and (self.hi < v or (self.hi == v and self.hi_strict)):
+                    return True
+                if self.lo is not None and (self.lo > v or (self.lo == v and self.lo_strict)):
+                    return True
+                return False
+        except TypeError:
+            return False  # incomparable constant types: give up soundly
+        return False
+
+
+def _intervals(atoms: frozenset[Atom]) -> dict[str, _Interval] | None:
+    """Column -> interval; None when the conjunction is unsatisfiable."""
+    out: dict[str, _Interval] = {}
+    for atom in atoms:
+        iv = out.setdefault(atom.column, _Interval())
+        try:
+            ok = iv.add(atom)
+        except TypeError:
+            continue  # mixed types on one column; skip tightening
+        if not ok:
+            return None
+    return out
+
+
+# ---------------------------------------------------------------------------
+# The per-table predicate cache
+# ---------------------------------------------------------------------------
+
+
+class PredicateCache:
+    """Maps page ids to the set of predicates known to match zero rows.
+
+    ``max_per_page`` bounds memory (oldest entries evicted first), which
+    also keeps the persisted footprint in line with the paper's
+    ~250 MB/node observation.
+    """
+
+    def __init__(self, max_per_page: int = 16):
+        self.max_per_page = max_per_page
+        self._cache: dict[int, list[ScanPredicate]] = {}
+        self.hits = 0
+        self.probes = 0
+
+    def record_empty(self, page_id: int, pred: ScanPredicate) -> None:
+        if pred.is_empty:
+            return
+        preds = self._cache.setdefault(page_id, [])
+        if pred in preds:
+            return
+        preds.append(pred)
+        if len(preds) > self.max_per_page:
+            preds.pop(0)
+
+    def can_skip(self, page_id: int, pred: ScanPredicate) -> bool:
+        self.probes += 1
+        preds = self._cache.get(page_id)
+        if not preds or pred.is_empty:
+            return False
+        for cached in preds:
+            if pred == cached or pred.implies(cached):
+                self.hits += 1
+                return True
+        return False
+
+    def invalidate_page(self, page_id: int) -> None:
+        self._cache.pop(page_id, None)
+
+    def clear(self) -> None:
+        """Called on table reorganization."""
+        self._cache.clear()
+
+    # -- persistence (paper: caches are periodically persisted) -----------------
+    def to_bytes(self) -> bytes:
+        payload = {
+            pid: [(sorted((a.column, a.op.value, a.value) for a in p.atoms), sorted(p.opaque)) for p in preds]
+            for pid, preds in self._cache.items()
+        }
+        return pickle.dumps(payload, protocol=4)
+
+    @classmethod
+    def from_bytes(cls, blob: bytes, max_per_page: int = 16) -> "PredicateCache":
+        payload = pickle.loads(blob)
+        if not isinstance(payload, dict):
+            raise StorageError("corrupt predicate cache")
+        out = cls(max_per_page)
+        for pid, preds in payload.items():
+            out._cache[pid] = [
+                ScanPredicate((Atom(c, Op(o), v) for c, o, v in atoms), opaque)
+                for atoms, opaque in preds
+            ]
+        return out
+
+    @property
+    def nbytes(self) -> int:
+        return len(self.to_bytes())
+
+    @property
+    def n_entries(self) -> int:
+        return sum(len(v) for v in self._cache.values())
+
+
+# ---------------------------------------------------------------------------
+# Min-max page statistics (small materialized aggregates)
+# ---------------------------------------------------------------------------
+
+
+class PageMinMax:
+    """Per-page min/max per column; the static scheme the paper generalizes."""
+
+    def __init__(self):
+        self._stats: dict[int, dict[str, tuple[object, object]]] = {}
+
+    def record(self, page_id: int, column_minmax: Mapping[str, tuple[object, object]]) -> None:
+        self._stats[page_id] = dict(column_minmax)
+
+    def can_skip(self, page_id: int, pred: ScanPredicate) -> bool:
+        stats = self._stats.get(page_id)
+        if not stats:
+            return False
+        for atom in pred.atoms:
+            mm = stats.get(atom.column)
+            if mm is None:
+                continue
+            lo, hi = mm
+            try:
+                if atom.op == Op.EQ and (atom.value < lo or atom.value > hi):
+                    return True
+                if atom.op in (Op.LT,) and lo >= atom.value:
+                    return True
+                if atom.op in (Op.LE,) and lo > atom.value:
+                    return True
+                if atom.op in (Op.GT,) and hi <= atom.value:
+                    return True
+                if atom.op in (Op.GE,) and hi < atom.value:
+                    return True
+            except TypeError:
+                continue
+        return False
+
+    def clear(self) -> None:
+        self._stats.clear()

@@ -1,0 +1,219 @@
+"""Disk-resident skip list index.
+
+The paper maps skip lists to disk as an *append-only page file*: new
+nodes are always appended to the current page, deletes are logical.
+Despite the simplicity, traversal I/O stays reasonable when data arrives
+in batches (consecutive nodes share pages, so a level-0 walk is nearly
+sequential).
+
+Nodes are addressed by a dense node id; ``nodes_per_page`` is fixed so
+``node_id -> (page, slot)`` is pure arithmetic. Tower heights come from a
+deterministic hash of the node id, making files reproducible.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Iterator
+
+from ..common.errors import IndexError_
+from ..util.fs import FileSystem
+from .buffer import BufferManager
+from .page import PagedFile
+
+MAX_LEVEL = 16
+_P_BITS = 2  # geometric(1/4) tower heights like classic skip lists
+
+
+class DiskSkipList:
+    def __init__(
+        self,
+        fs: FileSystem,
+        bufmgr: BufferManager,
+        path: str,
+        page_size: int = 32 * 1024,
+        nodes_per_page: int = 128,
+        codec: str = "lz4sim",
+    ):
+        self.fs = fs
+        self.bufmgr = bufmgr
+        self.path = path
+        self.meta_path = path + ".meta"
+        self.file = PagedFile(fs, path, page_size, codec)
+        bufmgr.register_file(self.file)
+        self.nodes_per_page = nodes_per_page
+        if fs.exists(self.meta_path):
+            meta = self._read_meta()
+            self.head = meta["head"]
+            self.n_nodes = meta["n_nodes"]
+            self.level = meta["level"]
+            self.nodes_per_page = meta["npp"]
+        else:
+            self.head = [-1] * MAX_LEVEL  # head forward pointers
+            self.n_nodes = 0
+            self.level = 1
+            self._save_meta()
+        self._tail_cache: tuple[int, list] | None = None
+
+    # -- persistence -----------------------------------------------------------
+    def _save_meta(self) -> None:
+        fh = self.fs.open(self.meta_path)
+        blob = pickle.dumps(
+            {
+                "head": self.head,
+                "n_nodes": self.n_nodes,
+                "level": self.level,
+                "npp": self.nodes_per_page,
+            }
+        )
+        fh.truncate(0)
+        fh.pwrite(0, blob)
+        fh.close()
+
+    def _read_meta(self) -> dict:
+        fh = self.fs.open(self.meta_path, create=False)
+        blob = fh.pread(0, fh.size())
+        fh.close()
+        return pickle.loads(blob)
+
+    def _page_of(self, node_id: int) -> tuple[int, int]:
+        return node_id // self.nodes_per_page, node_id % self.nodes_per_page
+
+    def _load_page(self, page_no: int) -> list:
+        if self._tail_cache and self._tail_cache[0] == page_no:
+            return self._tail_cache[1]
+        # page existence is derived from the node count: freshly written
+        # pages may live only in the buffer pool, not yet on disk
+        allocated = (self.n_nodes + self.nodes_per_page - 1) // self.nodes_per_page
+        if page_no >= allocated:
+            return []
+        return pickle.loads(self.bufmgr.get(self.path, page_no, pin=False))
+
+    def _store_page(self, page_no: int, nodes: list) -> None:
+        blob = pickle.dumps(nodes, protocol=4)
+        if len(blob) > self.file.max_payload:
+            raise IndexError_("skip-list page overflow; lower nodes_per_page")
+        self.bufmgr.put(self.path, page_no, blob)
+        self._tail_cache = (page_no, nodes)
+
+    def _read_node(self, node_id: int) -> list:
+        """Node = [key, value, deleted, forwards]."""
+        page_no, slot = self._page_of(node_id)
+        return self._load_page(page_no)[slot]
+
+    def _write_node(self, node_id: int, node: list) -> None:
+        page_no, slot = self._page_of(node_id)
+        nodes = self._load_page(page_no)
+        while len(nodes) <= slot:
+            nodes.append(None)
+        nodes[slot] = node
+        self._store_page(page_no, nodes)
+
+    # -- skip-list algorithm -----------------------------------------------------
+    def _height_for(self, node_id: int) -> int:
+        h = 1
+        x = (node_id * 0x9E3779B97F4A7C15 + 0x165667B19E3779F9) & 0xFFFFFFFFFFFFFFFF
+        while h < MAX_LEVEL and (x & ((1 << _P_BITS) - 1)) == 0:
+            h += 1
+            x >>= _P_BITS
+        return h
+
+    def insert(self, key, value) -> None:
+        """Append-only insert: node goes to the current tail page."""
+        node_id = self.n_nodes
+        height = self._height_for(node_id)
+        update_nodes: list[int] = [-1] * MAX_LEVEL  # node ids to patch per level
+        cur = -1  # -1 == head
+        forwards = self.head
+        for lvl in range(self.level - 1, -1, -1):
+            nxt = forwards[lvl]
+            while nxt >= 0:
+                node = self._read_node(nxt)
+                if node[0] < key or (node[0] == key and nxt < node_id):
+                    cur = nxt
+                    forwards = node[3]
+                    nxt = forwards[lvl] if lvl < len(forwards) else -1
+                else:
+                    break
+            update_nodes[lvl] = cur
+        if height > self.level:
+            self.level = height
+        new_forwards = [-1] * height
+        for lvl in range(height):
+            pred = update_nodes[lvl] if lvl < self.level else -1
+            if pred == -1:
+                new_forwards[lvl] = self.head[lvl]
+                self.head[lvl] = node_id
+            else:
+                pnode = self._read_node(pred)
+                pf = pnode[3]
+                while len(pf) <= lvl:
+                    pf.append(-1)
+                new_forwards[lvl] = pf[lvl]
+                pf[lvl] = node_id
+                self._write_node(pred, pnode)
+        self._write_node(node_id, [key, value, False, new_forwards])
+        self.n_nodes += 1
+        self._save_meta()
+
+    def search(self, key) -> list:
+        return [v for k, v in self.range_scan(key, key)]
+
+    def range_scan(self, lo=None, hi=None) -> Iterator[tuple[object, object]]:
+        # descend to the first node >= lo
+        cur = -1
+        forwards = self.head
+        if lo is not None:
+            for lvl in range(self.level - 1, -1, -1):
+                nxt = forwards[lvl] if lvl < len(forwards) else -1
+                while nxt >= 0:
+                    node = self._read_node(nxt)
+                    if node[0] < lo:
+                        cur = nxt
+                        forwards = node[3]
+                        nxt = forwards[lvl] if lvl < len(forwards) else -1
+                    else:
+                        break
+        node_id = forwards[0] if forwards else -1
+        while node_id >= 0:
+            node = self._read_node(node_id)
+            key = node[0]
+            if hi is not None and key > hi:
+                return
+            if not node[2] and (lo is None or key >= lo):
+                yield key, node[1]
+            node_id = node[3][0] if node[3] else -1
+
+    def delete(self, key, value=None) -> int:
+        """Logical delete (paper: deletes are logical)."""
+        n = 0
+        # level-0 walk guided by upper levels for the start position
+        cur = -1
+        forwards = self.head
+        for lvl in range(self.level - 1, -1, -1):
+            nxt = forwards[lvl] if lvl < len(forwards) else -1
+            while nxt >= 0:
+                node = self._read_node(nxt)
+                if node[0] < key:
+                    cur = nxt
+                    forwards = node[3]
+                    nxt = forwards[lvl] if lvl < len(forwards) else -1
+                else:
+                    break
+        node_id = forwards[0] if forwards else -1
+        while node_id >= 0:
+            node = self._read_node(node_id)
+            if node[0] > key:
+                break
+            if node[0] == key and not node[2] and (value is None or node[1] == value):
+                node[2] = True
+                self._write_node(node_id, node)
+                n += 1
+            node_id = node[3][0] if node[3] else -1
+        return n
+
+    def items(self) -> Iterator[tuple[object, object]]:
+        return self.range_scan()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.items())

@@ -1,0 +1,591 @@
+"""Per-worker table storage.
+
+A :class:`TableStorage` manages one table's data on one worker node:
+one fragment file per local disk (paper §III second-level partitioning),
+row or columnar format, per-page-set min-max statistics, the predicate
+cache, tombstone-based deletes (inserts are append-only, updates are
+delete + re-insert — never in place), and reorganization to restore
+clustering.
+
+Scans stream :class:`RowBatch` objects, apply the pushed-down predicate
+vectorized, consult the skipping structures, pre-declare upcoming pages
+to the buffer manager, and feed the predicate cache with pages that
+matched nothing.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Sequence
+
+import numpy as np
+
+from ..common.batch import RowBatch
+from ..common.dtypes import DataType
+from ..common.errors import StorageError
+from ..common.schema import Schema
+from ..util.fs import FileSystem
+from .buffer import BufferManager
+from .col_page import decode_column, encode_column, estimate_rows_per_set
+from .page import PagedFile
+from .predicate_cache import PageMinMax, PredicateCache, ScanPredicate
+from .row_page import RowPage, encode_row
+
+PredicateFn = Callable[[RowBatch], np.ndarray]
+
+ROW = "row"
+COLUMN = "column"
+
+
+@dataclass
+class ScanStats:
+    """Per-scan observability; benchmarks read these to show skipping."""
+
+    sets_total: int = 0
+    sets_skipped_cache: int = 0
+    sets_skipped_minmax: int = 0
+    sets_skipped_index: int = 0
+    sets_read: int = 0
+    pages_read: int = 0
+    rows_out: int = 0
+
+    def merge(self, other: "ScanStats") -> None:
+        self.sets_total += other.sets_total
+        self.sets_skipped_cache += other.sets_skipped_cache
+        self.sets_skipped_minmax += other.sets_skipped_minmax
+        self.sets_skipped_index += other.sets_skipped_index
+        self.sets_read += other.sets_read
+        self.pages_read += other.pages_read
+        self.rows_out += other.rows_out
+
+
+@dataclass
+class _SetMeta:
+    first_page: int
+    n_rows: int
+    minmax: dict[str, tuple]
+    deleted: np.ndarray | None = None  # bool mask or None when no deletes
+    full: bool = False  # only full sets may be predicate-cached
+
+    @property
+    def n_live(self) -> int:
+        return self.n_rows - (int(self.deleted.sum()) if self.deleted is not None else 0)
+
+
+class _Fragment:
+    """One fragment file (one disk) of one table."""
+
+    def __init__(
+        self,
+        fs: FileSystem,
+        bufmgr: BufferManager,
+        path: str,
+        schema: Schema,
+        fmt: str,
+        page_size: int,
+        codec: str,
+    ):
+        self.fs = fs
+        self.bufmgr = bufmgr
+        self.path = path
+        self.meta_path = path + ".meta"
+        self.schema = schema
+        self.format = fmt
+        self.page_size = page_size
+        self.file = PagedFile(fs, path, page_size, codec)
+        bufmgr.register_file(self.file)
+        self.sets: list[_SetMeta] = []
+        self.next_page = 0
+        self.pred_cache = PredicateCache()
+        self.minmax = PageMinMax()
+        #: set-granular secondary indexes: column -> B+-tree(value -> set id)
+        self.indexes: dict[str, "BPlusTree"] = {}
+        if fs.exists(self.meta_path):
+            self._load_meta()
+            self._reopen_indexes()
+
+    # -- metadata persistence ---------------------------------------------------
+    def _save_meta(self) -> None:
+        blob = pickle.dumps(
+            {
+                "sets": [
+                    (
+                        s.first_page,
+                        s.n_rows,
+                        s.minmax,
+                        None if s.deleted is None else np.packbits(s.deleted).tobytes(),
+                        s.full,
+                    )
+                    for s in self.sets
+                ],
+                "next_page": self.next_page,
+                # predicate caches are persisted and reloaded on restart
+                # (paper §III: "periodically persisted to disk")
+                "pred_cache": self.pred_cache.to_bytes(),
+            },
+            protocol=4,
+        )
+        fh = self.fs.open(self.meta_path)
+        fh.truncate(0)
+        fh.pwrite(0, blob)
+        fh.close()
+
+    def _load_meta(self) -> None:
+        fh = self.fs.open(self.meta_path, create=False)
+        blob = fh.pread(0, fh.size())
+        fh.close()
+        meta = pickle.loads(blob)
+        self.next_page = meta["next_page"]
+        if meta.get("pred_cache"):
+            self.pred_cache = PredicateCache.from_bytes(meta["pred_cache"])
+        self.sets = []
+        for first_page, n_rows, minmax, deleted, full in meta["sets"]:
+            mask = None
+            if deleted is not None:
+                mask = np.unpackbits(np.frombuffer(deleted, dtype=np.uint8))[:n_rows].astype(bool)
+            self.sets.append(_SetMeta(first_page, n_rows, minmax, mask, full))
+        for i, s in enumerate(self.sets):
+            if s.minmax:
+                self.minmax.record(i, s.minmax)
+
+    # -- writing -----------------------------------------------------------------
+    def append_batch(self, batch: RowBatch) -> None:
+        first_new = len(self.sets)
+        if self.format == COLUMN:
+            self._append_columnar(batch)
+        else:
+            self._append_rows(batch)
+        self._save_meta()
+        if self.indexes:
+            col_idx = {c.name: i for i, c in enumerate(self.schema.columns)}
+            for set_id in range(first_new, len(self.sets)):
+                for col in list(self.indexes):
+                    self._index_set(col, set_id, self.sets[set_id], col_idx)
+
+    def _append_columnar(self, batch: RowBatch) -> None:
+        types = [c.dtype for c in self.schema]
+        rows_per_set = estimate_rows_per_set(types, self.file.max_payload)
+        off = 0
+        while off < batch.length:
+            take = min(rows_per_set, batch.length - off)
+            chunk = batch.slice(off, off + take)
+            # shrink until the widest encoded column fits the page slot
+            while take > 1:
+                payloads = [
+                    encode_column(chunk.col(c.name), c.dtype) for c in self.schema
+                ]
+                if max(len(p) for p in payloads) <= self.file.max_payload:
+                    break
+                take = take // 2
+                chunk = batch.slice(off, off + take)
+            else:
+                payloads = [
+                    encode_column(chunk.col(c.name), c.dtype) for c in self.schema
+                ]
+                if max(len(p) for p in payloads) > self.file.max_payload:
+                    raise StorageError("single row exceeds page capacity")
+            first_page = self.next_page
+            for i, payload in enumerate(payloads):
+                self.bufmgr.put(self.path, first_page + i, payload)
+            self.next_page += len(payloads)
+            # page sets are immutable once written (appends always open a
+            # new set), so every set is safe to predicate-cache — the
+            # paper's "full page" validity condition holds by construction
+            meta = _SetMeta(
+                first_page,
+                take,
+                _column_minmax(chunk),
+                full=True,
+            )
+            self.sets.append(meta)
+            self.minmax.record(len(self.sets) - 1, meta.minmax)
+            off += take
+
+    def _append_rows(self, batch: RowBatch) -> None:
+        page = RowPage(self.file.max_payload)
+        start_row = 0
+        rows_in_page = 0
+        values = [batch.col(c.name) for c in self.schema]
+        for r in range(batch.length):
+            row = encode_row(self.schema, [v[r] for v in values])
+            if page.try_append(row) is None:
+                self._flush_row_page(page, batch.slice(start_row, start_row + rows_in_page))
+                page = RowPage(self.file.max_payload)
+                if page.try_append(row) is None:
+                    raise StorageError("single row exceeds page capacity")
+                start_row = r
+                rows_in_page = 0
+            rows_in_page += 1
+        if rows_in_page:
+            self._flush_row_page(
+                page, batch.slice(start_row, start_row + rows_in_page), full=False
+            )
+
+    def _flush_row_page(self, page: RowPage, chunk: RowBatch, full: bool = True) -> None:
+        self.bufmgr.put(self.path, self.next_page, page.to_payload())
+        # row pages are likewise immutable once flushed
+        meta = _SetMeta(self.next_page, page.n_slots, _column_minmax(chunk), full=True)
+        self.next_page += 1
+        self.sets.append(meta)
+        self.minmax.record(len(self.sets) - 1, meta.minmax)
+
+    # -- secondary indexes (set-granular, paper §III) ------------------------------
+    def _index_path(self, column: str) -> str:
+        return f"{self.path}.idx.{column}"
+
+    def _reopen_indexes(self) -> None:
+        from .btree import BPlusTree
+
+        for c in self.schema:
+            if self.fs.exists(self._index_path(c.name) + ".meta"):
+                self.indexes[c.name] = BPlusTree(
+                    self.fs, self.bufmgr, self._index_path(c.name), page_size=self.page_size
+                )
+
+    def create_index(self, column: str) -> None:
+        """Build a disk-resident index mapping values to the page sets that
+        contain them. Scans use it to read only candidate sets; deletes are
+        logical (the index stays a superset, which is always safe)."""
+        from .btree import BPlusTree
+
+        col = self.schema.resolve(column)
+        self.fs.delete(self._index_path(col))
+        self.fs.delete(self._index_path(col) + ".meta")
+        self.bufmgr.invalidate(self._index_path(col))
+        tree = BPlusTree(self.fs, self.bufmgr, self._index_path(col), page_size=self.page_size)
+        self.indexes[col] = tree
+        names = self.schema.names()
+        col_idx = {c.name: i for i, c in enumerate(self.schema.columns)}
+        for set_id, s in enumerate(self.sets):
+            self._index_set(col, set_id, s, col_idx)
+
+    def _index_set(self, col: str, set_id: int, s: "_SetMeta", col_idx) -> None:
+        if self.format == COLUMN:
+            payload = self.bufmgr.get(self.path, s.first_page + col_idx[col], pin=False)
+            values = decode_column(payload, self.schema.dtype_of(col), s.n_rows)
+        else:
+            payload = self.bufmgr.get(self.path, s.first_page, pin=False)
+            page = RowPage.from_payload(payload, self.file.max_payload)
+            values = page.to_batch(self.schema).col(col)
+        import numpy as np
+
+        for v in (set(values.tolist()) if values.dtype == object else np.unique(values)):
+            self.indexes[col].insert(v if isinstance(v, str) else v.item() if hasattr(v, "item") else v, set_id)
+
+    def _index_candidates(self, scan_pred: ScanPredicate) -> set[int] | None:
+        """Set ids that may contain matches, per the indexes; None = no
+        usable index constraint."""
+        from .predicate_cache import _intervals
+
+        if not self.indexes or scan_pred is None or not scan_pred.atoms:
+            return None
+        ivs = _intervals(scan_pred.atoms)
+        if ivs is None:
+            return set()  # unsatisfiable predicate: nothing can match
+        candidates: set[int] | None = None
+        for col, iv in ivs.items():
+            tree = self.indexes.get(col)
+            if tree is None or (iv.lo is None and iv.hi is None):
+                continue
+            ids = {
+                sid
+                for _, sid in tree.range_scan(
+                    iv.lo, iv.hi,
+                    lo_inclusive=not iv.lo_strict,
+                    hi_inclusive=not iv.hi_strict,
+                )
+            }
+            candidates = ids if candidates is None else (candidates & ids)
+        return candidates
+
+    # -- scanning -----------------------------------------------------------------
+    def scan(
+        self,
+        columns: Sequence[str],
+        predicate: PredicateFn | None = None,
+        scan_pred: ScanPredicate | None = None,
+        skipping: bool = True,
+        stats: ScanStats | None = None,
+    ) -> Iterator[RowBatch]:
+        stats = stats if stats is not None else ScanStats()
+        out_schema = self.schema.project([self.schema.resolve(c) for c in columns])
+        names = out_schema.names()
+        col_idx = {c.name: i for i, c in enumerate(self.schema.columns)}
+        # pre-declare the pages this scan will touch (paper's clock hint)
+        upcoming: list[int] = []
+        for s in self.sets:
+            if self.format == COLUMN:
+                upcoming.extend(s.first_page + col_idx[n] for n in names)
+            else:
+                upcoming.append(s.first_page)
+        self.bufmgr.declare_scan(self.path, upcoming[:256])
+
+        index_candidates = (
+            self._index_candidates(scan_pred) if skipping and scan_pred else None
+        )
+        for set_id, s in enumerate(self.sets):
+            stats.sets_total += 1
+            if skipping and scan_pred is not None and s.full:
+                if index_candidates is not None and set_id not in index_candidates:
+                    stats.sets_skipped_index += 1
+                    continue
+                if self.pred_cache.can_skip(set_id, scan_pred):
+                    stats.sets_skipped_cache += 1
+                    continue
+                if self.minmax.can_skip(set_id, scan_pred):
+                    stats.sets_skipped_minmax += 1
+                    continue
+            batch = self._read_set(s, names, col_idx, out_schema, stats)
+            stats.sets_read += 1
+            if predicate is not None:
+                mask = predicate(batch)
+                if skipping and scan_pred is not None and s.full and not mask.any():
+                    if s.deleted is None:  # deletes could hide future matches
+                        self.pred_cache.record_empty(set_id, scan_pred)
+                batch = batch.filter(mask)
+            if batch.length:
+                stats.rows_out += batch.length
+                yield batch
+
+    def _read_set(
+        self,
+        s: _SetMeta,
+        names: list[str],
+        col_idx: dict[str, int],
+        out_schema: Schema,
+        stats: ScanStats,
+    ) -> RowBatch:
+        if self.format == COLUMN:
+            cols: dict[str, np.ndarray] = {}
+            for name in names:
+                payload = self.bufmgr.get(self.path, s.first_page + col_idx[name], pin=False)
+                cols[name] = decode_column(
+                    payload, self.schema.dtype_of(name), s.n_rows
+                )
+                stats.pages_read += 1
+            batch = RowBatch(out_schema, cols)
+        else:
+            payload = self.bufmgr.get(self.path, s.first_page, pin=False)
+            stats.pages_read += 1
+            page = RowPage.from_payload(payload, self.file.max_payload)
+            batch = page.to_batch(self.schema).project(names)
+        if s.deleted is not None and s.deleted.any():
+            batch = batch.filter(~s.deleted[: batch.length])
+        return batch
+
+    # -- DML ---------------------------------------------------------------------
+    def delete_where(self, predicate: PredicateFn) -> int:
+        """Tombstone rows matching the predicate; returns count."""
+        deleted = 0
+        names = self.schema.names()
+        col_idx = {c.name: i for i, c in enumerate(self.schema.columns)}
+        stats = ScanStats()
+        for set_id, s in enumerate(self.sets):
+            mask_prev = s.deleted
+            batch = self._read_set_raw(s, names, col_idx)
+            hit = predicate(batch)
+            if not hit.any():
+                continue
+            mask = mask_prev.copy() if mask_prev is not None else np.zeros(s.n_rows, dtype=bool)
+            newly = hit & ~mask
+            mask |= hit
+            s.deleted = mask
+            deleted += int(newly.sum())
+            # cached "no rows match" facts may now be stale in the other
+            # direction only; deletes can only *remove* rows, so cached
+            # empty-page facts stay valid. Min-max stays conservative.
+        self._save_meta()
+        return deleted
+
+    def _read_set_raw(self, s: _SetMeta, names, col_idx) -> RowBatch:
+        """Read a set without tombstone filtering (DML needs positions)."""
+        if self.format == COLUMN:
+            cols = {
+                name: decode_column(
+                    self.bufmgr.get(self.path, s.first_page + col_idx[name], pin=False),
+                    self.schema.dtype_of(name),
+                    s.n_rows,
+                )
+                for name in names
+            }
+            return RowBatch(self.schema, cols)
+        payload = self.bufmgr.get(self.path, s.first_page, pin=False)
+        page = RowPage.from_payload(payload, self.file.max_payload)
+        return page.to_batch(self.schema)
+
+    # -- maintenance ----------------------------------------------------------------
+    def all_rows(self) -> RowBatch:
+        names = self.schema.names()
+        col_idx = {c.name: i for i, c in enumerate(self.schema.columns)}
+        stats = ScanStats()
+        batches = []
+        for s in self.sets:
+            b = self._read_set(s, names, col_idx, self.schema, stats)
+            if b.length:
+                batches.append(b)
+        return RowBatch.concat(self.schema, batches)
+
+    def reorganize(self, clustering: Sequence[str] | None) -> None:
+        """Rewrite the fragment sorted on the clustering key; clears caches."""
+        data = self.all_rows()
+        if clustering:
+            keys = [data.col(data.schema.resolve(c)) for c in reversed(list(clustering))]
+            order = np.lexsort(keys)
+            data = data.take(order)
+        self.bufmgr.invalidate(self.path)
+        self.file.truncate_pages(0)
+        self.sets = []
+        self.next_page = 0
+        self.pred_cache.clear()
+        self.minmax.clear()
+        indexed_cols = list(self.indexes)
+        self.indexes = {}
+        if data.length:
+            self.append_batch(data)
+        else:
+            self._save_meta()
+        for col in indexed_cols:  # rebuild over the new layout
+            self.create_index(col)
+
+    @property
+    def row_count(self) -> int:
+        return sum(s.n_live for s in self.sets)
+
+
+class TableStorage:
+    """All fragments of one table on one worker."""
+
+    def __init__(
+        self,
+        fs: FileSystem,
+        bufmgr: BufferManager,
+        name: str,
+        schema: Schema,
+        fmt: str = COLUMN,
+        n_disks: int = 1,
+        page_size: int = 128 * 1024,
+        codec: str = "lz4sim",
+        clustering: Sequence[str] | None = None,
+    ):
+        if fmt not in (ROW, COLUMN):
+            raise StorageError(f"unknown table format {fmt!r}")
+        self.name = name
+        self.schema = schema
+        self.format = fmt
+        self.clustering = tuple(clustering or ())
+        self.fragments = [
+            _Fragment(
+                fs,
+                bufmgr,
+                f"tables/{name}/disk{d}.dat",
+                schema,
+                fmt,
+                page_size,
+                codec,
+            )
+            for d in range(n_disks)
+        ]
+
+    def load(self, batch: RowBatch, disk_assignment: np.ndarray | None = None) -> None:
+        """Bulk-load rows, sorting for clustering and spreading over disks."""
+        if self.clustering:
+            keys = [
+                batch.col(batch.schema.resolve(c)) for c in reversed(self.clustering)
+            ]
+            batch = batch.take(np.lexsort(keys))
+        if disk_assignment is None or len(self.fragments) == 1:
+            targets = np.arange(batch.length) % len(self.fragments)
+        else:
+            targets = disk_assignment
+        for d, frag in enumerate(self.fragments):
+            part = batch.filter(targets == d)
+            if part.length:
+                frag.append_batch(part)
+
+    def insert(self, batch: RowBatch) -> None:
+        """DML insert: append-only, does NOT respect clustering (paper)."""
+        frag = min(self.fragments, key=lambda f: f.row_count)
+        frag.append_batch(batch)
+
+    def delete_where(self, predicate: PredicateFn) -> int:
+        return sum(f.delete_where(predicate) for f in self.fragments)
+
+    def update_where(self, predicate: PredicateFn, updater) -> int:
+        """Update = tombstone old rows + append new versions (paper §III)."""
+        n = 0
+        for frag in self.fragments:
+            names = frag.schema.names()
+            col_idx = {c.name: i for i, c in enumerate(frag.schema.columns)}
+            victims = []
+            for s in frag.sets:
+                batch = frag._read_set_raw(s, names, col_idx)
+                live = (
+                    ~s.deleted[: batch.length]
+                    if s.deleted is not None
+                    else np.ones(batch.length, dtype=bool)
+                )
+                hit = predicate(batch) & live
+                if hit.any():
+                    victims.append(batch.filter(hit))
+            if victims:
+                old = RowBatch.concat(frag.schema, victims)
+                frag.delete_where(predicate)
+                frag.append_batch(updater(old))
+                n += old.length
+        return n
+
+    def scan(
+        self,
+        columns: Sequence[str] | None = None,
+        predicate: PredicateFn | None = None,
+        scan_pred: ScanPredicate | None = None,
+        skipping: bool = True,
+        stats: ScanStats | None = None,
+        disks: Sequence[int] | None = None,
+    ) -> Iterator[RowBatch]:
+        cols = list(columns) if columns is not None else self.schema.names()
+        frag_ids = disks if disks is not None else range(len(self.fragments))
+        for d in frag_ids:
+            yield from self.fragments[d].scan(cols, predicate, scan_pred, skipping, stats)
+
+    def reorganize(self) -> None:
+        for f in self.fragments:
+            f.reorganize(self.clustering)
+
+    def create_index(self, column: str) -> None:
+        for f in self.fragments:
+            f.create_index(column)
+
+    def persist_caches(self) -> None:
+        """Flush predicate caches to disk (the paper's periodic persist)."""
+        for f in self.fragments:
+            f._save_meta()
+
+    @property
+    def indexed_columns(self) -> set[str]:
+        out: set[str] = set()
+        for f in self.fragments:
+            out |= set(f.indexes)
+        return out
+
+    @property
+    def row_count(self) -> int:
+        return sum(f.row_count for f in self.fragments)
+
+    def predicate_cache_bytes(self) -> int:
+        return sum(f.pred_cache.nbytes for f in self.fragments)
+
+
+def _column_minmax(batch: RowBatch) -> dict[str, tuple]:
+    out: dict[str, tuple] = {}
+    for col in batch.schema:
+        arr = batch.col(col.name)
+        if not len(arr):
+            continue
+        if arr.dtype == object:
+            vals = sorted(arr.tolist())
+            out[col.name] = (vals[0], vals[-1])
+        else:
+            out[col.name] = (arr.min().item(), arr.max().item())
+    return out

@@ -1,0 +1,20 @@
+"""Concurrency control and recovery: SS2PL, WAL, ARIES, hierarchical 2PC."""
+
+from .aries import RecoveryReport, recover
+from .locks import LockManager, LockMode
+from .manager import TransactionSystem, Txn
+from .twopc import TwoPCStats, XAManager
+from .wal import LogManager, LogRecord
+
+__all__ = [
+    "LockManager",
+    "LockMode",
+    "LogManager",
+    "LogRecord",
+    "recover",
+    "RecoveryReport",
+    "XAManager",
+    "TwoPCStats",
+    "TransactionSystem",
+    "Txn",
+]

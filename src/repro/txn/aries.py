@@ -1,0 +1,120 @@
+"""ARIES-style recovery.
+
+Temporary node failures are handled by log-based recovery (paper §I/§VI):
+
+1. **Analysis** — scan the WAL forward, building the transaction table:
+   committed, aborted, prepared (in-doubt), and active-at-crash (losers).
+2. **Redo** — replay every UPDATE/CLR's after-image in LSN order
+   (repeating history, including losers' changes).
+3. **Undo** — roll back losers newest-first, writing compensation log
+   records (CLRs) so a crash during recovery is itself recoverable.
+
+In-doubt transactions (WAL ends at PREPARE) are *not* undone: the worker
+asks the coordinator named in the PREPARE record for the global outcome
+(paper: "the worker contacts this coordinator") via the resolver
+callback, then commits or rolls back accordingly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..common.errors import RecoveryError
+from .wal import ABORT, BEGIN, COMMIT, COMPENSATION, LogManager, LogRecord, PREPARE, UPDATE
+
+# resolver(coordinator_id, txn_id) -> "commit" | "rollback"
+OutcomeResolver = Callable[[int, int], str]
+
+# page writer: (page key tuple, image bytes) -> None
+PageWriter = Callable[[tuple, bytes], None]
+
+
+@dataclass
+class RecoveryReport:
+    committed: set[int] = field(default_factory=set)
+    aborted: set[int] = field(default_factory=set)
+    losers: set[int] = field(default_factory=set)
+    in_doubt_resolved: dict[int, str] = field(default_factory=dict)
+    redo_count: int = 0
+    undo_count: int = 0
+
+
+def recover(
+    log: LogManager,
+    write_page: PageWriter,
+    resolve_outcome: Optional[OutcomeResolver] = None,
+) -> RecoveryReport:
+    report = RecoveryReport()
+    records = log.records()
+
+    # -- analysis ---------------------------------------------------------------
+    status: dict[int, str] = {}
+    prepared_coord: dict[int, int] = {}
+    undone: dict[int, set[int]] = {}  # txn -> LSNs already compensated
+    for rec in records:
+        if rec.kind == BEGIN:
+            status[rec.txn] = "active"
+        elif rec.kind == UPDATE:
+            status.setdefault(rec.txn, "active")
+        elif rec.kind == COMPENSATION:
+            undone.setdefault(rec.txn, set()).add(rec.undo_next or 0)
+        elif rec.kind == PREPARE:
+            status[rec.txn] = "prepared"
+            prepared_coord[rec.txn] = rec.coordinator
+        elif rec.kind == COMMIT:
+            status[rec.txn] = "committed"
+        elif rec.kind == ABORT:
+            status[rec.txn] = "aborted"
+
+    for txn, st in status.items():
+        if st == "committed":
+            report.committed.add(txn)
+        elif st == "aborted":
+            report.aborted.add(txn)
+        elif st == "prepared":
+            if resolve_outcome is None:
+                raise RecoveryError(
+                    f"txn {txn} is in-doubt but no coordinator resolver was supplied"
+                )
+            outcome = resolve_outcome(prepared_coord[txn], txn)
+            if outcome not in ("commit", "rollback"):
+                raise RecoveryError(f"coordinator returned invalid outcome {outcome!r}")
+            report.in_doubt_resolved[txn] = outcome
+            if outcome == "commit":
+                report.committed.add(txn)
+            else:
+                report.losers.add(txn)
+        else:
+            report.losers.add(txn)
+
+    # -- redo (repeat history) ------------------------------------------------------
+    for rec in records:
+        if rec.kind in (UPDATE, COMPENSATION) and rec.after is not None and rec.page:
+            write_page(rec.page, rec.after)
+            report.redo_count += 1
+
+    # -- undo losers -------------------------------------------------------------------
+    for rec in reversed(records):
+        if rec.kind != UPDATE or rec.txn not in report.losers:
+            continue
+        if rec.lsn in undone.get(rec.txn, set()):
+            continue  # already compensated before the crash
+        if rec.before is not None and rec.page:
+            write_page(rec.page, rec.before)
+        log.append(
+            txn=rec.txn,
+            kind=COMPENSATION,
+            page=rec.page,
+            after=rec.before,
+            undo_next=rec.lsn,
+        )
+        report.undo_count += 1
+    for txn in report.losers:
+        log.append(txn=txn, kind=ABORT)
+    if report.losers or report.in_doubt_resolved:
+        for txn, outcome in report.in_doubt_resolved.items():
+            if outcome == "commit":
+                log.append(txn=txn, kind=COMMIT)
+        log.force()
+    return report

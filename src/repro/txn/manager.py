@@ -1,0 +1,331 @@
+"""Transaction system: ties locks, WAL, and 2PC to the cluster.
+
+Every worker runs a lock manager, transaction manager, and log manager;
+every coordinator additionally runs an XA manager (paper §VI). DML
+statements execute under SS2PL with logical undo logging; commit runs
+hierarchical 2PC across the involved workers. DDL (metadata changes)
+must succeed on *every* coordinator replica before committing — the
+paper's coordinator-metadata synchronization — which we drive through
+the same 2PC machinery with coordinators as participants.
+
+Undo is logical: an insert's compensation deletes exactly the inserted
+rows, a delete's re-inserts the removed rows, an update's restores the
+before-rows. Storage flushes at commit (force policy at the system
+level; the page-image no-force ARIES path lives in
+:mod:`repro.txn.aries` and is exercised at the storage layer).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..common.batch import RowBatch
+from ..common.errors import LockTimeoutError, TxnAbortedError, TxnError
+from ..sql.compiler import compile_predicate
+from .locks import LockManager, LockMode
+from .twopc import TwoPCStats, XAManager
+from .wal import ABORT, BEGIN, COMMIT, LogManager, PREPARE, UPDATE
+
+_txn_ids = itertools.count(1)
+
+
+@dataclass
+class Txn:
+    txn_id: int
+    coordinator: int
+    involved: set[int] = field(default_factory=set)
+    state: str = "active"  # active | committed | aborted
+    #: logical undo stack per worker: (worker, op, table, payload)
+    undo: list[tuple[int, str, str, object]] = field(default_factory=list)
+
+    def check_active(self) -> None:
+        if self.state != "active":
+            raise TxnAbortedError(f"txn {self.txn_id} is {self.state}")
+
+
+class WorkerTxnNode:
+    """Per-worker lock manager + transaction manager + log manager."""
+
+    def __init__(self, worker, timeout: float = 10.0):
+        self.worker = worker
+        self.node_id = worker.worker_id
+        self.locks = LockManager(worker.worker_id, timeout)
+        self.log = LogManager(worker.fs, "wal/log.wal")
+        self._system: "TransactionSystem | None" = None
+
+    # 2PC participant interface ----------------------------------------------------
+    def prepare(self, txn: int, coordinator: int) -> bool:
+        self.log.append(txn=txn, kind=PREPARE, coordinator=coordinator)
+        self.log.force()
+        return True
+
+    def commit(self, txn: int) -> None:
+        self.log.append(txn=txn, kind=COMMIT)
+        self.log.force()
+        # request the buffer manager to write back and release locks (paper's
+        # commit-time actions: unpin pages, release locks, persist WAL)
+        self.worker.bufmgr.flush()
+        self.locks.release_all(txn)
+
+    def rollback(self, txn: int) -> None:
+        if self._system is not None:
+            self._system.undo_on_worker(self.node_id, txn)
+        self.log.append(txn=txn, kind=ABORT)
+        self.log.force()
+        self.locks.release_all(txn)
+
+
+class TransactionSystem:
+    def __init__(self, db):
+        self.db = db
+        self.nodes: dict[int, WorkerTxnNode] = {}
+        for w, worker in db.workers.items():
+            node = WorkerTxnNode(worker, db.config.lock_timeout)
+            node._system = self
+            self.nodes[w] = node
+        self.xa: dict[int, XAManager] = {}
+        for i, coord in enumerate(db.coordinators):
+            fs = db.workers[db.worker_ids[0]].fs  # coordinator logs share sim FS space
+            log = LogManager(fs, f"wal/xa_coord{coord.coord_id}.wal")
+            self.xa[coord.coord_id] = XAManager(coord.coord_id, db.net, db.config.n_max, log)
+        self._active: dict[int, Txn] = {}
+
+    # -- lifecycle ---------------------------------------------------------------------
+    def begin(self, coordinator: int = 0) -> Txn:
+        txn = Txn(next(_txn_ids), self.db.coord_ids[coordinator])
+        self._active[txn.txn_id] = txn
+        return txn
+
+    def commit(self, txn: Txn, stats: TwoPCStats | None = None) -> bool:
+        txn.check_active()
+        participants = {w: self.nodes[w] for w in txn.involved}
+        ok = self.xa[txn.coordinator].commit(txn.txn_id, participants, stats)
+        txn.state = "committed" if ok else "aborted"
+        self._active.pop(txn.txn_id, None)
+        return ok
+
+    def rollback(self, txn: Txn) -> None:
+        txn.check_active()
+        participants = {w: self.nodes[w] for w in txn.involved}
+        self.xa[txn.coordinator].rollback(txn.txn_id, participants)
+        txn.state = "aborted"
+        self._active.pop(txn.txn_id, None)
+
+    # -- DML ----------------------------------------------------------------------------
+    def run_dml(
+        self,
+        table: str,
+        op: str,
+        batch: RowBatch | None = None,
+        predicate=None,
+        assignments=None,
+        txn: Txn | None = None,
+    ) -> int:
+        autocommit = txn is None
+        txn = txn or self.begin()
+        txn.check_active()
+        entry = self.db.catalog.entry(table)
+        try:
+            if op == "insert":
+                n = self._insert(txn, entry, batch)
+            elif op == "delete":
+                n = self._delete(txn, entry, predicate)
+            elif op == "update":
+                n = self._update(txn, entry, predicate, assignments)
+            else:
+                raise TxnError(f"unknown DML op {op!r}")
+        except Exception:
+            self.rollback(txn)
+            raise
+        if autocommit:
+            if not self.commit(txn):
+                raise TxnError("autocommit transaction failed to commit")
+        return n
+
+    def _lock(self, txn: Txn, worker_id: int, table: str, mode: LockMode = LockMode.X) -> None:
+        node = self.nodes[worker_id]
+        granted = node.locks.acquire(txn.txn_id, ("table", table), mode)
+        if not granted:
+            # single-threaded simulation: a conflicting holder will not go
+            # away while we wait, so surface the timeout immediately —
+            # withdrawing the queued request so it can't be granted later
+            try:
+                node.locks.advance_time(txn.txn_id, self.db.config.lock_timeout + 1)
+            finally:
+                node.locks.cancel_wait(txn.txn_id)
+            raise LockTimeoutError(f"txn {txn.txn_id} blocked on {table} at worker {worker_id}")
+        txn.involved.add(worker_id)
+
+    def lock_read(self, txn: Txn, tables: set[str]) -> None:
+        """Serializable reads: S-locks on every worker holding the tables
+        (SS2PL — held until commit, like all locks)."""
+        txn.check_active()
+        for table in sorted(tables):
+            for w in self.db.worker_ids:
+                self._lock(txn, w, table, LockMode.S)
+
+    def _insert(self, txn: Txn, entry, batch: RowBatch) -> int:
+        from ..storage.partition import Replicated, disk_of_rows
+
+        n_workers = self.db.config.n_workers
+        if isinstance(entry.scheme, Replicated):
+            parts = {w: batch for w in self.db.worker_ids}
+        else:
+            targets = entry.scheme.assign_nodes(batch, n_workers)
+            parts = {
+                self.db.worker_ids[i]: batch.filter(targets == i) for i in range(n_workers)
+            }
+        total = 0
+        for w, part in parts.items():
+            if part.length == 0:
+                continue
+            self._lock(txn, w, entry.name)
+            node = self.nodes[w]
+            node.log.append(
+                txn=txn.txn_id, kind=UPDATE, page=("logical", entry.name, w),
+                after=part.to_bytes(), info={"op": "insert"},
+            )
+            self.db.workers[w].storage[entry.name].insert(part)
+            txn.undo.append((w, "insert", entry.name, part))
+            total += part.length
+        return total
+
+    def _delete(self, txn: Txn, entry, predicate) -> int:
+        pred_fn = self._compile_pred(entry, predicate)
+        total = 0
+        for w in self.db.worker_ids:
+            storage = self.db.workers[w].storage[entry.name]
+            victims = self._matching_rows(storage, pred_fn)
+            if victims.length == 0:
+                continue
+            self._lock(txn, w, entry.name)
+            node = self.nodes[w]
+            node.log.append(
+                txn=txn.txn_id, kind=UPDATE, page=("logical", entry.name, w),
+                before=victims.to_bytes(), info={"op": "delete"},
+            )
+            storage.delete_where(pred_fn)
+            txn.undo.append((w, "delete", entry.name, victims))
+            total += victims.length
+        return total
+
+    def _update(self, txn: Txn, entry, predicate, assignments) -> int:
+        from ..sql.compiler import compile_expr
+
+        pred_fn = self._compile_pred(entry, predicate)
+        assign_fns = [
+            (col, compile_expr(e, entry.schema)) for col, e in (assignments or [])
+        ]
+
+        def updater(old: RowBatch) -> RowBatch:
+            cols = dict(old.columns)
+            for col, compiled in assign_fns:
+                cols[entry.schema.resolve(col)] = np.asarray(compiled.fn(old))
+            return RowBatch(old.schema, cols)
+
+        total = 0
+        for w in self.db.worker_ids:
+            storage = self.db.workers[w].storage[entry.name]
+            victims = self._matching_rows(storage, pred_fn)
+            if victims.length == 0:
+                continue
+            self._lock(txn, w, entry.name)
+            node = self.nodes[w]
+            new_rows = updater(victims)
+            node.log.append(
+                txn=txn.txn_id, kind=UPDATE, page=("logical", entry.name, w),
+                before=victims.to_bytes(), after=new_rows.to_bytes(), info={"op": "update"},
+            )
+            storage.update_where(pred_fn, updater)
+            txn.undo.append((w, "update", entry.name, (victims, new_rows)))
+            total += victims.length
+        return total
+
+    def _compile_pred(self, entry, predicate):
+        if predicate is None:
+            return lambda b: np.ones(b.length, dtype=bool)
+        return compile_predicate(predicate, entry.schema)
+
+    @staticmethod
+    def _matching_rows(storage, pred_fn) -> RowBatch:
+        from ..cluster.database import _all_of
+
+        allb = _all_of(storage)
+        return allb.filter(pred_fn(allb))
+
+    # -- logical undo --------------------------------------------------------------------
+    def undo_on_worker(self, worker_id: int, txn_id: int) -> None:
+        txn = self._active.get(txn_id)
+        if txn is None:
+            return
+        for w, op, table, payload in reversed(txn.undo):
+            if w != worker_id:
+                continue
+            storage = self.db.workers[w].storage.get(table)
+            if storage is None:
+                continue
+            if op == "insert":
+                self._delete_exact(storage, payload)
+            elif op == "delete":
+                storage.insert(payload)
+            elif op == "update":
+                before, after = payload
+                self._delete_exact(storage, after)
+                storage.insert(before)
+
+    @staticmethod
+    def _delete_exact(storage, rows: RowBatch) -> None:
+        """Delete exactly the given rows (whole-row match)."""
+        keys = set(map(tuple, rows.rows()))
+        names = rows.schema.names()
+
+        def pred(b: RowBatch) -> np.ndarray:
+            cols = [b.col(n) for n in names]
+            out = np.zeros(b.length, dtype=bool)
+            for i in range(b.length):
+                if tuple(c[i] for c in cols) in keys:
+                    out[i] = True
+            return out
+
+        storage.delete_where(pred)
+
+    # -- metadata transactions (coordinator sync, paper §VI) --------------------------------
+    def metadata_commit(self, mutate, coordinator: int = 0) -> bool:
+        """Apply a metadata mutation on all coordinator replicas under 2PC.
+
+        ``mutate(coordinator_obj)`` must raise to vote NO. All replicas
+        prepare (apply + validate) before any commits; on any failure all
+        roll back to their snapshot.
+        """
+        txn_id = next(_txn_ids)
+        snapshots = {c.coord_id: c.catalog.snapshot() for c in self.db.coordinators}
+
+        class _CoordParticipant:
+            def __init__(self, coord, system):
+                self.node_id = coord.coord_id
+                self.coord = coord
+                self.failed = False
+
+            def prepare(self, txn: int, coordinator: int) -> bool:
+                try:
+                    mutate(self.coord)
+                    return True
+                except Exception:
+                    self.failed = True
+                    return False
+
+            def commit(self, txn: int) -> None:
+                pass
+
+            def rollback(self, txn: int) -> None:
+                self.coord.catalog.restore(snapshots[self.node_id])
+
+        participants = {
+            c.coord_id: _CoordParticipant(c, self) for c in self.db.coordinators
+        }
+        xa = self.xa[self.db.coord_ids[coordinator]]
+        return xa.commit(txn_id, participants)

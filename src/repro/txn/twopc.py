@@ -1,0 +1,134 @@
+"""Hierarchical two-phase commit (System-R*-style, over the tree topology).
+
+The XA manager on the owning coordinator drives commit: PREPARE fans out
+along the tree topology (so the coordinator only talks to its ``N_max-1``
+children; every inner node forwards to its subtree), votes are aggregated
+on the way back up (a node answers YES only if it and *all* its children
+voted YES), and the COMMIT/ROLLBACK decision is broadcast the same way.
+Message counts therefore grow per-node-bounded, the property the paper
+credits for 2PC scalability (§VI).
+
+All decisions are WAL-logged: participants force a PREPARE record before
+voting; the coordinator forces the decision to its XA log before phase 2
+(presumed abort: a missing decision record means rollback).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Protocol
+
+from ..common.errors import TwoPCError
+from ..network.simnet import SimNetwork
+from ..network.topology import TreeTopology
+from .wal import ABORT, COMMIT, LogManager, PREPARE
+
+
+class Participant(Protocol):
+    node_id: int
+
+    def prepare(self, txn: int, coordinator: int) -> bool: ...
+
+    def commit(self, txn: int) -> None: ...
+
+    def rollback(self, txn: int) -> None: ...
+
+
+@dataclass
+class TwoPCStats:
+    prepare_messages: int = 0
+    decision_messages: int = 0
+    coordinator_messages: int = 0  # messages the coordinator itself sent/recv
+
+
+class XAManager:
+    """Global transaction manager on one coordinator (paper §VI)."""
+
+    def __init__(self, coord_id: int, net: SimNetwork, n_max: int, xa_log: LogManager):
+        self.coord_id = coord_id
+        self.net = net
+        self.n_max = n_max
+        self.xa_log = xa_log
+        #: decisions by txn (also recoverable from the XA log)
+        self.decisions: dict[int, str] = {}
+
+    # -- the protocol ----------------------------------------------------------------
+    def commit(
+        self,
+        txn: int,
+        participants: dict[int, Participant],
+        stats: TwoPCStats | None = None,
+    ) -> bool:
+        """Run hierarchical 2PC; returns True on commit, False on rollback."""
+        stats = stats if stats is not None else TwoPCStats()
+        if not participants:
+            self._decide(txn, "commit")
+            return True
+        # the coordinator itself may be a participant (metadata txns update
+        # the local catalog replica too): it participates but is not added
+        # to the tree twice
+        others = sorted(p for p in participants if p != self.coord_id)
+        tree = TreeTopology([self.coord_id] + others, self.n_max, root=self.coord_id)
+
+        def prepare_subtree(node: int) -> bool:
+            """Deliver PREPARE to node, recurse to children, aggregate votes."""
+            vote = True
+            if node in participants:
+                vote = participants[node].prepare(txn, self.coord_id)
+            for child in tree.children(node):
+                self.net.send(node, child, b"PREPARE", tag=f"2pc{txn}")
+                stats.prepare_messages += 1
+                if node == self.coord_id:
+                    stats.coordinator_messages += 1
+                child_vote = prepare_subtree(child)
+                self.net.send(child, node, b"YES" if child_vote else b"NO", tag=f"2pc{txn}")
+                stats.prepare_messages += 1
+                if node == self.coord_id:
+                    stats.coordinator_messages += 1
+                vote = vote and child_vote
+            return vote
+
+        all_yes = prepare_subtree(self.coord_id)
+        decision = "commit" if all_yes else "rollback"
+        self._decide(txn, decision)
+
+        def decide_subtree(node: int) -> None:
+            if node in participants:
+                if decision == "commit":
+                    participants[node].commit(txn)
+                else:
+                    participants[node].rollback(txn)
+            for child in tree.children(node):
+                self.net.send(node, child, decision.upper().encode(), tag=f"2pc{txn}")
+                stats.decision_messages += 1
+                if node == self.coord_id:
+                    stats.coordinator_messages += 1
+                decide_subtree(child)
+
+        decide_subtree(self.coord_id)
+        # drain protocol messages so inboxes stay clean
+        for node in tree.nodes:
+            self.net.recv_all(node, tag=f"2pc{txn}")
+        return decision == "commit"
+
+    def rollback(self, txn: int, participants: dict[int, Participant]) -> None:
+        self._decide(txn, "rollback")
+        for p in participants.values():
+            p.rollback(txn)
+
+    def _decide(self, txn: int, decision: str) -> None:
+        self.xa_log.append(txn=txn, kind=COMMIT if decision == "commit" else ABORT)
+        self.xa_log.force()
+        self.decisions[txn] = decision
+
+    # -- recovery support -----------------------------------------------------------------
+    def outcome(self, txn: int) -> str:
+        """The decision a recovering worker asks for (presumed abort)."""
+        if txn in self.decisions:
+            return self.decisions[txn]
+        for rec in self.xa_log.scan():
+            if rec.txn == txn and rec.kind == COMMIT:
+                return "commit"
+            if rec.txn == txn and rec.kind == ABORT:
+                return "rollback"
+        return "rollback"  # presumed abort

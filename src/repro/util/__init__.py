@@ -1,0 +1,5 @@
+"""Utility infrastructure shared across subsystems."""
+
+from .fs import FileHandle, FileSystem, LocalFS, MemFS
+
+__all__ = ["FileSystem", "FileHandle", "MemFS", "LocalFS"]

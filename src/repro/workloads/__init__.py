@@ -1,0 +1,5 @@
+"""Workloads: TPC-H generator/queries/statistics, skew workloads."""
+
+from . import tpch_dbgen, tpch_queries, tpch_schema
+
+__all__ = ["tpch_dbgen", "tpch_queries", "tpch_schema"]

@@ -1,0 +1,66 @@
+"""Skewed (80/20) query workloads for data-skipping evaluation.
+
+The paper motivates predicate-based data skipping with the 80-20 rule:
+80% of queries touch 20% of the data, so caching which pages matched a
+predicate pays off quickly. This generator produces streams of range
+predicates whose centers follow a Zipf-like distribution over the value
+domain, plus exact repeats with the configured probability — the two
+properties (hot ranges + repeated predicates) the cache exploits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class RangeQuery:
+    column: str
+    lo: float
+    hi: float
+
+    def sql_where(self) -> str:
+        return f"{self.column} >= {self.lo} and {self.column} < {self.hi}"
+
+
+class SkewedWorkload:
+    def __init__(
+        self,
+        column: str,
+        domain: tuple[float, float],
+        hot_fraction: float = 0.2,
+        hot_probability: float = 0.8,
+        repeat_probability: float = 0.5,
+        range_fraction: float = 0.02,
+        seed: int = 7,
+    ):
+        self.column = column
+        self.lo, self.hi = domain
+        self.hot_fraction = hot_fraction
+        self.hot_probability = hot_probability
+        self.repeat_probability = repeat_probability
+        self.range_fraction = range_fraction
+        self.rng = np.random.default_rng(seed)
+        self._history: list[RangeQuery] = []
+
+    def next_query(self) -> RangeQuery:
+        if self._history and self.rng.random() < self.repeat_probability:
+            q = self._history[self.rng.integers(0, len(self._history))]
+            self._history.append(q)
+            return q
+        span = self.hi - self.lo
+        width = span * self.range_fraction
+        if self.rng.random() < self.hot_probability:
+            # hot region: the first `hot_fraction` of the domain
+            center = self.lo + self.rng.random() * span * self.hot_fraction
+        else:
+            center = self.lo + self.rng.random() * span
+        lo = max(self.lo, center - width / 2)
+        q = RangeQuery(self.column, round(lo, 6), round(min(self.hi, lo + width), 6))
+        self._history.append(q)
+        return q
+
+    def queries(self, n: int) -> list[RangeQuery]:
+        return [self.next_query() for _ in range(n)]

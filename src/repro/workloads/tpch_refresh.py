@@ -1,0 +1,82 @@
+"""TPC-H refresh functions RF1/RF2.
+
+TPC-H's ACID-facing side: RF1 inserts a batch of new orders (and their
+line items), RF2 deletes an old batch. The benchmark sizes each refresh
+at SF * 1500 orders; we scale with the generated instance. Both run as
+*transactions* through the cluster's DML path (SS2PL + hierarchical
+2PC), which is exactly the machinery the paper says HRDBMS supports but
+does not tune — making these the natural workload for exercising it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..common.batch import RowBatch
+from ..sql.ast import DeleteStmt, Literal
+from ..sql.parser import parse_expr
+from . import tpch_dbgen, tpch_schema
+
+
+@dataclass
+class RefreshResult:
+    orders_affected: int
+    lineitems_affected: int
+    committed: bool
+
+
+def rf1_insert(db, sf: float, stream: int = 0, seed: int = 77) -> RefreshResult:
+    """Insert a refresh batch of new orders + line items transactionally."""
+    n_orders = max(1, int(round(sf * 1500)))
+    rng = np.random.default_rng(np.random.SeedSequence([seed, stream]))
+    base_orders = tpch_dbgen.gen_orders(sf, seed + 1000 + stream)
+    batch_orders = base_orders.slice(0, min(n_orders, base_orders.length))
+    # refresh keys live above the existing key space
+    offset = int(db.sql("select max(o_orderkey) from orders").rows()[0][0]) + 1
+    cols = dict(batch_orders.columns)
+    cols["o_orderkey"] = cols["o_orderkey"] + offset
+    batch_orders = RowBatch(batch_orders.schema, cols)
+
+    lineitems = tpch_dbgen.gen_lineitem(sf, seed + 2000 + stream, orders=batch_orders)
+
+    txn = db.txn_system.begin()
+    try:
+        db.txn_system.run_dml("orders", "insert", batch=batch_orders, txn=txn)
+        db.txn_system.run_dml("lineitem", "insert", batch=lineitems, txn=txn)
+    except Exception:
+        if txn.state == "active":
+            db.txn_system.rollback(txn)
+        raise
+    ok = db.txn_system.commit(txn)
+    return RefreshResult(batch_orders.length, lineitems.length, ok)
+
+
+def rf2_delete(db, sf: float, stream: int = 0) -> RefreshResult:
+    """Delete the oldest refresh-sized batch of orders + their line items."""
+    n_orders = max(1, int(round(sf * 1500)))
+    keys = [r[0] for r in db.sql(
+        f"select o_orderkey from orders order by o_orderkey limit {n_orders}"
+    ).rows()]
+    if not keys:
+        return RefreshResult(0, 0, True)
+    lo, hi = min(keys), max(keys)
+    txn = db.txn_system.begin()
+    try:
+        n_li = db.txn_system.run_dml(
+            "lineitem", "delete",
+            predicate=parse_expr(f"l_orderkey >= {lo} and l_orderkey <= {hi}"),
+            txn=txn,
+        )
+        n_o = db.txn_system.run_dml(
+            "orders", "delete",
+            predicate=parse_expr(f"o_orderkey >= {lo} and o_orderkey <= {hi}"),
+            txn=txn,
+        )
+    except Exception:
+        if txn.state == "active":
+            db.txn_system.rollback(txn)
+        raise
+    ok = db.txn_system.commit(txn)
+    return RefreshResult(n_o, n_li, ok)

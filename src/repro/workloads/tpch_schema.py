@@ -1,0 +1,148 @@
+"""TPC-H schema definitions (all eight tables).
+
+Column names and types follow the TPC-H specification; DECIMAL maps to
+float64 (ample for SF <= 1 validation sums) and DATE to day numbers.
+``PARTITIONING`` mirrors the paper's Example 3 layout: nation/region
+replicated, the big tables hash-partitioned on their primary join keys
+(customer on c_custkey, orders on o_custkey, lineitem on l_orderkey).
+"""
+
+from __future__ import annotations
+
+from ..common.dtypes import DataType as T
+from ..common.schema import Schema
+
+REGION = Schema.of(
+    ("r_regionkey", T.INT64),
+    ("r_name", T.STRING),
+    ("r_comment", T.STRING),
+)
+
+NATION = Schema.of(
+    ("n_nationkey", T.INT64),
+    ("n_name", T.STRING),
+    ("n_regionkey", T.INT64),
+    ("n_comment", T.STRING),
+)
+
+SUPPLIER = Schema.of(
+    ("s_suppkey", T.INT64),
+    ("s_name", T.STRING),
+    ("s_address", T.STRING),
+    ("s_nationkey", T.INT64),
+    ("s_phone", T.STRING),
+    ("s_acctbal", T.DECIMAL),
+    ("s_comment", T.STRING),
+)
+
+CUSTOMER = Schema.of(
+    ("c_custkey", T.INT64),
+    ("c_name", T.STRING),
+    ("c_address", T.STRING),
+    ("c_nationkey", T.INT64),
+    ("c_phone", T.STRING),
+    ("c_acctbal", T.DECIMAL),
+    ("c_mktsegment", T.STRING),
+    ("c_comment", T.STRING),
+)
+
+PART = Schema.of(
+    ("p_partkey", T.INT64),
+    ("p_name", T.STRING),
+    ("p_mfgr", T.STRING),
+    ("p_brand", T.STRING),
+    ("p_type", T.STRING),
+    ("p_size", T.INT64),
+    ("p_container", T.STRING),
+    ("p_retailprice", T.DECIMAL),
+    ("p_comment", T.STRING),
+)
+
+PARTSUPP = Schema.of(
+    ("ps_partkey", T.INT64),
+    ("ps_suppkey", T.INT64),
+    ("ps_availqty", T.INT64),
+    ("ps_supplycost", T.DECIMAL),
+    ("ps_comment", T.STRING),
+)
+
+ORDERS = Schema.of(
+    ("o_orderkey", T.INT64),
+    ("o_custkey", T.INT64),
+    ("o_orderstatus", T.STRING),
+    ("o_totalprice", T.DECIMAL),
+    ("o_orderdate", T.DATE),
+    ("o_orderpriority", T.STRING),
+    ("o_clerk", T.STRING),
+    ("o_shippriority", T.INT64),
+    ("o_comment", T.STRING),
+)
+
+LINEITEM = Schema.of(
+    ("l_orderkey", T.INT64),
+    ("l_partkey", T.INT64),
+    ("l_suppkey", T.INT64),
+    ("l_linenumber", T.INT64),
+    ("l_quantity", T.DECIMAL),
+    ("l_extendedprice", T.DECIMAL),
+    ("l_discount", T.DECIMAL),
+    ("l_tax", T.DECIMAL),
+    ("l_returnflag", T.STRING),
+    ("l_linestatus", T.STRING),
+    ("l_shipdate", T.DATE),
+    ("l_commitdate", T.DATE),
+    ("l_receiptdate", T.DATE),
+    ("l_shipinstruct", T.STRING),
+    ("l_shipmode", T.STRING),
+    ("l_comment", T.STRING),
+)
+
+SCHEMAS: dict[str, Schema] = {
+    "region": REGION,
+    "nation": NATION,
+    "supplier": SUPPLIER,
+    "customer": CUSTOMER,
+    "part": PART,
+    "partsupp": PARTSUPP,
+    "orders": ORDERS,
+    "lineitem": LINEITEM,
+}
+
+#: partitioning per the paper's running example (§V Example 3)
+PARTITIONING: dict[str, tuple[str, tuple[str, ...]]] = {
+    "region": ("replicated", ()),
+    "nation": ("replicated", ()),
+    "supplier": ("hash", ("s_suppkey",)),
+    "customer": ("hash", ("c_custkey",)),
+    "part": ("hash", ("p_partkey",)),
+    "partsupp": ("hash", ("ps_partkey",)),
+    "orders": ("hash", ("o_custkey",)),
+    "lineitem": ("hash", ("l_orderkey",)),
+}
+
+#: physical clustering that mirrors dbgen load order: line items and
+#: orders arrive in date order, which is what makes page-level skipping
+#: effective for the date-range queries (paper's Q6/Q14/Q15/Q20 wins)
+CLUSTERING: dict[str, tuple[str, ...]] = {
+    "lineitem": ("l_shipdate",),
+    "orders": ("o_orderdate",),
+}
+
+#: base cardinalities at SF = 1
+BASE_ROWS = {
+    "region": 5,
+    "nation": 25,
+    "supplier": 10_000,
+    "customer": 150_000,
+    "part": 200_000,
+    "partsupp": 800_000,
+    "orders": 1_500_000,
+    "lineitem": 6_001_215,
+}
+
+
+def rows_at(table: str, sf: float) -> int:
+    base = BASE_ROWS[table]
+    if table in ("region", "nation"):
+        return base
+    return max(1, int(round(base * sf)))

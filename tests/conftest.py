@@ -1,0 +1,76 @@
+"""Shared fixtures: small TPC-H databases, reusable clusters."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import ClusterConfig, Database
+from repro.common import DataType, RowBatch, Schema
+from repro.storage.buffer import BufferManager
+from repro.util.fs import MemFS
+from repro.workloads import tpch_dbgen, tpch_schema
+
+TPCH_SF = 0.002
+TPCH_SEED = 19940401
+
+
+@pytest.fixture(scope="session")
+def tpch_data():
+    """Tiny deterministic TPC-H instance shared across the session."""
+    return tpch_dbgen.generate(sf=TPCH_SF, seed=TPCH_SEED)
+
+
+@pytest.fixture(scope="session")
+def tpch_db(tpch_data):
+    """A 4-worker cluster loaded with the tiny TPC-H instance."""
+    cfg = ClusterConfig(n_workers=4, n_max=4, page_size=32 * 1024, batch_size=4096)
+    db = Database(cfg)
+    for name, schema in tpch_schema.SCHEMAS.items():
+        db.create_table(name, schema, tpch_schema.PARTITIONING[name])
+        db.load(name, tpch_data[name])
+    return db
+
+
+@pytest.fixture()
+def memfs():
+    return MemFS()
+
+
+@pytest.fixture()
+def bufmgr(memfs):
+    return BufferManager(4, 64)
+
+
+def make_batch(**cols) -> RowBatch:
+    """Quick batch builder: make_batch(a=(DataType.INT64, [1,2,3]))."""
+    pairs = []
+    for name, (dtype, values) in cols.items():
+        pairs.append((name, dtype, values))
+    return RowBatch.from_pairs(*pairs)
+
+
+def simple_db(n_workers: int = 2, **cfg_kwargs) -> Database:
+    cfg = ClusterConfig(n_workers=n_workers, n_max=4, page_size=16 * 1024, **cfg_kwargs)
+    return Database(cfg)
+
+
+def rows_approx_equal(a, b, tol=1e-6) -> bool:
+    if len(a) != len(b):
+        return False
+    for ra, rb in zip(a, b):
+        if len(ra) != len(rb):
+            return False
+        for va, vb in zip(ra, rb):
+            if isinstance(va, float) or isinstance(vb, float):
+                if abs(float(va) - float(vb)) > tol * max(1.0, abs(float(va))):
+                    return False
+            elif va != vb:
+                return False
+    return True
+
+
+def rows_match_unordered(a, b, tol=1e-6) -> bool:
+    return rows_approx_equal(sorted(map(str, a)), sorted(map(str, b)), tol) or (
+        rows_approx_equal(a, b, tol)
+    )

@@ -1,0 +1,98 @@
+"""Baseline-engine unit tests on a small synthetic database (fast path;
+the TPC-H integration versions live in test_tpch.py)."""
+
+import numpy as np
+import pytest
+
+from repro import ClusterConfig, Database
+from repro.baselines import (
+    BaselineIOStats,
+    MapReduceStyleExecutor,
+    MPPStyleExecutor,
+    SparkStyleExecutor,
+)
+from repro.common import DataType, RowBatch
+from repro.sql import parse
+
+from tests.conftest import rows_match_unordered
+
+
+@pytest.fixture(scope="module")
+def db():
+    d = Database(ClusterConfig(n_workers=3, n_max=4, page_size=16 * 1024))
+    d.sql("create table f (k integer, v integer) partition by hash (k)")
+    d.sql("create table d (dk integer, g varchar) partition by hash (dk)")
+    rng = np.random.default_rng(8)
+    d.load(
+        "f",
+        RowBatch.from_pairs(
+            ("k", DataType.INT64, rng.integers(0, 40, 2000)),
+            ("v", DataType.INT64, rng.integers(0, 100, 2000)),
+        ),
+    )
+    g = np.empty(40, dtype=object)
+    g[:] = [f"g{i % 5}" for i in range(40)]
+    d.load(
+        "d",
+        RowBatch.from_pairs(("dk", DataType.INT64, np.arange(40)), ("g", DataType.STRING, g)),
+    )
+    return d
+
+
+SQL = "select g, sum(v) from f, d where k = dk group by g order by g"
+
+
+def run_with(db, cls):
+    _, phys = db.plan_select(parse(SQL))
+    runtimes = {w: wk.runtime() for w, wk in db.workers.items()}
+    ex = cls(runtimes, db.coord_ids[0], db.net, db.config)
+    batch, stats = ex.execute(phys)
+    return ex, batch.rows()
+
+
+class TestResultEquivalence:
+    @pytest.mark.parametrize(
+        "cls", [MapReduceStyleExecutor, SparkStyleExecutor, MPPStyleExecutor]
+    )
+    def test_same_answers(self, db, cls):
+        ex, got = run_with(db, cls)
+        want = db.execute_reference(SQL).rows()
+        assert rows_match_unordered(got, want)
+
+
+class TestSignatureBehaviours:
+    def test_hive_sorts_and_materializes(self, db):
+        ex, _ = run_with(db, MapReduceStyleExecutor)
+        assert ex.io_stats.shuffle_bytes_written > 0
+        assert ex.io_stats.shuffle_bytes_read >= ex.io_stats.shuffle_bytes_written
+        assert ex.io_stats.sort_rows > 0
+        assert ex.io_stats.stage_bytes_written > 0
+
+    def test_spark_materializes_without_sort(self, db):
+        ex, _ = run_with(db, SparkStyleExecutor)
+        assert ex.io_stats.shuffle_bytes_written > 0
+        assert ex.io_stats.sort_rows == 0
+        assert ex.io_stats.stage_bytes_written == 0
+
+    def test_mpp_no_disk_shuffle(self, db):
+        ex, _ = run_with(db, MPPStyleExecutor)
+        assert not hasattr(ex, "io_stats")  # pipelined in memory
+
+    def test_mpp_direct_connections_exceed_nmax(self, db):
+        db.net.reset_stats()
+        run_with(db, MPPStyleExecutor)
+        direct = db.net.max_connections()
+        db.net.reset_stats()
+        db.sql(SQL)  # HRDBMS path
+        bounded = db.net.max_connections()
+        assert direct >= db.config.n_workers - 1
+        assert bounded <= 2 * db.config.n_max
+
+    def test_mpp_never_uses_bloom(self, db):
+        ex = MPPStyleExecutor(
+            {w: wk.runtime() for w, wk in db.workers.items()},
+            db.coord_ids[0],
+            db.net,
+            db.config,
+        )
+        assert ex._build_bloom_prefilter() is None

@@ -1,0 +1,168 @@
+"""Unit + property tests for RowBatch (the columnar dataflow unit)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common import DataType, RowBatch, Schema
+from repro.common.errors import ExecutionError
+
+
+def sample() -> RowBatch:
+    return RowBatch.from_pairs(
+        ("a", DataType.INT64, [1, 2, 3, 4]),
+        ("b", DataType.STRING, ["x", "y", "x", "z"]),
+        ("c", DataType.FLOAT64, [0.5, 1.5, 2.5, 3.5]),
+    )
+
+
+class TestBasics:
+    def test_len_and_cols(self):
+        b = sample()
+        assert len(b) == 4
+        assert b.col("a").tolist() == [1, 2, 3, 4]
+
+    def test_ragged_rejected(self):
+        schema = Schema.of(("a", DataType.INT64), ("b", DataType.INT64))
+        with pytest.raises(ExecutionError):
+            RowBatch(schema, {"a": np.array([1]), "b": np.array([1, 2])})
+
+    def test_missing_column_rejected(self):
+        schema = Schema.of(("a", DataType.INT64))
+        with pytest.raises(ExecutionError):
+            RowBatch(schema, {})
+
+    def test_filter(self):
+        b = sample().filter(np.array([True, False, True, False]))
+        assert b.col("a").tolist() == [1, 3]
+
+    def test_filter_all_true_is_identity(self):
+        b = sample()
+        assert b.filter(np.ones(4, dtype=bool)) is b
+
+    def test_take(self):
+        b = sample().take(np.array([3, 0]))
+        assert b.col("b").tolist() == ["z", "x"]
+
+    def test_slice(self):
+        assert sample().slice(1, 3).col("a").tolist() == [2, 3]
+
+    def test_project(self):
+        b = sample().project(["c", "a"])
+        assert b.schema.names() == ["c", "a"]
+
+    def test_rename(self):
+        b = sample().rename({"a": "alpha"})
+        assert "alpha" in b.schema
+        assert b.col("alpha").tolist() == [1, 2, 3, 4]
+
+    def test_with_column(self):
+        b = sample().with_column("d", DataType.BOOL, np.array([True] * 4))
+        assert b.schema.names()[-1] == "d"
+
+    def test_rows(self):
+        assert sample().rows()[0] == (1, "x", 0.5)
+
+    def test_concat(self):
+        b = sample()
+        c = RowBatch.concat(b.schema, [b, b.slice(0, 2)])
+        assert len(c) == 6
+
+    def test_concat_empty(self):
+        b = sample()
+        assert len(RowBatch.concat(b.schema, [])) == 0
+
+    def test_empty(self):
+        e = RowBatch.empty(sample().schema)
+        assert len(e) == 0 and e.schema == sample().schema
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        b = sample()
+        back = RowBatch.from_bytes(b.to_bytes())
+        assert back.schema == b.schema
+        for c in b.schema:
+            assert back.col(c.name).tolist() == b.col(c.name).tolist()
+
+    def test_roundtrip_empty(self):
+        e = RowBatch.empty(sample().schema)
+        assert len(RowBatch.from_bytes(e.to_bytes())) == 0
+
+    def test_roundtrip_all_types(self):
+        b = RowBatch.from_pairs(
+            ("i", DataType.INT64, [-(2**60), 0, 2**60]),
+            ("f", DataType.FLOAT64, [1e-300, 0.0, 1e300]),
+            ("d", DataType.DATE, [0, 10_000, -1]),
+            ("s", DataType.STRING, ["", "héllo", "x" * 1000]),
+            ("t", DataType.BOOL, [True, False, True]),
+        )
+        back = RowBatch.from_bytes(b.to_bytes())
+        assert back.rows() == b.rows()
+
+    def test_bad_magic(self):
+        with pytest.raises(ExecutionError):
+            RowBatch.from_bytes(b"XXXX....")
+
+    def test_nbytes_positive(self):
+        assert sample().nbytes > 0
+
+
+class TestHashPartition:
+    def test_partition_covers_all_rows(self):
+        b = sample()
+        parts = b.partition(["a"], 3)
+        assert sum(len(p) for p in parts) == len(b)
+
+    def test_partition_deterministic_on_key(self):
+        """Equal keys land in the same partition (shuffle correctness)."""
+        b = RowBatch.from_pairs(("k", DataType.INT64, [7, 7, 7, 8, 8]))
+        parts = b.partition(["k"], 4)
+        for p in parts:
+            assert len(set(p.col("k").tolist())) <= 2
+
+    def test_hash_stable_across_batches(self):
+        b1 = RowBatch.from_pairs(("k", DataType.INT64, [42]))
+        b2 = RowBatch.from_pairs(("k", DataType.INT64, [42, 1]))
+        assert b1.hash_codes(["k"])[0] == b2.hash_codes(["k"])[0]
+
+    def test_hash_string_matches_int_semantics(self):
+        b = RowBatch.from_pairs(("s", DataType.STRING, ["a", "b", "a"]))
+        h = b.hash_codes(["s"])
+        assert h[0] == h[2] and h[0] != h[1]
+
+    def test_date_and_int_same_value_hash_equal(self):
+        """A DATE column and an INT64 column with equal values co-locate."""
+        d = RowBatch.from_pairs(("k", DataType.DATE, [1000, 2000]))
+        i = RowBatch.from_pairs(("k", DataType.INT64, [1000, 2000]))
+        assert d.hash_codes(["k"]).tolist() == i.hash_codes(["k"]).tolist()
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    values=st.lists(st.integers(min_value=-(2**40), max_value=2**40), min_size=0, max_size=200),
+    n_parts=st.integers(min_value=1, max_value=7),
+)
+def test_partition_property(values, n_parts):
+    """Partitioning is a lossless disjoint cover with key-locality."""
+    b = RowBatch.from_pairs(("k", DataType.INT64, values))
+    parts = b.partition(["k"], n_parts)
+    assert len(parts) <= n_parts
+    collected = sorted(v for p in parts for v in p.col("k").tolist())
+    assert collected == sorted(values)
+    seen: dict[int, int] = {}
+    for i, p in enumerate(parts):
+        for v in p.col("k").tolist():
+            assert seen.setdefault(v, i) == i
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    strings=st.lists(
+        st.text(alphabet=st.characters(codec="utf-8"), max_size=30), min_size=0, max_size=50
+    )
+)
+def test_serialization_property_strings(strings):
+    b = RowBatch.from_pairs(("s", DataType.STRING, strings))
+    assert RowBatch.from_bytes(b.to_bytes()).col("s").tolist() == strings

@@ -1,0 +1,284 @@
+"""Binder tests: lowering shapes + an independent decorrelation oracle.
+
+The oracle executes WHERE-clause subqueries the naive way — per outer
+row, by nested iteration — so decorrelation bugs can't hide behind the
+engine comparing against itself.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.common import DataType, RowBatch, Schema
+from repro.common.errors import PlanError
+from repro.core import execute_logical
+from repro.optimizer import Binder, Catalog
+from repro.optimizer.logical import Aggregate, Distinct, Filter, Join, Limit, Project, Scan, Sort
+from repro.optimizer.rewrite import push_filters
+from repro.sql import parse
+from repro.sql.ast import (
+    BinaryOp,
+    ColumnRef,
+    Exists,
+    InSubquery,
+    Literal,
+    ScalarSubquery,
+    SelectStmt,
+    UnaryOp,
+)
+
+T1 = Schema.of(("a", DataType.INT64), ("b", DataType.INT64))
+T2 = Schema.of(("x", DataType.INT64), ("y", DataType.INT64))
+T3 = Schema.of(("p", DataType.INT64), ("q", DataType.STRING))
+
+
+class Cat(Catalog):
+    def table_schema(self, name):
+        return {"t1": T1, "t2": T2, "t3": T3}[name]
+
+
+DATA = {
+    "t1": RowBatch(T1, {"a": np.array([1, 2, 3, 4]), "b": np.array([10, 20, 30, 40])}),
+    "t2": RowBatch(T2, {"x": np.array([2, 3, 3, 9]), "y": np.array([5, 6, 7, 8])}),
+    "t3": RowBatch(
+        T3, {"p": np.array([1, 3]), "q": np.asarray(["one", "three"], object)}
+    ),
+}
+
+
+def bind(sql: str):
+    return Binder(Cat()).bind(parse(sql))
+
+
+def run(sql: str):
+    plan = push_filters(bind(sql))
+    return execute_logical(plan, lambda n: DATA[n]).rows()
+
+
+class TestShapes:
+    def test_simple_projection(self):
+        plan = bind("select a, b from t1")
+        assert isinstance(plan, Project)
+        assert isinstance(plan.child, Scan)
+
+    def test_star_expansion(self):
+        plan = bind("select * from t1")
+        assert plan.schema.names() == ["a", "b"]
+
+    def test_comma_join_is_cross(self):
+        plan = bind("select a, x from t1, t2")
+        joins = [n for n in _walk(plan) if isinstance(n, Join)]
+        assert joins and joins[0].kind == "cross"
+
+    def test_where_becomes_filter(self):
+        plan = bind("select a from t1 where a > 2")
+        assert any(isinstance(n, Filter) for n in _walk(plan))
+
+    def test_aggregate_node(self):
+        plan = bind("select a, sum(b) from t1 group by a")
+        aggs = [n for n in _walk(plan) if isinstance(n, Aggregate)]
+        assert len(aggs) == 1
+        assert aggs[0].group_keys == ("a",)
+
+    def test_distinct(self):
+        plan = bind("select distinct a from t1")
+        assert any(isinstance(n, Distinct) for n in _walk(plan))
+
+    def test_order_and_limit(self):
+        plan = bind("select a from t1 order by a desc limit 2")
+        assert isinstance(plan, Limit)
+        assert isinstance(plan.child, Sort)
+        assert plan.child.keys[0][1] is False
+
+    def test_order_by_expression_hidden_column(self):
+        # dialect rule: ORDER BY expressions see the SELECT output columns
+        plan = bind("select a from t1 order by a * -1")
+        assert plan.schema.names() == ["a"]  # hidden sort column dropped
+
+    def test_exists_becomes_semi(self):
+        plan = bind("select a from t1 where exists (select * from t2 where x = a)")
+        kinds = [n.kind for n in _walk(plan) if isinstance(n, Join)]
+        assert "semi" in kinds
+
+    def test_not_exists_becomes_anti(self):
+        plan = bind("select a from t1 where not exists (select * from t2 where x = a)")
+        kinds = [n.kind for n in _walk(plan) if isinstance(n, Join)]
+        assert "anti" in kinds
+
+    def test_in_subquery_semi(self):
+        plan = bind("select a from t1 where a in (select x from t2)")
+        kinds = [n.kind for n in _walk(plan) if isinstance(n, Join)]
+        assert "semi" in kinds
+
+    def test_uncorrelated_scalar_single_join(self):
+        plan = bind("select a from t1 where a > (select min(x) from t2)")
+        kinds = [n.kind for n in _walk(plan) if isinstance(n, Join)]
+        assert "single" in kinds
+
+    def test_correlated_scalar_grouped_join(self):
+        plan = bind(
+            "select a from t1 where b > (select sum(y) from t2 where x = a)"
+        )
+        aggs = [n for n in _walk(plan) if isinstance(n, Aggregate)]
+        assert aggs and len(aggs[0].group_keys) == 1
+
+    def test_left_join_adds_match_column(self):
+        plan = bind("select a, x from t1 left outer join t2 on a = x")
+        joins = [n for n in _walk(plan) if isinstance(n, Join) and n.kind == "left"]
+        assert joins and joins[0].match_column is not None
+
+    def test_cte_inlined(self):
+        plan = bind("with w as (select a from t1) select * from w")
+        assert any(isinstance(n, Scan) and n.table == "t1" for n in _walk(plan))
+
+    def test_full_outer_rejected(self):
+        with pytest.raises(PlanError):
+            bind("select * from t1 full outer join t2 on a = x")
+
+
+def _walk(plan):
+    yield plan
+    for c in plan.children():
+        yield from _walk(c)
+
+
+# ---------------------------------------------------------------------------
+# Naive per-row subquery oracle
+# ---------------------------------------------------------------------------
+
+
+def _rows(table):
+    b = DATA[table]
+    return [dict(zip(b.schema.names(), r)) for r in b.rows()]
+
+
+def naive(sql_filter, tables, projection):
+    """Nested-loop evaluation: sql_filter(env) -> bool over joined rows."""
+    out = []
+    names = [t for t, _ in tables]
+    for combo in itertools.product(*[_rows(t) for t, _ in tables]):
+        env = {}
+        for (t, alias), row in zip(tables, combo):
+            for k, v in row.items():
+                env[k] = v
+                if alias:
+                    env[f"{alias}.{k}"] = v
+        if sql_filter(env):
+            out.append(tuple(env[c] for c in projection))
+    return sorted(out)
+
+
+class TestDecorrelationOracle:
+    def test_exists(self):
+        got = sorted(run("select a from t1 where exists (select * from t2 where x = a)"))
+        want = naive(
+            lambda e: any(r["x"] == e["a"] for r in _rows("t2")), [("t1", None)], ["a"]
+        )
+        assert got == want
+
+    def test_not_exists(self):
+        got = sorted(
+            run("select a from t1 where not exists (select * from t2 where x = a)")
+        )
+        want = naive(
+            lambda e: not any(r["x"] == e["a"] for r in _rows("t2")),
+            [("t1", None)],
+            ["a"],
+        )
+        assert got == want
+
+    def test_exists_with_extra_condition(self):
+        got = sorted(
+            run(
+                "select a from t1 where exists "
+                "(select * from t2 where x = a and y > 5)"
+            )
+        )
+        want = naive(
+            lambda e: any(r["x"] == e["a"] and r["y"] > 5 for r in _rows("t2")),
+            [("t1", None)],
+            ["a"],
+        )
+        assert got == want
+
+    def test_in_subquery(self):
+        got = sorted(run("select a, b from t1 where a in (select x from t2)"))
+        want = naive(
+            lambda e: e["a"] in {r["x"] for r in _rows("t2")},
+            [("t1", None)],
+            ["a", "b"],
+        )
+        assert got == want
+
+    def test_not_in_subquery(self):
+        got = sorted(run("select a from t1 where a not in (select x from t2)"))
+        want = naive(
+            lambda e: e["a"] not in {r["x"] for r in _rows("t2")},
+            [("t1", None)],
+            ["a"],
+        )
+        assert got == want
+
+    def test_uncorrelated_scalar(self):
+        got = sorted(run("select a from t1 where a > (select min(x) from t2)"))
+        mn = min(r["x"] for r in _rows("t2"))
+        want = naive(lambda e: e["a"] > mn, [("t1", None)], ["a"])
+        assert got == want
+
+    def test_correlated_scalar_aggregate(self):
+        got = sorted(run("select a from t1 where b > (select sum(y) from t2 where x = a)"))
+
+        def pred(e):
+            ys = [r["y"] for r in _rows("t2") if r["x"] == e["a"]]
+            return bool(ys) and e["b"] > sum(ys)
+
+        want = naive(pred, [("t1", None)], ["a"])
+        assert got == want
+
+    def test_correlated_scalar_empty_group_filters_row(self):
+        """SQL: comparison with an empty scalar subquery is NULL -> false."""
+        got = run("select a from t1 where b > (select sum(y) from t2 where x = a)")
+        # a=1 and a=4 have no t2 match: must not appear
+        values = {r[0] for r in got}
+        assert 1 not in values and 4 not in values
+
+    def test_self_subquery_shadowing(self):
+        """Inner scope wins for ambiguous refs (Q17's pattern)."""
+        got = sorted(
+            run(
+                "select a from t1 where b > "
+                "(select sum(b) from t1 where a = 1) and a > 0"
+            )
+        )
+        total = sum(r["b"] for r in _rows("t1") if r["a"] == 1)
+        want = naive(lambda e: e["b"] > total, [("t1", None)], ["a"])
+        assert got == want
+
+    def test_in_subquery_with_correlation(self):
+        got = sorted(
+            run(
+                "select a from t1 where a in (select x from t2 where y > b)"
+            )
+        )
+        want = naive(
+            lambda e: any(r["x"] == e["a"] and r["y"] > e["b"] for r in _rows("t2")),
+            [("t1", None)],
+            ["a"],
+        )
+        assert got == want
+
+    def test_nonequi_semi_join_condition(self):
+        """Q21's pattern: equi + non-equi correlation in one EXISTS."""
+        got = sorted(
+            run(
+                "select a from t1 where exists "
+                "(select * from t2 where x = a and y <> b)"
+            )
+        )
+        want = naive(
+            lambda e: any(r["x"] == e["a"] and r["y"] != e["b"] for r in _rows("t2")),
+            [("t1", None)],
+            ["a"],
+        )
+        assert got == want

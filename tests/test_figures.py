@@ -1,0 +1,85 @@
+"""Figure-harness plumbing: print functions, data classes, module exports."""
+
+import pytest
+
+from repro.bench import figures
+from repro.bench.model import PROFILES, QueryCost, SystemProfile, cost_query, plan_query
+
+
+class TestPrinters:
+    """Every print_* function must run and emit the paper's table headers."""
+
+    def test_print_fig7(self, capsys):
+        figures.print_fig7()
+        out = capsys.readouterr().out
+        assert "Figure 7" in out and "Step-wise" in out
+        assert "greenplum" in out and "hrdbms" in out
+
+    def test_print_fig8(self, capsys):
+        figures.print_fig8(8)
+        out = capsys.readouterr().out
+        assert "Figure 8" in out and "OOM" in out
+
+    def test_print_fig9(self, capsys):
+        figures.print_fig9()
+        out = capsys.readouterr().out
+        assert "Q18" in out and "Greenplum" in out
+
+    def test_print_tab_3tb(self, capsys):
+        figures.print_tab_3tb()
+        out = capsys.readouterr().out
+        assert "3 TB" in out
+
+    def test_print_tab_newver(self, capsys):
+        figures.print_tab_newver()
+        out = capsys.readouterr().out
+        assert "HRDBMS vs Hive-on-Tez factor" in out
+
+
+class TestProfiles:
+    def test_all_systems_defined(self):
+        for name in ("hrdbms", "greenplum", "sparksql", "hive", "hive_tez", "spark2", "hrdbms_v2"):
+            assert name in PROFILES
+            assert PROFILES[name].cpu_rows_per_sec > 0
+
+    def test_mechanism_flags_match_paper(self):
+        assert PROFILES["hrdbms"].bounded_topology
+        assert PROFILES["hrdbms"].data_skipping and PROFILES["hrdbms"].bloom
+        assert not PROFILES["greenplum"].data_skipping
+        assert PROFILES["greenplum"].locality and not PROFILES["sparksql"].locality
+        assert PROFILES["hive"].shuffle_sort and PROFILES["hive"].stage_materialize
+        assert PROFILES["sparksql"].shuffle_materialize and not PROFILES["sparksql"].shuffle_sort
+        assert not PROFILES["greenplum"].can_spill
+
+    def test_version_variants_faster(self):
+        assert PROFILES["hive_tez"].cpu_rows_per_sec > PROFILES["hive"].cpu_rows_per_sec
+        assert PROFILES["hrdbms_v2"].cpu_rows_per_sec > PROFILES["hrdbms"].cpu_rows_per_sec
+
+
+class TestCostQuery:
+    def test_components_sum(self):
+        plan = plan_query("hrdbms", 1, 1000.0, 8)
+        qc = cost_query(plan, PROFILES["hrdbms"], 8)
+        assert qc.seconds == pytest.approx(
+            qc.io_seconds + qc.cpu_seconds + qc.net_seconds
+            + qc.spill_seconds + qc.startup_seconds
+        )
+
+    def test_more_nodes_less_time(self):
+        p8 = plan_query("hrdbms", 5, 1000.0, 8)
+        p64 = plan_query("hrdbms", 5, 1000.0, 64)
+        t8 = cost_query(p8, PROFILES["hrdbms"], 8).seconds
+        t64 = cost_query(p64, PROFILES["hrdbms"], 64).seconds
+        assert t64 < t8
+
+    def test_larger_sf_costs_more(self):
+        from repro.bench.model import model_query
+
+        t1 = model_query("hrdbms", 1, 1000.0, 8).seconds
+        t3 = model_query("hrdbms", 1, 3000.0, 8).seconds
+        assert 2.0 < t3 / t1 < 4.5
+
+    def test_stage_count_counts_exchanges(self):
+        plan = plan_query("hive", 5, 1000.0, 8)
+        qc = cost_query(plan, PROFILES["hive"], 8)
+        assert qc.n_stages == plan.count_ops("shuffle") + plan.count_ops("gather") + plan.count_ops("broadcast") + 1

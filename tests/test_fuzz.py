@@ -1,0 +1,122 @@
+"""Randomized query fuzzing: the distributed engine must agree with the
+single-node reference executor on arbitrarily generated queries.
+
+A deterministic generator (seeded RNG) builds queries over random small
+tables from a grammar of filters, joins, group-bys, havings, order-bys
+and limits. Catches cross-cutting bugs no hand-written case would.
+"""
+
+import numpy as np
+import pytest
+
+from repro import ClusterConfig, Database
+from repro.common import DataType, RowBatch
+
+from tests.conftest import rows_match_unordered
+
+N_QUERIES = 60
+
+
+@pytest.fixture(scope="module")
+def fuzz_db():
+    db = Database(ClusterConfig(n_workers=3, n_max=4, page_size=16 * 1024))
+    rng = np.random.default_rng(99)
+    n1, n2 = 400, 150
+    s = np.empty(n1, dtype=object)
+    s[:] = [f"s{i % 6}" for i in range(n1)]
+    db.sql("create table t1 (a integer, b integer, s varchar) partition by hash (a)")
+    db.load(
+        "t1",
+        RowBatch.from_pairs(
+            ("a", DataType.INT64, rng.integers(0, 50, n1)),
+            ("b", DataType.INT64, rng.integers(-20, 20, n1)),
+            ("s", DataType.STRING, s),
+        ),
+    )
+    db.sql("create table t2 (x integer, y decimal) partition by hash (x)")
+    db.load(
+        "t2",
+        RowBatch.from_pairs(
+            ("x", DataType.INT64, rng.integers(0, 50, n2)),
+            ("y", DataType.FLOAT64, np.round(rng.random(n2) * 100, 3)),
+        ),
+    )
+    return db
+
+
+def _pred(rng, cols):
+    """Random predicate over the given (name, kind) columns."""
+    kind = rng.integers(0, 6)
+    name, ctype = cols[rng.integers(0, len(cols))]
+    if ctype == "str":
+        choices = [f"s{i}" for i in range(6)]
+        if kind % 2 == 0:
+            return f"{name} = '{choices[rng.integers(0, 6)]}'"
+        return f"{name} in ('{choices[rng.integers(0, 6)]}', '{choices[rng.integers(0, 6)]}')"
+    v = int(rng.integers(-25, 55))
+    if kind == 0:
+        return f"{name} = {v}"
+    if kind == 1:
+        return f"{name} < {v}"
+    if kind == 2:
+        return f"{name} >= {v}"
+    if kind == 3:
+        return f"{name} between {v} and {v + int(rng.integers(1, 20))}"
+    if kind == 4:
+        return f"{name} <> {v}"
+    return f"not {name} = {v}"
+
+
+def _bool_expr(rng, cols, depth=0):
+    if depth >= 2 or rng.random() < 0.5:
+        return _pred(rng, cols)
+    op = "and" if rng.random() < 0.6 else "or"
+    return f"({_bool_expr(rng, cols, depth + 1)} {op} {_bool_expr(rng, cols, depth + 1)})"
+
+
+def _gen_query(rng) -> str:
+    t1_cols = [("a", "int"), ("b", "int"), ("s", "str")]
+    t2_cols = [("x", "int"), ("y", "float")]
+    joined = rng.random() < 0.4
+    cols = t1_cols + (t2_cols if joined else [])
+    frm = "t1, t2" if joined else "t1"
+    where = [_bool_expr(rng, cols)]
+    if joined:
+        where.append("a = x")
+    shape = rng.integers(0, 4)
+    order_limit = ""
+    if rng.random() < 0.5:
+        order_limit = f" limit {int(rng.integers(1, 20))}"
+    if shape == 0:  # plain projection
+        sql = f"select a, b, s from {frm} where {' and '.join(where)}"
+        if order_limit:
+            sql += " order by a, b, s" + order_limit
+        return sql
+    if shape == 1:  # global aggregate
+        return f"select count(*), sum(b), min(a), max(a) from {frm} where {' and '.join(where)}"
+    if shape == 2:  # group by
+        sql = (
+            f"select s, count(*) c, sum(b) t from {frm} "
+            f"where {' and '.join(where)} group by s"
+        )
+        if rng.random() < 0.4:
+            sql += f" having count(*) > {int(rng.integers(0, 4))}"
+        sql += " order by s"
+        return sql
+    # distinct
+    sql = f"select distinct s from {frm} where {' and '.join(where)} order by s"
+    return sql
+
+
+@pytest.mark.parametrize("seed", range(N_QUERIES))
+def test_fuzzed_query_matches_reference(fuzz_db, seed):
+    rng = np.random.default_rng(1000 + seed)
+    sql = _gen_query(rng)
+    got = fuzz_db.sql(sql).rows()
+    want = fuzz_db.execute_reference(sql).rows()
+    if " limit " in sql:
+        # a LIMIT without total order is nondeterministic across engines:
+        # only the cardinality is comparable
+        assert len(got) == len(want), sql
+    else:
+        assert rows_match_unordered(got, want), sql

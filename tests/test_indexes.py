@@ -1,0 +1,189 @@
+"""B+-tree and disk skip list tests (unit + hypothesis vs oracle)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.btree import BPlusTree
+from repro.storage.buffer import BufferManager
+from repro.storage.skiplist import DiskSkipList
+from repro.util.fs import MemFS
+
+
+def _bt(memfs=None, bufmgr=None, order=16):
+    memfs = memfs or MemFS()
+    bufmgr = bufmgr or BufferManager(2, 128)
+    return BPlusTree(memfs, bufmgr, "idx.bt", page_size=8192, order=order), memfs, bufmgr
+
+
+class TestBPlusTree:
+    def test_insert_search(self):
+        t, _, _ = _bt()
+        for k in [5, 1, 9, 3]:
+            t.insert(k, k * 10)
+        assert t.search(9) == [90]
+        assert t.search(7) == []
+
+    def test_duplicates(self):
+        t, _, _ = _bt()
+        t.insert(4, "a")
+        t.insert(4, "b")
+        assert sorted(t.search(4)) == ["a", "b"]
+
+    def test_range_scan_inclusive(self):
+        t, _, _ = _bt()
+        for k in range(100):
+            t.insert(k, k)
+        assert [k for k, _ in t.range_scan(10, 15)] == [10, 11, 12, 13, 14, 15]
+        assert [k for k, _ in t.range_scan(10, 15, lo_inclusive=False)] == [11, 12, 13, 14, 15]
+        assert [k for k, _ in t.range_scan(None, 2)] == [0, 1, 2]
+        assert [k for k, _ in t.range_scan(97, None)] == [97, 98, 99]
+
+    def test_splits_grow_height(self):
+        t, _, _ = _bt(order=8)
+        for k in range(500):
+            t.insert(k, k)
+        assert t.height() >= 2
+        assert [k for k, _ in t.items()] == list(range(500))
+
+    def test_random_order_inserts_sorted_scan(self):
+        t, _, _ = _bt(order=8)
+        keys = list(range(300))
+        random.seed(42)
+        random.shuffle(keys)
+        for k in keys:
+            t.insert(k, k)
+        assert [k for k, _ in t.items()] == list(range(300))
+
+    def test_delete_logical(self):
+        t, _, _ = _bt()
+        for k in range(20):
+            t.insert(k, k)
+        assert t.delete(7) == 1
+        assert t.search(7) == []
+        assert t.delete(7) == 0
+        assert [k for k, _ in t.range_scan(5, 9)] == [5, 6, 8, 9]
+
+    def test_delete_specific_value(self):
+        t, _, _ = _bt()
+        t.insert(1, "a")
+        t.insert(1, "b")
+        assert t.delete(1, "a") == 1
+        assert t.search(1) == ["b"]
+
+    def test_persistence_reopen(self):
+        t, fs, bm = _bt()
+        for k in range(50):
+            t.insert(k, k * 2)
+        bm.flush()
+        bm2 = BufferManager(2, 128)
+        t2 = BPlusTree(fs, bm2, "idx.bt", page_size=8192)
+        assert t2.search(30) == [60]
+
+    def test_composite_keys(self):
+        t, _, _ = _bt()
+        t.insert((1, "b"), "x")
+        t.insert((1, "a"), "y")
+        t.insert((2, "a"), "z")
+        assert [k for k, _ in t.items()] == [(1, "a"), (1, "b"), (2, "a")]
+
+    def test_bulk_build(self):
+        fs, bm = MemFS(), BufferManager(2, 128)
+        t = BPlusTree.bulk_build(fs, bm, "b.bt", [(3, "c"), (1, "a"), (2, "b")], page_size=8192)
+        assert [v for _, v in t.items()] == ["a", "b", "c"]
+
+
+class TestDiskSkipList:
+    def _sl(self):
+        fs = MemFS()
+        bm = BufferManager(2, 128)
+        return DiskSkipList(fs, bm, "idx.sl", page_size=8192), fs, bm
+
+    def test_insert_search(self):
+        sl, _, _ = self._sl()
+        for k in [5, 1, 9, 3, 7]:
+            sl.insert(k, k * 10)
+        assert sl.search(7) == [70]
+        assert sl.search(2) == []
+
+    def test_sorted_iteration(self):
+        sl, _, _ = self._sl()
+        random.seed(3)
+        keys = random.sample(range(1000), 200)
+        for k in keys:
+            sl.insert(k, k)
+        assert [k for k, _ in sl.items()] == sorted(keys)
+
+    def test_range_scan(self):
+        sl, _, _ = self._sl()
+        for k in range(50):
+            sl.insert(k, k)
+        assert [k for k, _ in sl.range_scan(10, 14)] == [10, 11, 12, 13, 14]
+
+    def test_duplicates_preserved(self):
+        sl, _, _ = self._sl()
+        sl.insert(4, "a")
+        sl.insert(4, "b")
+        assert len(sl.search(4)) == 2
+
+    def test_logical_delete(self):
+        sl, _, _ = self._sl()
+        for k in [1, 2, 2, 3]:
+            sl.insert(k, k)
+        assert sl.delete(2) == 2
+        assert [k for k, _ in sl.items()] == [1, 3]
+        # nodes remain on disk (append-only), only marked
+        assert sl.n_nodes == 4
+
+    def test_append_only_batch_locality(self):
+        """Batch inserts of ascending keys share pages (paper's I/O claim)."""
+        sl, fs, bm = self._sl()
+        for k in range(200):
+            sl.insert(k, k)
+        assert sl.file.num_pages() <= 4  # 128 nodes/page
+
+    def test_persistence_reopen(self):
+        sl, fs, bm = self._sl()
+        for k in range(30):
+            sl.insert(k, k)
+        bm.flush()
+        bm2 = BufferManager(2, 128)
+        sl2 = DiskSkipList(fs, bm2, "idx.sl", page_size=8192)
+        assert sl2.search(10) == [10]
+        sl2.insert(1000, 1)
+        assert [k for k, _ in sl2.range_scan(999, None)] == [1000]
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(st.sampled_from(["insert", "delete"]), st.integers(0, 30)),
+        min_size=1,
+        max_size=60,
+    )
+)
+def test_btree_matches_oracle(ops):
+    t, _, _ = _bt(order=8)
+    oracle: list[tuple[int, int]] = []
+    for op, k in ops:
+        if op == "insert":
+            t.insert(k, k)
+            oracle.append((k, k))
+        else:
+            removed = t.delete(k)
+            present = [p for p in oracle if p[0] == k]
+            assert removed == len(present)
+            oracle = [p for p in oracle if p[0] != k]
+    assert [k for k, _ in t.items()] == sorted(k for k, _ in oracle)
+
+
+@settings(max_examples=40, deadline=None)
+@given(keys=st.lists(st.integers(0, 100), min_size=0, max_size=80))
+def test_skiplist_matches_oracle(keys):
+    fs, bm = MemFS(), BufferManager(2, 128)
+    sl = DiskSkipList(fs, bm, "h.sl", page_size=8192)
+    for k in keys:
+        sl.insert(k, k)
+    assert [k for k, _ in sl.items()] == sorted(keys)

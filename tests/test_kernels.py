@@ -1,0 +1,225 @@
+"""Vectorized kernel tests with brute-force oracles."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common import DataType, RowBatch
+from repro.core.kernels import (
+    bloom_filter_codes,
+    bloom_filter_test,
+    factorize,
+    factorize_pair,
+    group_aggregate,
+    group_count_distinct,
+    group_sum_distinct,
+    join_match_indices,
+    match_mask,
+    sort_indices,
+    top_k,
+)
+
+
+class TestFactorize:
+    def test_exact_codes(self):
+        codes, n = factorize([np.array([5, 3, 5, 7])])
+        assert n == 3
+        assert codes[0] == codes[2] and len(set(codes.tolist())) == 3
+
+    def test_composite(self):
+        codes, n = factorize([np.array([1, 1, 2]), np.array(["a", "b", "a"], object)])
+        assert n == 3
+
+    def test_pair_shared_dictionary(self):
+        l, r = factorize_pair([np.array([1, 2, 3])], [np.array([3, 4])])
+        assert l[2] == r[0]
+        assert len(set(l.tolist()) | set(r.tolist())) == 4
+
+    def test_pair_strings(self):
+        l, r = factorize_pair(
+            [np.array(["x", "y"], object)], [np.array(["y", "z"], object)]
+        )
+        assert l[1] == r[0] and l[0] != r[1]
+
+    def test_empty(self):
+        codes, n = factorize([np.array([], dtype=np.int64)])
+        assert n == 0 and len(codes) == 0
+
+
+class TestJoinIndices:
+    def test_all_pairs(self):
+        l, r = factorize_pair([np.array([1, 2, 2])], [np.array([2, 2, 3])])
+        li, ri = join_match_indices(l, r)
+        pairs = sorted(zip(li.tolist(), ri.tolist()))
+        assert pairs == [(1, 0), (1, 1), (2, 0), (2, 1)]
+
+    def test_no_matches(self):
+        l, r = factorize_pair([np.array([1])], [np.array([2])])
+        li, ri = join_match_indices(l, r)
+        assert len(li) == 0 and len(ri) == 0
+
+    def test_match_mask(self):
+        l, r = factorize_pair([np.array([1, 5, 9])], [np.array([5, 5])])
+        assert match_mask(l, r).tolist() == [False, True, False]
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    left=st.lists(st.integers(0, 8), min_size=0, max_size=30),
+    right=st.lists(st.integers(0, 8), min_size=0, max_size=30),
+)
+def test_join_matches_bruteforce(left, right):
+    l, r = factorize_pair([np.array(left, np.int64)], [np.array(right, np.int64)])
+    li, ri = join_match_indices(l, r)
+    got = sorted(zip(li.tolist(), ri.tolist()))
+    want = sorted(
+        (i, j) for i, a in enumerate(left) for j, b in enumerate(right) if a == b
+    )
+    assert got == want
+
+
+class TestGroupAggregate:
+    def test_sum_count(self):
+        codes = np.array([0, 1, 0, 1, 1])
+        vals = np.array([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert group_aggregate(codes, 2, "SUM", vals).tolist() == [4.0, 11.0]
+        assert group_aggregate(codes, 2, "COUNT", None).tolist() == [2, 3]
+
+    def test_count_with_validity(self):
+        codes = np.array([0, 0, 1])
+        valid = np.array([True, False, True])
+        assert group_aggregate(codes, 2, "COUNT", None, valid).tolist() == [1, 1]
+
+    def test_min_max(self):
+        codes = np.array([1, 0, 1, 0])
+        vals = np.array([5.0, 2.0, -1.0, 8.0])
+        assert group_aggregate(codes, 2, "MIN", vals).tolist() == [2.0, -1.0]
+        assert group_aggregate(codes, 2, "MAX", vals).tolist() == [8.0, 5.0]
+
+    def test_min_max_strings(self):
+        codes = np.array([0, 0, 1])
+        vals = np.array(["b", "a", "z"], object)
+        assert group_aggregate(codes, 2, "MIN", vals).tolist() == ["a", "z"]
+
+    def test_avg(self):
+        codes = np.array([0, 0])
+        vals = np.array([1.0, 3.0])
+        assert group_aggregate(codes, 1, "AVG", vals).tolist() == [2.0]
+
+    def test_int_sum_stays_int(self):
+        codes = np.array([0])
+        out = group_aggregate(codes, 1, "SUM", np.array([5], np.int64))
+        assert out.dtype == np.int64
+
+    def test_count_distinct(self):
+        codes = np.array([0, 0, 0, 1])
+        vals = np.array([7, 7, 8, 7], np.int64)
+        assert group_count_distinct(codes, 2, vals).tolist() == [2, 1]
+
+    def test_sum_distinct(self):
+        codes = np.array([0, 0, 0])
+        vals = np.array([5.0, 5.0, 3.0])
+        assert group_sum_distinct(codes, 1, vals).tolist() == [8.0]
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    data=st.lists(
+        st.tuples(st.integers(0, 4), st.integers(-100, 100)), min_size=1, max_size=50
+    ),
+    func=st.sampled_from(["SUM", "COUNT", "MIN", "MAX", "AVG"]),
+)
+def test_group_aggregate_bruteforce(data, func):
+    codes = np.array([g for g, _ in data])
+    vals = np.array([v for _, v in data], dtype=np.float64)
+    n = int(codes.max()) + 1
+    out = group_aggregate(codes, n, func, None if func == "COUNT" else vals)
+    for g in range(n):
+        members = [v for gg, v in data if gg == g]
+        if not members:
+            continue
+        want = {
+            "SUM": sum(members),
+            "COUNT": len(members),
+            "MIN": min(members),
+            "MAX": max(members),
+            "AVG": sum(members) / len(members),
+        }[func]
+        assert out[g] == pytest.approx(want)
+
+
+class TestSort:
+    def batch(self):
+        return RowBatch.from_pairs(
+            ("k", DataType.INT64, [3, 1, 2, 1]),
+            ("s", DataType.STRING, ["c", "b", "a", "a"]),
+        )
+
+    def test_single_key_asc(self):
+        b = self.batch()
+        out = b.take(sort_indices(b, [("k", True)]))
+        assert out.col("k").tolist() == [1, 1, 2, 3]
+
+    def test_desc_numeric(self):
+        b = self.batch()
+        out = b.take(sort_indices(b, [("k", False)]))
+        assert out.col("k").tolist() == [3, 2, 1, 1]
+
+    def test_desc_string(self):
+        b = self.batch()
+        out = b.take(sort_indices(b, [("s", False)]))
+        assert out.col("s").tolist() == ["c", "b", "a", "a"]
+
+    def test_multi_key(self):
+        b = self.batch()
+        out = b.take(sort_indices(b, [("k", True), ("s", False)]))
+        assert out.rows() == [(1, "b"), (1, "a"), (2, "a"), (3, "c")]
+
+    def test_stability(self):
+        b = RowBatch.from_pairs(
+            ("k", DataType.INT64, [1, 1, 1]),
+            ("i", DataType.INT64, [0, 1, 2]),
+        )
+        out = b.take(sort_indices(b, [("k", True)]))
+        assert out.col("i").tolist() == [0, 1, 2]
+
+
+class TestTopK:
+    def test_top_k_returns_sorted_head(self):
+        b = RowBatch.from_pairs(("v", DataType.INT64, [5, 1, 9, 3, 7]))
+        out = top_k(b, [("v", False)], 2)
+        assert out.col("v").tolist() == [9, 7]
+
+    def test_top_k_small_input(self):
+        b = RowBatch.from_pairs(("v", DataType.INT64, [2, 1]))
+        out = top_k(b, [("v", True)], 10)
+        assert out.col("v").tolist() == [1, 2]
+
+    def test_incremental_fold_equals_global(self):
+        """The streaming heap fold (per-worker top-k) matches a global sort."""
+        rng = np.random.default_rng(0)
+        vals = rng.integers(0, 1000, 500)
+        b = RowBatch.from_pairs(("v", DataType.INT64, vals))
+        acc = RowBatch.empty(b.schema)
+        for i in range(0, 500, 64):
+            chunk = b.slice(i, i + 64)
+            acc = top_k(RowBatch.concat(b.schema, [acc, chunk]), [("v", False)], 10)
+        want = sorted(vals.tolist(), reverse=True)[:10]
+        assert acc.col("v").tolist() == want
+
+
+class TestBloom:
+    def test_no_false_negatives(self):
+        rng = np.random.default_rng(1)
+        keys = rng.integers(0, 1 << 40, 5000).astype(np.uint64)
+        bits = bloom_filter_codes(keys)
+        assert bloom_filter_test(bits, keys).all()
+
+    def test_filters_most_nonmembers(self):
+        rng = np.random.default_rng(2)
+        members = rng.integers(0, 1 << 30, 1000).astype(np.uint64)
+        others = (rng.integers(0, 1 << 30, 10_000) + (1 << 40)).astype(np.uint64)
+        bits = bloom_filter_codes(members)
+        fp = bloom_filter_test(bits, others).mean()
+        assert fp < 0.05

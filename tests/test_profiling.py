@@ -1,0 +1,99 @@
+"""EXPLAIN ANALYZE per-operator profiling and histogram-based estimation."""
+
+import numpy as np
+import pytest
+
+from repro import ClusterConfig, Database
+from repro.common import DataType, RowBatch
+from repro.optimizer.stats import ColumnStats, Histogram, TableStats
+
+
+def db_with_data():
+    db = Database(ClusterConfig(n_workers=2, n_max=4, page_size=16 * 1024))
+    db.sql("create table t (a integer, g integer) partition by hash (a)")
+    rng = np.random.default_rng(3)
+    db.load(
+        "t",
+        RowBatch.from_pairs(
+            ("a", DataType.INT64, rng.integers(0, 1000, 5000)),
+            ("g", DataType.INT64, rng.integers(0, 4, 5000)),
+        ),
+    )
+    return db
+
+
+class TestExplainAnalyze:
+    def test_annotates_actual_rows(self):
+        db = db_with_data()
+        text = db.explain_analyze("select g, count(*) from t where a < 100 group by g")
+        assert "[rows=" in text and "est=" in text
+        assert "scan" in text
+
+    def test_scan_actuals_match_filter(self):
+        db = db_with_data()
+        text = db.explain_analyze("select count(*) from t where a < 100")
+        scan_line = next(l for l in text.splitlines() if "scan" in l)
+        actual = int(scan_line.split("rows=")[1].split()[0].rstrip("]"))
+        want = db.sql("select count(*) from t where a < 100").rows()[0][0]
+        assert actual == want
+
+    def test_rejects_dml(self):
+        from repro.common.errors import PlanError
+
+        db = db_with_data()
+        with pytest.raises(PlanError):
+            db.explain_analyze("insert into t values (1, 1)")
+
+
+class TestHistograms:
+    def test_equi_depth_bounds(self):
+        h = Histogram.from_values(np.arange(1000, dtype=np.float64), n_buckets=10)
+        assert len(h.bounds) == 11
+        assert h.le_fraction(499.0) == pytest.approx(0.5, abs=0.02)
+        assert h.le_fraction(-1) == 0.0
+        assert h.le_fraction(2000) == 1.0
+
+    def test_skewed_data_beats_minmax_interpolation(self):
+        vals = np.concatenate([np.zeros(900), np.linspace(1, 1000, 100)])
+        skewed = ColumnStats(100, 0.0, 1000.0, 8, Histogram.from_values(vals))
+        plain = ColumnStats(100, 0.0, 1000.0, 8)
+        true_frac = (vals <= 1.0).mean()
+        assert abs(skewed.range_selectivity("<=", 1.0) - true_frac) < 0.15
+        assert abs(plain.range_selectivity("<=", 1.0) - true_frac) > 0.5
+
+    def test_object_columns_skip_histograms(self):
+        arr = np.asarray(["a", "b"], dtype=object)
+        assert Histogram.from_values(arr) is None
+
+    def test_built_by_analyze(self):
+        b = RowBatch.from_pairs(("x", DataType.INT64, list(range(100))))
+        ts = TableStats.from_batch(b)
+        assert ts.columns["x"].histogram is not None
+
+    def test_greater_than_complement(self):
+        h = Histogram.from_values(np.arange(100, dtype=np.float64))
+        cs = ColumnStats(100, 0, 99, 8, h)
+        le = cs.range_selectivity("<=", 25)
+        gt = cs.range_selectivity(">", 25)
+        assert le + gt == pytest.approx(1.0, abs=0.05)
+
+    def test_cardinality_estimates_improve_with_histogram(self):
+        """End-to-end: skewed data + histogram => better filter estimates."""
+        from repro.optimizer import Binder, StatsDeriver, StatsProvider
+        from repro.optimizer.binder import Catalog
+        from repro.common import Schema
+        from repro.sql import parse
+
+        vals = np.concatenate([np.zeros(9000), np.linspace(1, 1000, 1000)])
+        b = RowBatch.from_pairs(("x", DataType.FLOAT64, vals))
+        ts = TableStats.from_batch(b)
+
+        class Cat(Catalog):
+            def table_schema(self, name):
+                return Schema.of(("x", DataType.FLOAT64))
+
+        plan = Binder(Cat()).bind(parse("select x from s where x <= 0.5"))
+        deriver = StatsDeriver(StatsProvider({"s": ts}))
+        est = deriver.rows(plan)
+        true = float((vals <= 0.5).sum())
+        assert est == pytest.approx(true, rel=0.3)

@@ -1,0 +1,354 @@
+"""SQL front-end: lexer, parser, vectorized expression compiler."""
+
+import numpy as np
+import pytest
+
+from repro.common import DataType, RowBatch, Schema
+from repro.common.dates import date_to_days
+from repro.common.errors import LexError, ParseError, PlanError
+from repro.sql import compile_expr, compile_predicate, parse, parse_expr, to_scan_predicate, tokenize
+from repro.sql.ast import (
+    Between,
+    BinaryOp,
+    CaseExpr,
+    ColumnRef,
+    CreateTable,
+    DeleteStmt,
+    Exists,
+    FuncCall,
+    InList,
+    InSubquery,
+    InsertValues,
+    JoinRef,
+    Like,
+    Literal,
+    ScalarSubquery,
+    SelectStmt,
+    SubqueryRef,
+    TableRef,
+    UpdateStmt,
+    is_aggregate,
+)
+from repro.sql.lexer import TokKind
+
+
+class TestLexer:
+    def test_basic_tokens(self):
+        toks = tokenize("SELECT a, 1.5 FROM t WHERE b = 'x'")
+        kinds = [t.kind for t in toks]
+        assert kinds[0] == TokKind.KEYWORD
+        assert TokKind.NUMBER in kinds and TokKind.STRING in kinds
+        assert toks[-1].kind == TokKind.EOF
+
+    def test_comments_stripped(self):
+        toks = tokenize("select 1 -- comment\n /* block\ncomment */ + 2")
+        texts = [t.text for t in toks if t.kind != TokKind.EOF]
+        assert texts == ["select", "1", "+", "2"]
+
+    def test_string_escape(self):
+        toks = tokenize("'it''s'")
+        assert toks[0].text == "it's"
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexError):
+            tokenize("'oops")
+
+    def test_qualified_number_vs_dot(self):
+        toks = tokenize("t1.c = 1.5")
+        assert [t.text for t in toks[:3]] == ["t1", ".", "c"]
+
+    def test_two_char_operators(self):
+        toks = tokenize("a <> b >= c <= d != e")
+        ops = [t.text for t in toks if t.kind == TokKind.OP]
+        assert ops == ["<>", ">=", "<=", "!="]
+
+
+class TestParser:
+    def test_simple_select(self):
+        s = parse("select a, b from t")
+        assert isinstance(s, SelectStmt)
+        assert len(s.items) == 2
+        assert isinstance(s.from_items[0], TableRef)
+
+    def test_aliases(self):
+        s = parse("select x.a as aa, b bb from t1 x, t2 as y")
+        assert s.items[0].alias == "aa"
+        assert s.items[1].alias == "bb"
+        assert s.from_items[0].alias == "x"
+        assert s.from_items[1].alias == "y"
+
+    def test_where_precedence(self):
+        e = parse_expr("a = 1 or b = 2 and c = 3")
+        assert isinstance(e, BinaryOp) and e.op == "OR"
+        assert isinstance(e.right, BinaryOp) and e.right.op == "AND"
+
+    def test_arith_precedence(self):
+        e = parse_expr("1 + 2 * 3")
+        assert e.op == "+" and e.right.op == "*"
+
+    def test_not(self):
+        e = parse_expr("not a = 1")
+        assert e.op == "NOT"
+
+    def test_between_and_not_between(self):
+        e = parse_expr("x between 1 and 5")
+        assert isinstance(e, Between) and not e.negated
+        e = parse_expr("x not between 1 and 5")
+        assert e.negated
+
+    def test_in_list(self):
+        e = parse_expr("c in ('a', 'b')")
+        assert isinstance(e, InList) and len(e.items) == 2
+
+    def test_in_subquery(self):
+        e = parse_expr("c in (select k from t)")
+        assert isinstance(e, InSubquery)
+
+    def test_exists(self):
+        e = parse_expr("exists (select * from t)")
+        assert isinstance(e, Exists)
+
+    def test_scalar_subquery(self):
+        e = parse_expr("a > (select max(x) from t)")
+        assert isinstance(e.right, ScalarSubquery)
+
+    def test_like(self):
+        e = parse_expr("s like '%foo%'")
+        assert isinstance(e, Like) and e.pattern == "%foo%"
+        assert parse_expr("s not like 'a%'").negated
+
+    def test_date_literal(self):
+        e = parse_expr("date '1994-01-01'")
+        assert isinstance(e, Literal) and e.dtype == DataType.DATE
+        assert e.value == date_to_days("1994-01-01")
+
+    def test_interval_arithmetic_folds_literals(self):
+        # literal date +/- interval constant-folds to a DATE literal so the
+        # bound remains usable as a data-skipping atom
+        e = parse_expr("date '1994-01-01' + interval '3' month")
+        assert isinstance(e, Literal) and e.dtype == DataType.DATE
+        assert e.value == date_to_days("1994-04-01")
+        e = parse_expr("date '1998-12-01' - interval '90' day")
+        assert e.value == date_to_days("1998-12-01") - 90
+
+    def test_interval_arithmetic_on_columns(self):
+        e2 = parse_expr("d - interval '90' day")
+        assert isinstance(e2, FuncCall) and e2.name == "DATE_ADD"
+        assert e2.args[1].value == -90
+
+    def test_extract_substring(self):
+        e = parse_expr("extract(year from d)")
+        assert e.name == "YEAR"
+        e = parse_expr("substring(s from 1 for 2)")
+        assert e.name == "SUBSTRING" and len(e.args) == 3
+        e = parse_expr("substring(s, 2, 3)")
+        assert e.name == "SUBSTRING"
+
+    def test_case(self):
+        e = parse_expr("case when a = 1 then 'x' when a = 2 then 'y' else 'z' end")
+        assert isinstance(e, CaseExpr) and len(e.whens) == 2
+
+    def test_count_star_and_distinct(self):
+        s = parse("select count(*), count(distinct a), sum(b) from t")
+        assert s.items[0].expr.star
+        assert s.items[1].expr.distinct
+        assert is_aggregate(s.items[2].expr)
+
+    def test_group_having_order_limit(self):
+        s = parse(
+            "select a, sum(b) s from t group by a having sum(b) > 10 "
+            "order by s desc, a limit 5"
+        )
+        assert len(s.group_by) == 1
+        assert s.having is not None
+        assert s.order_by[0].ascending is False
+        assert s.order_by[1].ascending is True
+        assert s.limit == 5
+
+    def test_joins(self):
+        s = parse("select * from a join b on a.x = b.y left outer join c on b.z = c.z")
+        j = s.from_items[0]
+        assert isinstance(j, JoinRef) and j.kind == "left"
+        assert j.left.kind == "inner"
+
+    def test_derived_table(self):
+        s = parse("select * from (select a from t) as d")
+        assert isinstance(s.from_items[0], SubqueryRef)
+        assert s.from_items[0].alias == "d"
+
+    def test_with_clause(self):
+        s = parse("with r as (select a from t) select * from r")
+        assert s.ctes[0][0] == "r"
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse("select a from t where a = 1 1")
+
+    def test_incomplete_where(self):
+        with pytest.raises(ParseError):
+            parse("select a from t where")
+
+    def test_create_table(self):
+        s = parse(
+            "create table t (a integer, b decimal(12,2), c varchar(25), d date) "
+            "partition by hash (a) cluster by (d)"
+        )
+        assert isinstance(s, CreateTable)
+        assert [c.dtype for c in s.columns] == [
+            DataType.INT64, DataType.DECIMAL, DataType.STRING, DataType.DATE,
+        ]
+        assert s.partition == ("hash", ("a",))
+        assert s.clustering == ("d",)
+
+    def test_create_replicated(self):
+        s = parse("create table n (k integer) partition by replicated")
+        assert s.partition == ("replicated", ())
+
+    def test_insert(self):
+        s = parse("insert into t values (1, 'a'), (2, 'b')")
+        assert isinstance(s, InsertValues) and len(s.rows) == 2
+
+    def test_delete_update(self):
+        d = parse("delete from t where a = 1")
+        assert isinstance(d, DeleteStmt)
+        u = parse("update t set a = a + 1, b = 'x' where a < 5")
+        assert isinstance(u, UpdateStmt) and len(u.assignments) == 2
+
+
+SCHEMA = Schema.of(
+    ("a", DataType.INT64),
+    ("f", DataType.FLOAT64),
+    ("s", DataType.STRING),
+    ("d", DataType.DATE),
+)
+
+
+def batch():
+    return RowBatch(
+        SCHEMA,
+        {
+            "a": np.array([1, 2, 3, 4], dtype=np.int64),
+            "f": np.array([1.5, -2.0, 0.0, 10.0]),
+            "s": np.array(["foo", "bar", "foobar", ""], dtype=object),
+            "d": np.array(
+                [date_to_days("1994-03-15"), date_to_days("1995-01-01"),
+                 date_to_days("1996-06-30"), date_to_days("1994-12-31")],
+                dtype=np.int32,
+            ),
+        },
+    )
+
+
+def ev(sql: str):
+    return compile_expr(parse_expr(sql), SCHEMA).fn(batch())
+
+
+class TestCompiler:
+    def test_arithmetic(self):
+        assert ev("a * 2 + 1").tolist() == [3, 5, 7, 9]
+
+    def test_division_is_float(self):
+        out = ev("a / 2")
+        assert out.dtype == np.float64
+        assert out.tolist() == [0.5, 1.0, 1.5, 2.0]
+
+    def test_comparison_and_bool(self):
+        assert ev("a >= 2 and f > 0").tolist() == [False, False, False, True]
+        assert ev("a = 1 or s = 'bar'").tolist() == [True, True, False, False]
+        assert ev("not a = 1").tolist() == [False, True, True, True]
+
+    def test_like(self):
+        assert ev("s like 'foo%'").tolist() == [True, False, True, False]
+        assert ev("s like '%bar'").tolist() == [False, True, True, False]
+        assert ev("s like 'f_o'").tolist() == [True, False, False, False]
+        assert ev("s not like '%o%'").tolist() == [False, True, False, True]
+
+    def test_between(self):
+        assert ev("a between 2 and 3").tolist() == [False, True, True, False]
+
+    def test_in_list(self):
+        assert ev("a in (1, 4)").tolist() == [True, False, False, True]
+        assert ev("s in ('foo', '')").tolist() == [True, False, False, True]
+        assert ev("a not in (1)").tolist() == [False, True, True, True]
+
+    def test_case(self):
+        out = ev("case when a = 1 then 10 when a = 2 then 20 else 0 end")
+        assert out.tolist() == [10, 20, 0, 0]
+
+    def test_case_first_match_wins(self):
+        out = ev("case when a < 3 then 1 when a < 4 then 2 else 3 end")
+        assert out.tolist() == [1, 1, 2, 3]
+
+    def test_year_extract(self):
+        assert ev("extract(year from d)").tolist() == [1994, 1995, 1996, 1994]
+
+    def test_date_interval(self):
+        out = ev("d + interval '1' month")
+        assert out[0] == date_to_days("1994-04-15")
+        out = ev("d - interval '1' year")
+        assert out[1] == date_to_days("1994-01-01")
+
+    def test_date_comparison(self):
+        assert ev("d < date '1995-01-01'").tolist() == [True, False, False, True]
+
+    def test_substring(self):
+        assert ev("substring(s from 1 for 2)").tolist() == ["fo", "ba", "fo", ""]
+
+    def test_concat(self):
+        assert ev("s || '!'").tolist() == ["foo!", "bar!", "foobar!", "!"]
+
+    def test_predicate_requires_bool(self):
+        with pytest.raises(PlanError):
+            compile_predicate(parse_expr("a + 1"), SCHEMA)
+
+    def test_aggregate_rejected(self):
+        with pytest.raises(PlanError):
+            compile_expr(parse_expr("sum(a)"), SCHEMA)
+
+    def test_subquery_rejected(self):
+        with pytest.raises(PlanError):
+            compile_expr(parse_expr("a > (select max(x) from t)"), SCHEMA)
+
+    def test_unknown_column(self):
+        from repro.common.errors import BindError
+
+        with pytest.raises(BindError):
+            compile_expr(parse_expr("zzz + 1"), SCHEMA)
+
+
+class TestScanPredicateExtraction:
+    def test_simple_conjunction(self):
+        sp = to_scan_predicate(parse_expr("a >= 1 and a < 5 and s = 'x'"), SCHEMA)
+        assert len(sp.atoms) == 3 and not sp.opaque
+
+    def test_between_becomes_range(self):
+        sp = to_scan_predicate(parse_expr("a between 2 and 8"), SCHEMA)
+        ops = sorted(a.op.value for a in sp.atoms)
+        assert ops == ["<=", ">="]
+
+    def test_prefix_like_pure(self):
+        sp = to_scan_predicate(parse_expr("s like 'CAN%'"), SCHEMA)
+        assert len(sp.atoms) == 2 and not sp.opaque
+
+    def test_prefix_like_with_suffix_keeps_opaque(self):
+        sp = to_scan_predicate(parse_expr("s like 'CAN%x'"), SCHEMA)
+        assert len(sp.atoms) == 2 and len(sp.opaque) == 1
+
+    def test_contains_like_is_opaque(self):
+        sp = to_scan_predicate(parse_expr("s like '%green%'"), SCHEMA)
+        assert not sp.atoms and len(sp.opaque) == 1
+
+    def test_or_is_opaque_whole(self):
+        sp = to_scan_predicate(parse_expr("a = 1 or a = 2"), SCHEMA)
+        assert not sp.atoms and len(sp.opaque) == 1
+
+    def test_literal_on_left(self):
+        sp = to_scan_predicate(parse_expr("5 > a"), SCHEMA)
+        atom = next(iter(sp.atoms))
+        assert atom.op.value == "<" and atom.value == 5
+
+    def test_deterministic_across_parses(self):
+        """Identical SQL predicates must produce equal cache keys."""
+        p1 = to_scan_predicate(parse_expr("a < 5 and s like '%x%'"), SCHEMA)
+        p2 = to_scan_predicate(parse_expr("a < 5 and s like '%x%'"), SCHEMA)
+        assert p1 == p2 and hash(p1) == hash(p2)

@@ -1,0 +1,428 @@
+"""Storage engine tests: filesystems, pages, buffer manager, tables."""
+
+import numpy as np
+import pytest
+
+from repro.common import DataType, RowBatch, Schema
+from repro.common.errors import BufferPoolError, PageFormatError, StorageError
+from repro.storage.buffer import BufferManager
+from repro.storage.col_page import decode_column, encode_column, estimate_rows_per_set
+from repro.storage.compression import (
+    HuffmanCoder,
+    get_codec,
+    huffman_decode_strings,
+    huffman_encode_strings,
+)
+from repro.storage.page import PagedFile
+from repro.storage.row_page import RowPage, decode_row, encode_row
+from repro.storage.table import COLUMN, ROW, ScanStats, TableStorage
+from repro.util.fs import LocalFS, MemFS
+
+
+class TestMemFS:
+    def test_write_read(self, memfs):
+        fh = memfs.open("a/b.dat")
+        fh.pwrite(0, b"hello")
+        assert fh.pread(0, 5) == b"hello"
+
+    def test_read_past_end_zero_filled(self, memfs):
+        fh = memfs.open("x")
+        fh.pwrite(0, b"ab")
+        assert fh.pread(0, 4) == b"ab\x00\x00"
+
+    def test_sparse_accounting(self, memfs):
+        fh = memfs.open("sparse")
+        fh.pwrite(0, b"x")
+        fh.pwrite(1024 * 1024, b"y")  # far offset: hole between
+        assert memfs.allocated_bytes("sparse") <= 2 * 4096
+        assert fh.size() > 1024 * 1024
+
+    def test_delete_exists_listdir(self, memfs):
+        memfs.open("t/1")
+        memfs.open("t/2")
+        assert memfs.exists("t/1")
+        assert memfs.listdir("t/") == ["t/1", "t/2"]
+        memfs.delete("t/1")
+        assert not memfs.exists("t/1")
+
+    def test_truncate(self, memfs):
+        fh = memfs.open("f")
+        fh.pwrite(0, b"abcdef")
+        fh.truncate(3)
+        assert fh.size() == 3
+        assert fh.pread(0, 3) == b"abc"
+
+    def test_open_missing_nocreate(self, memfs):
+        with pytest.raises(StorageError):
+            memfs.open("missing", create=False)
+
+
+class TestLocalFS:
+    def test_roundtrip(self, tmp_path):
+        fs = LocalFS(str(tmp_path))
+        fh = fs.open("sub/file.dat")
+        fh.pwrite(10, b"abc")
+        assert fh.pread(10, 3) == b"abc"
+        fh.close()
+        assert fs.exists("sub/file.dat")
+        assert "sub/file.dat" in fs.listdir("sub")
+        fs.delete("sub/file.dat")
+        assert not fs.exists("sub/file.dat")
+
+
+class TestCompression:
+    def test_codecs_roundtrip(self):
+        data = b"abcabcabc" * 100 + b"\x00\xff" * 50
+        for name in ("none", "lz4sim"):
+            codec = get_codec(name)
+            assert codec.decompress(codec.compress(data)) == data
+
+    def test_lz4sim_compresses_redundancy(self):
+        codec = get_codec("lz4sim")
+        data = b"A" * 10_000
+        assert len(codec.compress(data)) < len(data) // 10
+
+    def test_unknown_codec(self):
+        with pytest.raises(StorageError):
+            get_codec("zstd")
+
+    def test_huffman_roundtrip(self):
+        data = b"the quick brown fox jumps over the lazy dog" * 10
+        coder = HuffmanCoder.from_data(data)
+        assert coder.decode(coder.encode(data)) == data
+
+    def test_huffman_table_transport(self):
+        data = b"mississippi"
+        coder = HuffmanCoder.from_data(data)
+        decoder = HuffmanCoder.from_table_bytes(coder.table_bytes())
+        assert decoder.decode(coder.encode(data)) == data
+
+    def test_huffman_strings(self):
+        vals = ["hello", "", "world", "aaa" * 40, "héllo"]
+        assert huffman_decode_strings(huffman_encode_strings(vals)) == vals
+
+    def test_huffman_compresses_skewed_text(self):
+        vals = ["aaaaaaaaabbbbcc"] * 200
+        encoded = huffman_encode_strings(vals)
+        raw = sum(len(v) for v in vals)
+        assert len(encoded) < raw
+
+
+class TestPagedFile:
+    def test_write_read(self, memfs):
+        f = PagedFile(memfs, "p.dat", 4096)
+        f.write_page(0, b"hello world")
+        f.write_page(2, b"page two")
+        assert f.read_page(0) == b"hello world"
+        assert f.read_page(2) == b"page two"
+        assert f.num_pages() == 3
+
+    def test_append(self, memfs):
+        f = PagedFile(memfs, "p.dat", 4096)
+        assert f.append_page(b"a") == 0
+        assert f.append_page(b"b") == 1
+
+    def test_payload_too_large(self, memfs):
+        f = PagedFile(memfs, "p.dat", 4096)
+        with pytest.raises(PageFormatError):
+            f.write_page(0, b"\x00" * 5000)
+
+    def test_out_of_range(self, memfs):
+        f = PagedFile(memfs, "p.dat", 4096)
+        with pytest.raises(StorageError):
+            f.read_page(0)
+
+    def test_checksum_detects_corruption(self, memfs):
+        f = PagedFile(memfs, "p.dat", 4096, codec="none")
+        f.write_page(0, b"important data!!")
+        raw = memfs.open("p.dat")
+        raw.pwrite(12, b"X")  # flip a byte inside the body
+        with pytest.raises(PageFormatError):
+            f.read_page(0)
+
+    def test_incompressible_stored_raw(self, memfs):
+        f = PagedFile(memfs, "p.dat", 4096)
+        data = bytes(np.random.default_rng(0).integers(0, 256, 1000, dtype=np.uint8))
+        f.write_page(0, data)
+        assert f.read_page(0) == data
+
+    def test_io_counters(self, memfs):
+        f = PagedFile(memfs, "p.dat", 4096)
+        f.write_page(0, b"x")
+        f.read_page(0)
+        assert f.writes == 1 and f.reads == 1
+
+
+class TestBufferManager:
+    def _file(self, memfs, bm, pages=20):
+        f = PagedFile(memfs, "t.dat", 4096)
+        bm.register_file(f)
+        for i in range(pages):
+            f.write_page(i, f"page{i}".encode())
+        return f
+
+    def test_get_caches(self, memfs):
+        bm = BufferManager(2, 8)
+        self._file(memfs, bm)
+        assert bm.get("t.dat", 3, pin=False) == b"page3"
+        assert bm.misses == 1
+        bm.get("t.dat", 3, pin=False)
+        assert bm.hits == 1
+
+    def test_pin_prevents_eviction(self, memfs):
+        bm = BufferManager(1, 2)
+        self._file(memfs, bm)
+        bm.get("t.dat", 0, pin=True)
+        bm.get("t.dat", 1, pin=True)
+        with pytest.raises(BufferPoolError):
+            bm.get("t.dat", 2, pin=True)
+        bm.unpin("t.dat", 0)
+        assert bm.get("t.dat", 2, pin=False) == b"page2"
+
+    def test_unpin_unpinned_raises(self, memfs):
+        bm = BufferManager(1, 4)
+        self._file(memfs, bm)
+        with pytest.raises(BufferPoolError):
+            bm.unpin("t.dat", 0)
+
+    def test_eviction_writes_back_dirty(self, memfs):
+        bm = BufferManager(1, 2)
+        f = self._file(memfs, bm, pages=4)
+        bm.put("t.dat", 0, b"DIRTY0")
+        for i in range(1, 4):
+            bm.get("t.dat", i, pin=False)
+        bm2 = BufferManager(1, 2)
+        bm2.register_file(f)
+        assert bm2.get("t.dat", 0, pin=False) == b"DIRTY0"
+
+    def test_declare_scan_shields_once(self, memfs):
+        bm = BufferManager(1, 4)
+        self._file(memfs, bm)
+        bm.get("t.dat", 0, pin=False)
+        bm.declare_scan("t.dat", [0])
+        # fill the pool, forcing eviction pressure
+        for i in range(1, 8):
+            bm.get("t.dat", i, pin=False)
+        # page 0 was declared: it survived one extra clock sweep; a second
+        # fill can evict it. We only assert the mechanism didn't corrupt.
+        assert bm.get("t.dat", 0, pin=False) == b"page0"
+
+    def test_flush(self, memfs):
+        bm = BufferManager(2, 8)
+        f = self._file(memfs, bm)
+        bm.put("t.dat", 5, b"NEW5")
+        bm.flush()
+        assert f.read_page(5) == b"NEW5"
+
+    def test_invalidate(self, memfs):
+        bm = BufferManager(2, 8)
+        self._file(memfs, bm)
+        bm.get("t.dat", 1, pin=False)
+        bm.invalidate("t.dat")
+        assert bm.cached_pages == 0
+
+    def test_set_capacity_shrinks(self, memfs):
+        bm = BufferManager(2, 16)
+        self._file(memfs, bm)
+        for i in range(10):
+            bm.get("t.dat", i, pin=False)
+        bm.set_capacity(4)
+        assert bm.cached_pages <= 4
+
+    def test_hit_rate(self, memfs):
+        bm = BufferManager(2, 8)
+        self._file(memfs, bm)
+        bm.get("t.dat", 0, pin=False)
+        bm.get("t.dat", 0, pin=False)
+        assert bm.hit_rate == 0.5
+
+
+class TestRowPage:
+    def schema(self):
+        return Schema.of(("a", DataType.INT64), ("s", DataType.STRING))
+
+    def test_encode_decode_row(self):
+        s = self.schema()
+        data = encode_row(s, [42, "hello"])
+        assert decode_row(s, data) == (42, "hello")
+
+    def test_page_roundtrip(self):
+        s = self.schema()
+        page = RowPage(4096)
+        for i in range(10):
+            assert page.try_append(encode_row(s, [i, f"row{i}"])) == i
+        back = RowPage.from_payload(page.to_payload(), 4096)
+        rows = [r for _, r in back.iter_rows(s)]
+        assert rows[3] == (3, "row3")
+
+    def test_full_page(self):
+        s = self.schema()
+        page = RowPage(64)
+        n = 0
+        while page.try_append(encode_row(s, [n, "x" * 10])) is not None:
+            n += 1
+        assert 0 < n < 10
+
+    def test_tombstones(self):
+        s = self.schema()
+        page = RowPage(4096)
+        for i in range(5):
+            page.try_append(encode_row(s, [i, "r"]))
+        page.mark_deleted(2)
+        assert page.is_deleted(2)
+        assert page.n_live == 4
+        live = [r[0] for _, r in page.iter_rows(s)]
+        assert 2 not in live
+
+    def test_to_batch(self):
+        s = self.schema()
+        page = RowPage(4096)
+        for i in range(3):
+            page.try_append(encode_row(s, [i, str(i)]))
+        b = page.to_batch(s)
+        assert b.col("a").tolist() == [0, 1, 2]
+
+
+class TestColPage:
+    def test_fixed_roundtrip(self):
+        arr = np.array([1, 2, 3], dtype=np.int64)
+        back = decode_column(encode_column(arr, DataType.INT64), DataType.INT64, 3)
+        assert back.tolist() == [1, 2, 3]
+
+    def test_string_roundtrip(self):
+        arr = np.array(["a", "bb", ""], dtype=object)
+        back = decode_column(encode_column(arr, DataType.STRING), DataType.STRING, 3)
+        assert back.tolist() == ["a", "bb", ""]
+
+    def test_wrong_count_rejected(self):
+        arr = np.array([1, 2], dtype=np.int64)
+        payload = encode_column(arr, DataType.INT64)
+        with pytest.raises(Exception):
+            decode_column(payload, DataType.INT64, 5)
+
+    def test_rows_per_set_limited_by_widest(self):
+        few = estimate_rows_per_set([DataType.STRING], 4096)
+        many = estimate_rows_per_set([DataType.BOOL], 4096)
+        assert many > few > 0
+
+
+def _table(memfs, bufmgr, fmt=COLUMN, n_disks=1, clustering=None):
+    schema = Schema.of(
+        ("k", DataType.INT64), ("v", DataType.FLOAT64), ("s", DataType.STRING)
+    )
+    return TableStorage(
+        memfs, bufmgr, "t", schema, fmt=fmt, n_disks=n_disks,
+        page_size=8192, clustering=clustering,
+    )
+
+
+def _data(n=2000, seed=0):
+    rng = np.random.default_rng(seed)
+    s = np.empty(n, dtype=object)
+    s[:] = [f"s{i % 10}" for i in range(n)]
+    return RowBatch(
+        Schema.of(("k", DataType.INT64), ("v", DataType.FLOAT64), ("s", DataType.STRING)),
+        {"k": rng.integers(0, 500, n), "v": rng.random(n), "s": s},
+    )
+
+
+class TestTableStorage:
+    @pytest.mark.parametrize("fmt", [COLUMN, ROW])
+    def test_load_scan_roundtrip(self, memfs, bufmgr, fmt):
+        t = _table(memfs, bufmgr, fmt=fmt)
+        data = _data(500)
+        t.load(data)
+        assert t.row_count == 500
+        got = sorted(
+            r for b in t.scan(["k"]) for r in b.col("k").tolist()
+        )
+        assert got == sorted(data.col("k").tolist())
+
+    def test_scan_with_predicate(self, memfs, bufmgr):
+        t = _table(memfs, bufmgr)
+        data = _data(1000)
+        t.load(data)
+        got = sum(b.length for b in t.scan(["k"], predicate=lambda b: b.col("k") < 50))
+        assert got == int((data.col("k") < 50).sum())
+
+    def test_multi_disk_spread(self, memfs, bufmgr):
+        t = _table(memfs, bufmgr, n_disks=3)
+        t.load(_data(600))
+        per_disk = [f.row_count for f in t.fragments]
+        assert sum(per_disk) == 600
+        assert all(c > 0 for c in per_disk)
+
+    def test_clustering_sorts_on_load(self, memfs, bufmgr):
+        t = _table(memfs, bufmgr, clustering=["k"])
+        t.load(_data(400))
+        ks = np.concatenate([b.col("k") for b in t.fragments[0].scan(["k"])])
+        assert (np.diff(ks) >= 0).all()
+
+    def test_insert_does_not_respect_clustering(self, memfs, bufmgr):
+        """Paper: DML appends; clustering restored only by reorganize."""
+        t = _table(memfs, bufmgr, clustering=["k"])
+        t.load(_data(200, seed=1))
+        extra = _data(50, seed=2)
+        t.insert(extra)
+        assert t.row_count == 250
+
+    def test_delete_where(self, memfs, bufmgr):
+        t = _table(memfs, bufmgr)
+        data = _data(300)
+        t.load(data)
+        n = t.delete_where(lambda b: b.col("k") == data.col("k")[0])
+        assert n >= 1
+        assert t.row_count == 300 - n
+        remaining = [v for b in t.scan(["k"]) for v in b.col("k").tolist()]
+        assert data.col("k")[0] not in remaining
+
+    def test_update_where(self, memfs, bufmgr):
+        t = _table(memfs, bufmgr)
+        t.load(_data(100))
+
+        def bump(old):
+            cols = dict(old.columns)
+            cols["v"] = old.col("v") + 100.0
+            return RowBatch(old.schema, cols)
+
+        n = t.update_where(lambda b: b.col("k") < 10, bump)
+        assert n > 0
+        assert t.row_count == 100  # update = delete + insert, count stable
+        vals = [
+            v
+            for b in t.scan(["k", "v"], predicate=lambda b: b.col("k") < 10)
+            for v in b.col("v").tolist()
+        ]
+        assert all(v >= 100.0 for v in vals)
+
+    def test_reorganize_restores_clustering(self, memfs, bufmgr):
+        t = _table(memfs, bufmgr, clustering=["k"])
+        t.load(_data(200, seed=3))
+        t.insert(_data(100, seed=4))
+        t.reorganize()
+        ks = np.concatenate([b.col("k") for b in t.fragments[0].scan(["k"])])
+        assert (np.diff(ks) >= 0).all()
+        assert t.row_count == 300
+
+    def test_reorganize_clears_predicate_cache(self, memfs, bufmgr):
+        from repro.storage.predicate_cache import Atom, Op, ScanPredicate
+
+        t = _table(memfs, bufmgr)
+        t.load(_data(500))
+        sp = ScanPredicate([Atom("k", Op.LT, -1)])
+        list(t.scan(["k"], predicate=lambda b: b.col("k") < -1, scan_pred=sp))
+        t.reorganize()
+        assert all(f.pred_cache.n_entries == 0 for f in t.fragments)
+
+    def test_metadata_persists_across_reopen(self, memfs, bufmgr):
+        t = _table(memfs, bufmgr)
+        t.load(_data(150))
+        # reopen against the same filesystem
+        bm2 = BufferManager(4, 64)
+        t2 = _table(memfs, bm2)
+        assert t2.row_count == 150
+
+    def test_predicate_cache_bytes(self, memfs, bufmgr):
+        t = _table(memfs, bufmgr)
+        t.load(_data(100))
+        assert t.predicate_cache_bytes() > 0  # pickled empty dict still has size
