@@ -1,0 +1,104 @@
+"""Chaos substrate overhead and fault-recovery cost.
+
+Three questions:
+
+* what does merely *attaching* the injector (empty schedule, canonical
+  delivery order, dedup bookkeeping) cost on the query path;
+* how does the retry/backoff bill grow with link drop probability;
+* does a full TPC-H query under a randomized fault schedule still match
+  the fault-free answer (the correctness bar, measured, not assumed).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ClusterConfig, Database
+from repro.common import DataType, RowBatch
+from repro.fault import FaultSchedule
+from repro.workloads import tpch_schema
+from repro.workloads.tpch_queries import query as tpch_query
+
+import numpy as np
+
+QUERY = "select v, count(*), sum(k) from t group by v order by v"
+
+
+def _db() -> Database:
+    cfg = ClusterConfig(
+        n_workers=4, n_max=4, page_size=16 * 1024,
+        send_retries=8, max_query_restarts=16,
+    )
+    db = Database(cfg)
+    db.sql("create table t (k integer, v integer) partition by hash (k)")
+    rng = np.random.default_rng(7)
+    db.load(
+        "t",
+        RowBatch.from_pairs(
+            ("k", DataType.INT64, rng.integers(0, 40, 20_000)),
+            ("v", DataType.INT64, rng.integers(0, 8, 20_000)),
+        ),
+    )
+    return db
+
+
+@pytest.mark.parametrize("mode", ["bare", "injector"])
+def test_injector_overhead(benchmark, mode):
+    """The null-schedule injector should cost little on the query path."""
+    db = _db()
+    if mode == "injector":
+        db.chaos(FaultSchedule.none())
+    rows = benchmark(lambda: db.sql(QUERY).rows())
+    assert len(rows) == 8
+
+
+@pytest.mark.parametrize("drop", [0.0, 0.05, 0.15])
+def test_retry_cost_vs_drop_rate(drop):
+    """Loud link drops are absorbed by retry/backoff; measure the bill."""
+    baseline_db = _db()
+    baseline_db.chaos(FaultSchedule.none())
+    want = baseline_db.sql(QUERY).rows()
+
+    db = _db()
+    db.chaos(FaultSchedule(seed=13, drop_prob=drop))
+    res = db.sql(QUERY)
+    assert res.rows() == want
+    if drop == 0.0:
+        assert res.stats.retries == 0
+    print(
+        f"\ndrop={drop:.2f}: retries={res.stats.retries} "
+        f"backoff={res.stats.backoff_time * 1000:.2f}ms "
+        f"restarts={res.stats.restarts} messages={res.stats.network_messages}"
+    )
+
+
+@pytest.mark.parametrize("seed", [11, 23, 37])
+def test_tpch_q1_under_chaos_matches(tpch_data, seed):
+    """TPC-H Q1 under a randomized recoverable schedule: identical rows,
+    bounded recovery cost (the chaos harness acceptance bar, at bench SF)."""
+
+    def build():
+        cfg = ClusterConfig(
+            n_workers=4, n_max=4, page_size=32 * 1024, batch_size=4096,
+            send_retries=8, max_query_restarts=16,
+        )
+        db = Database(cfg)
+        for name, schema in tpch_schema.SCHEMAS.items():
+            db.create_table(name, schema, tpch_schema.PARTITIONING[name])
+            db.load(name, tpch_data[name])
+        return db
+
+    q = tpch_query(1, sf=0.002)
+    base = build()
+    base.chaos(FaultSchedule.none())
+    want = base.sql(q).rows()
+
+    db = build()
+    schedule = FaultSchedule.chaos(seed, db.worker_ids)
+    inj = db.chaos(schedule)
+    res = db.sql(q)
+    assert res.rows() == want
+    print(
+        f"\nseed={seed}: {schedule.describe()} -> retries={res.stats.retries} "
+        f"restarts={res.stats.restarts} chaos_events={sum(inj.summary().values())}"
+    )

@@ -12,7 +12,6 @@ Commands: any SQL statement ending in ``;``, plus
 from __future__ import annotations
 
 import argparse
-import sys
 
 from . import ClusterConfig, Database
 

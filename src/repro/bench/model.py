@@ -34,7 +34,7 @@ from functools import lru_cache
 
 from ..common.config import ClusterConfig
 from ..network.topology import BinomialGraphTopology
-from ..optimizer.physical import ARBITRARY, PhysOp, Partitioning
+from ..optimizer.physical import ARBITRARY, PhysOp
 from ..sql import parse
 from ..workloads import tpch_queries, tpch_schema, tpch_stats
 

@@ -10,7 +10,7 @@ schema, partitioning scheme, storage format, clustering.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from ..common.errors import CatalogError

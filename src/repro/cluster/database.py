@@ -18,15 +18,14 @@ Usage::
 
 from __future__ import annotations
 
-import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Sequence
 
 import numpy as np
 
 from ..common.batch import RowBatch
 from ..common.config import ClusterConfig
-from ..common.errors import CatalogError, PlanError
+from ..common.errors import PlanError, WorkerFailureError
 from ..common.schema import Schema
 from ..core.executor import DistributedExecutor, ExecStats, WorkerRuntime
 from ..core.reference import execute_logical
@@ -49,7 +48,6 @@ from ..sql.ast import (
     SelectStmt,
     UpdateStmt,
 )
-from ..sql.compiler import compile_predicate
 from ..storage.buffer import BufferManager
 from ..storage.external import ExternalTableType
 from ..storage.partition import Replicated, disk_of_rows
@@ -152,6 +150,16 @@ class Database:
             self.net,
             self.config,
         )
+
+    def chaos(self, schedule=None):
+        """Attach a fault injector driven by ``schedule`` to the cluster
+        network and return it (pass None for the fault-free baseline with
+        canonical delivery order). See :mod:`repro.fault`."""
+        from ..fault import FaultInjector
+
+        injector = FaultInjector(schedule)
+        self.net.attach(injector)
+        return injector
 
     def _make_fs(self, worker_id: int) -> FileSystem:
         if self.config.data_dir:
@@ -291,21 +299,39 @@ class Database:
                 self.txn_system.lock_read(txn, tables)
             # fault tolerance (paper §I): a mid-query worker failure aborts
             # the query; after the node recovers (ARIES handles its local
-            # state) the coordinator simply restarts the query
-            from ..common.errors import WorkerFailureError
-
+            # state) the coordinator simply restarts the query, up to the
+            # configured restart budget
             attempts = 0
+            total_retries = 0
+            total_backoff = 0.0
+            failed: set[int] = set()
             while True:
                 attempts += 1
                 try:
                     batch, stats = self._executor.execute(physical)
                     break
-                except WorkerFailureError:
-                    if attempts > self.config.n_workers:
-                        raise
+                except WorkerFailureError as e:
+                    total_retries += self._executor.retries
+                    total_backoff += self._executor.backoff_time
+                    failed |= self._executor.failed_workers
+                    failed.add(e.worker_id)
+                    if attempts > self.config.max_query_restarts:
+                        raise WorkerFailureError(
+                            e.worker_id,
+                            f"query restart budget exhausted after {attempts} attempts "
+                            f"(max_query_restarts={self.config.max_query_restarts}): {e}",
+                        ) from e
                     self.net.clear_inboxes()  # abandon in-flight exchanges
+                    if self.net.injector is not None:
+                        # restarting is not free: failure detection and
+                        # requeueing consume fault-clock time, during which
+                        # crashed nodes make progress toward recovery
+                        self.net.injector.advance(8)
             result = QueryResult(batch, stats, logical, physical)
             result.stats.restarts = attempts - 1
+            result.stats.retries += total_retries
+            result.stats.backoff_time += total_backoff
+            result.stats.failed_workers = tuple(sorted(failed | set(stats.failed_workers)))
             return result
         if isinstance(stmt, CreateTable):
             schema = Schema.of(*((c.name, c.dtype) for c in stmt.columns))

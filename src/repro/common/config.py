@@ -9,7 +9,7 @@ degree-of-parallelism defaults.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 from .errors import ConfigError
 
@@ -55,6 +55,17 @@ class ClusterConfig:
     deadlock_interval: float = 60.0
     #: directory for on-disk state; None = in-memory filesystem
     data_dir: str | None = None
+    #: mid-query worker failures tolerated before a query fails for good
+    #: (paper §I: the coordinator restarts failed queries)
+    max_query_restarts: int = 8
+    #: bounded retries for transient network send failures
+    send_retries: int = 4
+    #: initial simulated-time backoff between send retries, seconds
+    #: (doubles per retry)
+    backoff_base: float = 0.005
+    #: consecutive scan failures before a worker is blacklisted and
+    #: replicated reads fail over to a healthy replica
+    blacklist_threshold: int = 3
 
     def __post_init__(self):
         if self.n_workers < 1:
@@ -69,6 +80,14 @@ class ClusterConfig:
             raise ConfigError("need at least one buffer stripe")
         if self.batch_size < 1:
             raise ConfigError("batch size must be positive")
+        if self.max_query_restarts < 0:
+            raise ConfigError("max_query_restarts must be >= 0")
+        if self.send_retries < 0:
+            raise ConfigError("send_retries must be >= 0")
+        if self.backoff_base <= 0:
+            raise ConfigError("backoff_base must be positive")
+        if self.blacklist_threshold < 1:
+            raise ConfigError("blacklist_threshold must be >= 1")
 
     def with_(self, **kwargs) -> "ClusterConfig":
         """Functional update."""

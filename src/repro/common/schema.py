@@ -10,7 +10,7 @@ bare names are the common case; aliases matter for self-joins (Q21's
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Iterator
 
 from .dtypes import DataType

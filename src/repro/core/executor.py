@@ -29,8 +29,9 @@ import numpy as np
 
 from ..common.batch import RowBatch
 from ..common.config import ClusterConfig
-from ..common.errors import ExecutionError
+from ..common.errors import ExecutionError, NetworkError, WorkerFailureError
 from ..common.schema import Schema
+from ..fault.health import WorkerHealthTracker
 from ..network.simnet import SimNetwork
 from ..network.topology import BinomialGraphTopology, TreeTopology
 from ..optimizer.logical import AggSpec
@@ -84,6 +85,12 @@ class ExecStats:
     rows_returned: int = 0
     #: query restarts after mid-query worker failures
     restarts: int = 0
+    #: transient send failures recovered by retry
+    retries: int = 0
+    #: simulated time spent in exponential backoff between retries, seconds
+    backoff_time: float = 0.0
+    #: workers that failed (probe or send) at any point during the query
+    failed_workers: tuple = ()
 
 
 SiteData = dict[int, list[RowBatch]]
@@ -111,6 +118,14 @@ class DistributedExecutor:
         self.fault_injector = None
         #: actual output rows per physical-op id, from the last execute()
         self.op_rows: dict[int, int] = {}
+        #: per-worker health (blacklist-and-failover for replicated reads);
+        #: persists across queries so repeated failures accumulate
+        self.health = WorkerHealthTracker(config.blacklist_threshold)
+        #: per-execute() fault counters (the database façade accumulates
+        #: these across restart attempts)
+        self.retries = 0
+        self.backoff_time = 0.0
+        self.failed_workers: set[int] = set()
 
     # -- entry ---------------------------------------------------------------------
     def execute(self, plan: PhysOp) -> tuple[RowBatch, ExecStats]:
@@ -119,6 +134,9 @@ class DistributedExecutor:
         base_fwd = self.net.forwarded_bytes
         self._scan_stats = ScanStats()
         self.op_rows = {}
+        self.retries = 0
+        self.backoff_time = 0.0
+        self.failed_workers = set()
         for w in self.workers.values():
             w.governor.spilled_bytes = 0
             w.governor.peak = w.governor.used
@@ -142,6 +160,9 @@ class DistributedExecutor:
             spilled_bytes=sum(w.governor.spilled_bytes for w in self.workers.values()),
             peak_memory=max(w.governor.peak for w in self.workers.values()),
             rows_returned=result.length,
+            retries=self.retries,
+            backoff_time=self.backoff_time,
+            failed_workers=tuple(sorted(self.failed_workers)),
         )
         return result, stats
 
@@ -158,6 +179,66 @@ class DistributedExecutor:
     def _instances(self, op: PhysOp) -> list[int]:
         return self.worker_ids if op.site == WORKERS else [self.coord_id]
 
+    # -- failure handling ------------------------------------------------------------
+    def _retrying(self, send_fn: Callable[[], object], dest: int):
+        """Run a network send with bounded retry and simulated-time
+        exponential backoff.
+
+        Transient :class:`NetworkError` (dropped link, partition blip) is
+        retried; :class:`WorkerFailureError` (the node itself is down)
+        escalates immediately to the query-restart path, as does retry
+        exhaustion.
+        """
+        delay = self.config.backoff_base
+        budget = self.config.send_retries
+        for attempt in range(budget + 1):
+            try:
+                return send_fn()
+            except WorkerFailureError:
+                self.failed_workers.add(dest)
+                raise
+            except NetworkError as e:
+                if attempt == budget:
+                    self.failed_workers.add(dest)
+                    raise WorkerFailureError(
+                        dest, f"send to node {dest} failed after {budget} retries: {e}"
+                    ) from e
+                self.retries += 1
+                self.backoff_time += delay
+                self._record_chaos(
+                    "retry", node=dest, detail=f"attempt {attempt + 1}, backoff {delay:.4f}s"
+                )
+                delay *= 2
+
+    def _record_chaos(self, kind: str, **kw) -> None:
+        inj = getattr(self.net, "injector", None)
+        if inj is not None:
+            inj.record(kind, **kw)
+
+    def _probe_worker(self, w: int, op: PhysOp) -> None:
+        """Raise WorkerFailureError if worker ``w`` cannot serve the op."""
+        if self.fault_injector is not None:
+            self.fault_injector(w, op)
+        inj = getattr(self.net, "injector", None)
+        if inj is not None:
+            inj.on_op(w, op)
+
+    def _healthy_peer(self, op: PhysOp, table: str, exclude: int) -> int | None:
+        """A live worker holding a replica of ``table`` (failover target)."""
+        for p in self.worker_ids:
+            if p == exclude or self.health.is_blacklisted(p):
+                continue
+            if table not in self.workers[p].storage:
+                continue
+            try:
+                self._probe_worker(p, op)
+            except WorkerFailureError:
+                self.health.record_failure(p)
+                self.failed_workers.add(p)
+                continue
+            return p
+        return None
+
     # -- leaves ---------------------------------------------------------------------
     def _eval_dual(self, op: PhysOp) -> SiteData:
         return {self.coord_id: [RowBatch(op.schema, {"__one": np.array([1], dtype=np.int64)})]}
@@ -165,17 +246,47 @@ class DistributedExecutor:
     def _eval_scan(self, op: PhysOp) -> SiteData:
         table = op.attrs["table"]
         pred_expr: Expr | None = op.attrs.get("predicate")
+        replicated = op.partitioning.kind == "replicated"
         out: SiteData = {}
         for w in self.worker_ids:
-            if self.fault_injector is not None:
-                self.fault_injector(w, op)
-            rt = self.workers[w]
+            serving = w
+            if replicated and self.health.is_blacklisted(w):
+                # degrade gracefully: skip the known-bad worker entirely
+                peer = self._healthy_peer(op, table, exclude=w)
+                if peer is not None:
+                    serving = peer
+                    self.failed_workers.add(w)
+                    self._record_chaos(
+                        "failover", node=w,
+                        detail=f"blacklisted; replicated {table!r} served by worker {peer}",
+                    )
+            if serving == w:
+                try:
+                    self._probe_worker(w, op)
+                    self.health.record_success(w)
+                except WorkerFailureError:
+                    self.health.record_failure(w)
+                    self.failed_workers.add(w)
+                    if self.health.is_blacklisted(w):
+                        self._record_chaos(
+                            "blacklist", node=w,
+                            detail=f"{self.health.failures(w)} consecutive failures",
+                        )
+                    peer = self._healthy_peer(op, table, exclude=w) if replicated else None
+                    if peer is None:
+                        raise  # partitioned data only lives on w: restart the query
+                    serving = peer
+                    self._record_chaos(
+                        "failover", node=w,
+                        detail=f"replicated {table!r} served by worker {peer}",
+                    )
+            rt = self.workers[serving]
             if table in rt.external:
                 out[w] = self._scan_external(rt, table, op)
                 continue
             storage = rt.storage.get(table)
             if storage is None:
-                raise ExecutionError(f"worker {w} has no table {table!r}")
+                raise ExecutionError(f"worker {serving} has no table {table!r}")
             out[w] = self._scan_storage(storage, op, pred_expr)
         return out
 
@@ -460,7 +571,12 @@ class DistributedExecutor:
         # account the filter exchange: every worker receives the merged bits
         payload = bits.tobytes()
         for w in self.worker_ids:
-            self.net.route_send(self.tree, self.coord_id, w, payload, tag=f"bloom{op.id}")
+            self._retrying(
+                lambda w=w: self.net.route_send(
+                    self.tree, self.coord_id, w, payload, tag=f"bloom{op.id}"
+                ),
+                w,
+            )
         for w in self.worker_ids:
             self.net.recv_all(w, tag=f"bloom{op.id}")
         probe_exprs = [le for le, _ in pairs]
@@ -508,7 +624,11 @@ class DistributedExecutor:
                     if dest == src:
                         buffers[dest].append(part)  # local partition: no network
                     else:
-                        self.net.route_send(self.ntm, src, dest, part.to_bytes(), tag)
+                        payload = part.to_bytes()
+                        self._retrying(
+                            lambda: self.net.route_send(self.ntm, src, dest, payload, tag),
+                            dest,
+                        )
         out: SiteData = {}
         for w in self.worker_ids:
             for _, _, payload in self.net.recv_all(w, tag):
@@ -525,7 +645,10 @@ class DistributedExecutor:
             for b in child.get(self.coord_id, []):
                 payload = b.to_bytes()
                 for w in self.worker_ids:
-                    self.net.route_send(self.tree, self.coord_id, w, payload, tag)
+                    self._retrying(
+                        lambda w=w: self.net.route_send(self.tree, self.coord_id, w, payload, tag),
+                        w,
+                    )
         else:
             sources = child.items()
             if child_op.partitioning.kind == "replicated":
@@ -535,7 +658,12 @@ class DistributedExecutor:
                     payload = b.to_bytes()
                     for dest in self.worker_ids:
                         if dest != src:
-                            self.net.route_send(self.ntm, src, dest, payload, tag)
+                            self._retrying(
+                                lambda dest=dest: self.net.route_send(
+                                    self.ntm, src, dest, payload, tag
+                                ),
+                                dest,
+                            )
         out: SiteData = {}
         for w in self.worker_ids:
             received = [RowBatch.from_bytes(p) for _, _, p in self.net.recv_all(w, tag)]
@@ -563,7 +691,11 @@ class DistributedExecutor:
         # concat: route worker batches up the tree to the coordinator
         for w in sources:
             for b in child.get(w, []):
-                self.net.route_send(self.tree, w, self.coord_id, b.to_bytes(), tag)
+                payload = b.to_bytes()
+                self._retrying(
+                    lambda w=w: self.net.route_send(self.tree, w, self.coord_id, payload, tag),
+                    self.coord_id,
+                )
         received = [
             RowBatch.from_bytes(p) for _, _, p in self.net.recv_all(self.coord_id, tag)
         ]
@@ -582,8 +714,16 @@ class DistributedExecutor:
             for node in level:
                 combined = self._combine_level(op, buffers[node], mode)
                 parent = self.tree.parent(node)
-                if combined is not None and combined.length >= 0:
-                    self.net.send(node, parent, combined.to_bytes(), tag)
+                # nodes holding nothing stay silent: an idle (possibly down)
+                # node must not force a send on the reduction path
+                if combined is not None and combined.length > 0:
+                    payload = combined.to_bytes()
+                    self._retrying(
+                        lambda node=node, parent=parent: self.net.send(
+                            node, parent, payload, tag
+                        ),
+                        parent,
+                    )
                 buffers[node] = []
             # parents pick up what their children pushed
             for node in {self.tree.parent(n) for n in level}:

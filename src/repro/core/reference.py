@@ -16,7 +16,7 @@ over empty input return COUNT=0 / SUM=0 / MIN=MAX=type default.
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+from typing import Callable
 
 import numpy as np
 
@@ -24,7 +24,7 @@ from ..common.batch import RowBatch
 from ..common.dtypes import DataType
 from ..common.errors import ExecutionError
 from ..common.schema import Schema
-from ..sql.ast import BinaryOp, ColumnRef, Expr, column_refs
+from ..sql.ast import BinaryOp, Expr, column_refs
 from ..sql.compiler import compile_expr, compile_predicate
 from .kernels import (
     factorize,
@@ -305,7 +305,6 @@ def _fill_value(dt: DataType):
 
 
 def aggregate_batch(child: RowBatch, group_keys, aggs, out_schema: Schema) -> RowBatch:
-    from ..optimizer.logical import AggSpec
 
     if group_keys:
         key_cols = [child.col(k) for k in group_keys]

@@ -1,0 +1,26 @@
+"""Deterministic fault injection (the chaos substrate).
+
+The paper treats node and link failure as routine (§I: a mid-query
+worker failure aborts the query and the coordinator restarts it;
+§VI: hierarchical 2PC with presumed abort). This package supplies the
+correctness tooling that lets every layer prove it survives those
+events: a seeded :class:`FaultSchedule` describing *when* nodes crash,
+links drop, and messages duplicate, and a :class:`FaultInjector` that
+:class:`~repro.network.simnet.SimNetwork` consults on every send and
+receive. All injected events land in a chaos event log so tests can
+assert not only that results are correct but that the faults actually
+fired.
+"""
+
+from .health import WorkerHealthTracker
+from .injector import ChaosEvent, FaultInjector
+from .schedule import CrashWindow, FaultSchedule, NetworkPartition
+
+__all__ = [
+    "ChaosEvent",
+    "CrashWindow",
+    "FaultInjector",
+    "FaultSchedule",
+    "NetworkPartition",
+    "WorkerHealthTracker",
+]

@@ -1,0 +1,35 @@
+"""Per-worker health tracking for blacklist-and-failover.
+
+The executor records every scan probe outcome here. A worker that fails
+``blacklist_after`` consecutive probes is blacklisted: reads of
+*replicated* tables stop probing it and go straight to a healthy replica
+(graceful degradation instead of a query restart). Partitioned tables
+keep probing — the data lives only there — and a successful probe clears
+the blacklist, so recovered nodes rejoin automatically.
+"""
+
+from __future__ import annotations
+
+
+class WorkerHealthTracker:
+    def __init__(self, blacklist_after: int = 3):
+        self.blacklist_after = max(1, blacklist_after)
+        self._failures: dict[int, int] = {}
+
+    def record_failure(self, worker: int) -> None:
+        self._failures[worker] = self._failures.get(worker, 0) + 1
+
+    def record_success(self, worker: int) -> None:
+        self._failures.pop(worker, None)
+
+    def failures(self, worker: int) -> int:
+        return self._failures.get(worker, 0)
+
+    def is_blacklisted(self, worker: int) -> bool:
+        return self._failures.get(worker, 0) >= self.blacklist_after
+
+    def blacklisted(self) -> set[int]:
+        return {w for w, n in self._failures.items() if n >= self.blacklist_after}
+
+    def reset(self) -> None:
+        self._failures.clear()

@@ -1,0 +1,156 @@
+"""The fault injector: the chaos substrate's runtime half.
+
+A :class:`FaultInjector` owns the *fault clock* (one tick per consulted
+network/operator event), fires the schedule's crash/partition windows,
+draws the per-message drop/duplicate/reorder faults, and records every
+injected event in a chaos event log.
+
+:class:`~repro.network.simnet.SimNetwork` consults it on every
+``send``/``route_send``/``recv_all``; the executor consults it before
+every worker scan (``on_op``). Attaching an injector — even one with the
+empty schedule — also switches the network to canonical delivery order
+(messages sorted by ``(src, send order)`` at receive), so a faulted run
+and a fault-free baseline see identical message orderings and can be
+compared byte-for-byte.
+
+Tests may also steer faults imperatively with :meth:`crash_now` /
+:meth:`recover_now` when a scenario needs phase-exact timing.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from dataclasses import dataclass
+
+from ..common.errors import NetworkError, WorkerFailureError
+from .schedule import FaultSchedule
+
+
+@dataclass(frozen=True)
+class ChaosEvent:
+    """One injected (or observed) fault, stamped with the fault clock."""
+
+    tick: int
+    kind: str  # crash | recover | drop | silent_drop | duplicate | delay |
+    #            partition_drop | send_to_down | send_from_down | recv_down |
+    #            hub_down | op_on_down | dedup | retry | failover | blacklist
+    node: int | None = None
+    src: int | None = None
+    dst: int | None = None
+    tag: str = ""
+    detail: str = ""
+
+
+class FaultInjector:
+    def __init__(self, schedule: FaultSchedule | None = None):
+        self.schedule = schedule or FaultSchedule.none()
+        self.tick = 0
+        self.events: list[ChaosEvent] = []
+        self._rng = random.Random(self.schedule.seed)
+        #: node -> recovery tick (None = permanent)
+        self._down: dict[int, int | None] = {}
+        self._fired: set[int] = set()  # indices of crash windows already fired
+
+    # -- the fault clock ---------------------------------------------------------
+    def advance(self, n: int = 1) -> None:
+        for _ in range(n):
+            self.tick += 1
+            self._apply_windows()
+
+    def _apply_windows(self) -> None:
+        for node, until in list(self._down.items()):
+            if until is not None and self.tick >= until:
+                del self._down[node]
+                self.record("recover", node=node)
+        for i, cw in enumerate(self.schedule.crashes):
+            if i not in self._fired and self.tick >= cw.at:
+                self._fired.add(i)
+                self._set_down(cw.node, cw.duration)
+
+    def _set_down(self, node: int, duration: int | None) -> None:
+        self._down[node] = None if duration is None else self.tick + duration
+        dur = "forever" if duration is None else f"{duration}t"
+        self.record("crash", node=node, detail=f"down for {dur}")
+
+    # -- imperative control (tests) ----------------------------------------------
+    def crash_now(self, node: int, duration: int | None = None) -> None:
+        self._set_down(node, duration)
+
+    def recover_now(self, node: int) -> None:
+        if node in self._down:
+            del self._down[node]
+            self.record("recover", node=node, detail="forced")
+
+    # -- state queries -----------------------------------------------------------
+    def node_down(self, node: int) -> bool:
+        return node in self._down
+
+    def link_cut(self, src: int, dst: int) -> bool:
+        for p in self.schedule.partitions:
+            if p.at <= self.tick < p.at + p.duration and p.severs(src, dst):
+                return True
+        return False
+
+    # -- hooks the network/executor consult --------------------------------------
+    def on_op(self, worker: int, op: object) -> None:
+        """Called before a worker executes a scan; one fault-clock tick."""
+        self.advance()
+        if self.node_down(worker):
+            self.record("op_on_down", node=worker, detail=f"op={getattr(op, 'op', op)!r}")
+            raise WorkerFailureError(worker, f"chaos: worker {worker} is down")
+
+    def on_send(self, src: int, dst: int, size: int, tag: str) -> int:
+        """Consulted per send attempt; returns the number of copies to
+        deliver (0 = silent drop, 2 = duplicate) or raises."""
+        self.advance()
+        if self.node_down(src):
+            self.record("send_from_down", node=src, src=src, dst=dst, tag=tag)
+            raise WorkerFailureError(src, f"chaos: sender {src} is down")
+        if self.node_down(dst):
+            self.record("send_to_down", node=dst, src=src, dst=dst, tag=tag)
+            raise WorkerFailureError(dst, f"chaos: destination {dst} is down")
+        if self.link_cut(src, dst):
+            self.record("partition_drop", src=src, dst=dst, tag=tag)
+            raise NetworkError(f"chaos: network partition severs {src} -> {dst}")
+        s = self.schedule
+        if s.drop_prob and self._rng.random() < s.drop_prob:
+            self.record("drop", src=src, dst=dst, tag=tag, detail=f"{size}B")
+            raise NetworkError(f"chaos: link {src} -> {dst} dropped a {size}B message")
+        if s.silent_drop_prob and self._rng.random() < s.silent_drop_prob:
+            self.record("silent_drop", src=src, dst=dst, tag=tag, detail=f"{size}B")
+            return 0
+        if s.dup_prob and self._rng.random() < s.dup_prob:
+            self.record("duplicate", src=src, dst=dst, tag=tag)
+            return 2
+        return 1
+
+    def on_hop(self, hub: int, src: int, dst: int, tag: str) -> None:
+        """Consulted for each intermediate node on a routed send."""
+        if self.node_down(hub):
+            self.record("hub_down", node=hub, src=src, dst=dst, tag=tag)
+            raise NetworkError(f"chaos: hub {hub} on route {src} -> {dst} is down")
+
+    def on_recv(self, node: int) -> None:
+        if self.node_down(node):
+            self.record("recv_down", node=node)
+            raise WorkerFailureError(node, f"chaos: node {node} is down; cannot receive")
+
+    def reorder_position(self, inbox_len: int) -> int | None:
+        """Delay fault: a non-tail insertion position, or None (append)."""
+        s = self.schedule
+        if inbox_len and s.delay_prob and self._rng.random() < s.delay_prob:
+            pos = self._rng.randrange(inbox_len)
+            self.record("delay", detail=f"inserted at {pos}/{inbox_len}")
+            return pos
+        return None
+
+    # -- the chaos event log -----------------------------------------------------
+    def record(self, kind: str, **kw) -> None:
+        self.events.append(ChaosEvent(tick=self.tick, kind=kind, **kw))
+
+    def summary(self) -> dict[str, int]:
+        return dict(Counter(e.kind for e in self.events))
+
+    def events_of(self, *kinds: str) -> list[ChaosEvent]:
+        return [e for e in self.events if e.kind in kinds]

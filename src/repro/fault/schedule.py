@@ -1,0 +1,155 @@
+"""Seeded, deterministic fault schedules.
+
+A :class:`FaultSchedule` is a pure value describing the faults a run
+should experience. Time is the injector's *fault clock*: a counter that
+advances once per consulted network/operator event, never wall-clock, so
+the same schedule replayed against the same call sequence produces
+byte-identical fault histories.
+
+Two kinds of trigger coexist:
+
+* **windows** — :class:`CrashWindow` / :class:`NetworkPartition` fire at
+  an absolute fault-clock tick and (optionally) heal after a duration;
+* **probabilities** — per-message drop / duplicate / reorder draws from
+  a ``random.Random(seed)`` stream, deterministic for a fixed schedule.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..common.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class CrashWindow:
+    """Node ``node`` goes down at fault-clock tick ``at``.
+
+    ``duration`` is the number of ticks until the node recovers;
+    ``None`` means the crash is permanent.
+    """
+
+    node: int
+    at: int
+    duration: int | None = None
+
+    def __post_init__(self):
+        if self.at < 0:
+            raise ConfigError("crash window trigger must be >= 0")
+        if self.duration is not None and self.duration < 1:
+            raise ConfigError("crash window duration must be >= 1 (or None)")
+
+
+@dataclass(frozen=True)
+class NetworkPartition:
+    """Messages between ``side_a`` and ``side_b`` fail while active."""
+
+    side_a: frozenset[int]
+    side_b: frozenset[int]
+    at: int
+    duration: int
+
+    def __post_init__(self):
+        if set(self.side_a) & set(self.side_b):
+            raise ConfigError("partition sides must be disjoint")
+        if self.duration < 1:
+            raise ConfigError("partition duration must be >= 1")
+
+    def severs(self, src: int, dst: int) -> bool:
+        return (src in self.side_a and dst in self.side_b) or (
+            src in self.side_b and dst in self.side_a
+        )
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """Everything that will go wrong, and when.
+
+    Probabilities are per message-send attempt:
+
+    * ``drop_prob`` — the link resets: the send raises
+      :class:`~repro.common.errors.NetworkError` (the sender *knows*, so
+      retry/backoff can recover it);
+    * ``silent_drop_prob`` — the message vanishes without an error (only
+      detectable from the chaos log; used to test observability, not
+      query correctness);
+    * ``dup_prob`` — the message is delivered twice (receivers dedup by
+      message id);
+    * ``delay_prob`` — the message lands at a random position in the
+      destination inbox instead of the tail (pure reordering, never loss).
+    """
+
+    seed: int = 0
+    crashes: tuple[CrashWindow, ...] = ()
+    partitions: tuple[NetworkPartition, ...] = ()
+    drop_prob: float = 0.0
+    silent_drop_prob: float = 0.0
+    dup_prob: float = 0.0
+    delay_prob: float = 0.0
+
+    def __post_init__(self):
+        for name in ("drop_prob", "silent_drop_prob", "dup_prob", "delay_prob"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ConfigError(f"{name} must be in [0, 1], got {p}")
+
+    @classmethod
+    def none(cls) -> "FaultSchedule":
+        """The empty schedule: attach for canonical delivery order with
+        zero injected faults (the chaos harness's fault-free baseline)."""
+        return cls()
+
+    @classmethod
+    def chaos(
+        cls,
+        seed: int,
+        nodes: Sequence[int],
+        intensity: float = 1.0,
+        max_crashes: int = 2,
+        crash_horizon: int = 60,
+        max_crash_duration: int = 50,
+    ) -> "FaultSchedule":
+        """A randomized-but-reproducible schedule for the given nodes.
+
+        Every fault it injects is *recoverable*: crashes heal, drops are
+        loud (retryable), duplicates are deduplicated — so a run under
+        ``chaos`` must converge to the fault-free result.
+        """
+        rng = random.Random(seed)
+        pool = list(nodes)
+        crashes = []
+        for _ in range(rng.randint(1, max(1, max_crashes))):
+            if not pool:
+                break
+            node = rng.choice(pool)
+            crashes.append(
+                CrashWindow(
+                    node=node,
+                    at=rng.randint(2, max(3, crash_horizon)),
+                    duration=rng.randint(10, max(11, max_crash_duration)),
+                )
+            )
+        return cls(
+            seed=seed,
+            crashes=tuple(crashes),
+            drop_prob=round(rng.uniform(0.0, 0.08) * intensity, 4),
+            dup_prob=round(rng.uniform(0.0, 0.12) * intensity, 4),
+            delay_prob=round(rng.uniform(0.0, 0.20) * intensity, 4),
+        )
+
+    def describe(self) -> str:
+        parts = [f"seed={self.seed}"]
+        for c in self.crashes:
+            dur = "forever" if c.duration is None else f"{c.duration}t"
+            parts.append(f"crash(node={c.node}@{c.at} for {dur})")
+        for p in self.partitions:
+            parts.append(
+                f"partition({sorted(p.side_a)}|{sorted(p.side_b)}@{p.at} for {p.duration}t)"
+            )
+        for name in ("drop_prob", "silent_drop_prob", "dup_prob", "delay_prob"):
+            v = getattr(self, name)
+            if v:
+                parts.append(f"{name}={v}")
+        return " ".join(parts)

@@ -15,12 +15,16 @@ model, the standard abstraction for cluster interconnects.
 
 from __future__ import annotations
 
+import itertools
 from collections import defaultdict, deque
-from dataclasses import dataclass, field
-from typing import Callable, Iterable
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable
 
 from ..common.errors import NetworkError
 from .topology import Topology
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..fault.injector import FaultInjector
 
 
 @dataclass
@@ -38,20 +42,36 @@ class SimNetwork:
         self.total_messages = 0
         self.total_bytes = 0
         self.forwarded_bytes = 0  # bytes relayed through hub nodes
+        #: chaos substrate; every send/recv consults it when attached
+        self.injector: "FaultInjector | None" = None
+        self._msg_seq = itertools.count(1)
+        #: per-node delivered message ids (duplicate suppression)
+        self._seen: dict[int, set[int]] = defaultdict(set)
+
+    def attach(self, injector: "FaultInjector | None") -> None:
+        """Install (or remove, with None) the fault injector.
+
+        Attaching one — even with the empty schedule — also switches
+        receives to canonical ``(src, send-order)`` delivery order, so
+        faulted runs compare byte-for-byte against a baseline run that
+        attaches an empty-schedule injector.
+        """
+        self.injector = injector
 
     # -- raw link sends --------------------------------------------------------
     def send(self, src: int, dst: int, payload: bytes, tag: str = "") -> None:
         """Direct send over the (src, dst) link; opens the connection."""
         self._check(src)
         self._check(dst)
-        stats = self.links[(src, dst)]
-        stats.messages += 1
-        stats.bytes += len(payload)
-        self.connections[src].add(dst)
-        self.connections[dst].add(src)
-        self.total_messages += 1
-        self.total_bytes += len(payload)
-        self._inbox[dst].append((src, tag, payload))
+        copies = 1
+        if self.injector is not None:
+            copies = self.injector.on_send(src, dst, len(payload), tag)
+        msg_id = next(self._msg_seq)
+        # a dropped message still used the wire; charge every copy
+        for _ in range(max(copies, 1)):
+            self._account(src, dst, len(payload), forwarded=False)
+        for _ in range(copies):
+            self._deliver(dst, (src, tag, payload, msg_id))
 
     def route_send(
         self, topology: Topology, src: int, dst: int, payload: bytes, tag: str = ""
@@ -63,42 +83,83 @@ class SimNetwork:
         delivered to ``dst``'s inbox.
         """
         if src == dst:
-            self._inbox[dst].append((src, tag, payload))
+            self._deliver(dst, (src, tag, payload, next(self._msg_seq)))
             return 0
+        copies = 1
+        if self.injector is not None:
+            copies = self.injector.on_send(src, dst, len(payload), tag)
         path = topology.route(src, dst)
-        prev = src
-        for hop in path:
-            stats = self.links[(prev, hop)]
-            stats.messages += 1
-            stats.bytes += len(payload)
-            self.connections[prev].add(hop)
-            self.connections[hop].add(prev)
-            self.total_messages += 1
-            self.total_bytes += len(payload)
-            if prev != src:
-                self.forwarded_bytes += len(payload)
-            prev = hop
-        if prev != dst:  # pragma: no cover - topology contract
+        if self.injector is not None:
+            for hop in path[:-1]:
+                self.injector.on_hop(hop, src, dst, tag)
+        for _ in range(max(copies, 1)):
+            prev = src
+            for hop in path:
+                self._account(prev, hop, len(payload), forwarded=prev != src)
+                prev = hop
+        if path[-1] != dst:  # pragma: no cover - topology contract
             raise NetworkError("route did not terminate at destination")
-        self._inbox[dst].append((src, tag, payload))
+        msg_id = next(self._msg_seq)
+        for _ in range(copies):
+            self._deliver(dst, (src, tag, payload, msg_id))
         return len(path)
+
+    def _account(self, src: int, dst: int, nbytes: int, forwarded: bool) -> None:
+        stats = self.links[(src, dst)]
+        stats.messages += 1
+        stats.bytes += nbytes
+        self.connections[src].add(dst)
+        self.connections[dst].add(src)
+        self.total_messages += 1
+        self.total_bytes += nbytes
+        if forwarded:
+            self.forwarded_bytes += nbytes
+
+    def _deliver(self, dst: int, msg: tuple[int, str, bytes, int]) -> None:
+        box = self._inbox[dst]
+        pos = None
+        if self.injector is not None:
+            pos = self.injector.reorder_position(len(box))
+        if pos is None:
+            box.append(msg)
+        else:
+            box.insert(pos, msg)
 
     # -- receive ----------------------------------------------------------------
     def recv_all(self, node: int, tag: str | None = None) -> list[tuple[int, str, bytes]]:
-        """Drain the node's inbox (optionally only messages with ``tag``)."""
+        """Drain the node's inbox (optionally only messages with ``tag``).
+
+        With an injector attached, a down node cannot receive, duplicate
+        deliveries are suppressed by message id, and the drained messages
+        are returned in canonical ``(src, send-order)`` order so fault-
+        induced reorderings never change downstream results.
+        """
         self._check(node)
+        if self.injector is not None:
+            self.injector.on_recv(node)
         box = self._inbox[node]
         if tag is None:
             out = list(box)
             box.clear()
-            return out
-        keep: deque = deque()
-        out = []
-        while box:
-            msg = box.popleft()
-            (out if msg[1] == tag else keep).append(msg)
-        self._inbox[node] = keep
-        return out
+        else:
+            keep: deque = deque()
+            out = []
+            while box:
+                msg = box.popleft()
+                (out if msg[1] == tag else keep).append(msg)
+            self._inbox[node] = keep
+        if self.injector is not None:
+            seen = self._seen[node]
+            fresh = []
+            for msg in out:
+                if msg[3] in seen:
+                    self.injector.record("dedup", node=node, src=msg[0], tag=msg[1])
+                    continue
+                seen.add(msg[3])
+                fresh.append(msg)
+            fresh.sort(key=lambda m: (m[0], m[3]))
+            out = fresh
+        return [(src, t, payload) for src, t, payload, _ in out]
 
     def pending(self, node: int) -> int:
         return len(self._inbox[node])
@@ -119,6 +180,7 @@ class SimNetwork:
         """Drop all undelivered messages (query-restart cleanup)."""
         for box in self._inbox.values():
             box.clear()
+        self._seen.clear()
 
     def reset_stats(self) -> None:
         self.links.clear()

@@ -19,7 +19,6 @@ directly communicates with, using two strategies (paper §IV):
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
 from typing import Sequence
 
 from ..common.errors import TopologyError

@@ -17,8 +17,7 @@ an :class:`Aggregate`, and a post-projection.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Callable
 
 from ..common.errors import BindError, PlanError
 from ..common.schema import Schema

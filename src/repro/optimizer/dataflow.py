@@ -20,18 +20,16 @@ model that includes communication cost — exactly the paper's scheme.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Optional, Sequence
+from typing import Callable, Sequence
 
 from ..common.config import ClusterConfig
 from ..common.dtypes import DataType
 from ..common.errors import PlanError
 from ..common.schema import Column, Schema
 from ..sql.ast import ColumnRef, Expr
-from .derive import RelProfile, StatsDeriver
+from .derive import StatsDeriver
 from .logical import (
     Aggregate,
-    AggSpec,
     Distinct,
     Filter,
     Join,
@@ -254,9 +252,6 @@ class DataflowPlanner:
         if right.site == COORD:
             right = self._broadcast(right)
 
-        lkeys = [str(le) for le, _ in pairs]
-        rkeys = [str(re) for _, re in pairs]
-
         # option: fully local
         if self._join_is_local(node, left, right, pairs):
             part = self._joined_partitioning(node, left, right, pairs)
@@ -344,8 +339,6 @@ class DataflowPlanner:
             return kind in ("inner", "cross")
         if not pairs:
             return False
-        lbases = [str(le).rsplit(".", 1)[-1] for le, _ in pairs]
-        rbases = [str(re).rsplit(".", 1)[-1] for _, re in pairs]
         return self._hash_aligned(lp, rp, pairs)
 
     def _hash_aligned(self, lp: Partitioning, rp: Partitioning, pairs) -> bool:

@@ -11,7 +11,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..common.dtypes import DataType
 from ..sql.ast import ColumnRef, Expr, FuncCall, column_refs
 from .logical import (
     Aggregate,

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Optional
 
 from ..common.dtypes import DataType
 from ..common.errors import PlanError

@@ -19,10 +19,9 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Sequence
 
 from ..common.schema import Schema
-from ..sql.ast import Expr
 
 WORKERS = "workers"
 COORD = "coord"

@@ -20,7 +20,6 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass
 
-from ..common.errors import PlanError
 from ..sql.ast import BinaryOp, ColumnRef, Expr, column_refs
 from .binder import _map_children
 from .derive import StatsDeriver, split_join_condition
@@ -36,7 +35,6 @@ from .logical import (
     Scan,
     Sort,
     UnionAll,
-    fresh_name,
 )
 
 

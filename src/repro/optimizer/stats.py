@@ -16,14 +16,13 @@ multiplicative conjunction, inclusion principle for joins.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from typing import Mapping, Optional
 
 import numpy as np
 
 from ..common.batch import RowBatch
-from ..common.dtypes import DataType, width_of
+from ..common.dtypes import width_of
 from ..sql.ast import (
     Between,
     BinaryOp,

@@ -8,8 +8,8 @@ until the optimizer splits/decorrelates them.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from dataclasses import dataclass
+from typing import Optional
 
 from ..common.dtypes import DataType
 

@@ -238,7 +238,7 @@ def _compile(expr: Expr, schema: Schema) -> Compiled:
                     return valid if neg else ~valid
 
                 return Compiled(isnull_fn, DataType.BOOL)
-        const = not expr.negated  # IS NULL -> always false, IS NOT NULL -> true
+        # IS NULL -> always false, IS NOT NULL -> always true
 
         def const_fn(batch, value=(expr.negated)):
             return np.full(batch.length, value, dtype=bool)
@@ -266,7 +266,6 @@ def _compile_func(expr: FuncCall, schema: Schema) -> Compiled:
             arr = f(batch)
             if u == "day":
                 return (arr + amt).astype(np.int32)
-            shift = add_months(0, amt) if u == "month" else add_years(0, amt)
             # calendar-exact per distinct value (cheap: few distinct dates
             # appear in practice because the base is usually a literal)
             uniq, inv = np.unique(arr, return_inverse=True)

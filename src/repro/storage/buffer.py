@@ -19,7 +19,7 @@ This implementation keeps those structures and policies faithfully:
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 from ..common.errors import BufferPoolError

@@ -14,7 +14,7 @@ hash (:meth:`RowBatch.hash_codes`), so "table is partitioned on X" and
 from __future__ import annotations
 
 import bisect
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np

@@ -161,7 +161,6 @@ class DiskSkipList:
 
     def range_scan(self, lo=None, hi=None) -> Iterator[tuple[object, object]]:
         # descend to the first node >= lo
-        cur = -1
         forwards = self.head
         if lo is not None:
             for lvl in range(self.level - 1, -1, -1):
@@ -169,7 +168,6 @@ class DiskSkipList:
                 while nxt >= 0:
                     node = self._read_node(nxt)
                     if node[0] < lo:
-                        cur = nxt
                         forwards = node[3]
                         nxt = forwards[lvl] if lvl < len(forwards) else -1
                     else:
@@ -188,14 +186,12 @@ class DiskSkipList:
         """Logical delete (paper: deletes are logical)."""
         n = 0
         # level-0 walk guided by upper levels for the start position
-        cur = -1
         forwards = self.head
         for lvl in range(self.level - 1, -1, -1):
             nxt = forwards[lvl] if lvl < len(forwards) else -1
             while nxt >= 0:
                 node = self._read_node(nxt)
                 if node[0] < key:
-                    cur = nxt
                     forwards = node[3]
                     nxt = forwards[lvl] if lvl < len(forwards) else -1
                 else:

@@ -16,13 +16,12 @@ matched nothing.
 from __future__ import annotations
 
 import pickle
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Iterator, Sequence
 
 import numpy as np
 
 from ..common.batch import RowBatch
-from ..common.dtypes import DataType
 from ..common.errors import StorageError
 from ..common.schema import Schema
 from ..util.fs import FileSystem
@@ -255,7 +254,6 @@ class _Fragment:
         self.bufmgr.invalidate(self._index_path(col))
         tree = BPlusTree(self.fs, self.bufmgr, self._index_path(col), page_size=self.page_size)
         self.indexes[col] = tree
-        names = self.schema.names()
         col_idx = {c.name: i for i, c in enumerate(self.schema.columns)}
         for set_id, s in enumerate(self.sets):
             self._index_set(col, set_id, s, col_idx)
@@ -380,7 +378,6 @@ class _Fragment:
         deleted = 0
         names = self.schema.names()
         col_idx = {c.name: i for i, c in enumerate(self.schema.columns)}
-        stats = ScanStats()
         for set_id, s in enumerate(self.sets):
             mask_prev = s.deleted
             batch = self._read_set_raw(s, names, col_idx)

@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from ..common.errors import RecoveryError
-from .wal import ABORT, BEGIN, COMMIT, COMPENSATION, LogManager, LogRecord, PREPARE, UPDATE
+from .wal import ABORT, BEGIN, COMMIT, COMPENSATION, LogManager, PREPARE, UPDATE
 
 # resolver(coordinator_id, txn_id) -> "commit" | "rollback"
 OutcomeResolver = Callable[[int, int], str]

@@ -15,7 +15,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field
 
-from ..common.errors import DeadlockError, LockTimeoutError, TxnError
+from ..common.errors import DeadlockError, LockTimeoutError
 
 
 class LockMode(enum.Enum):

@@ -19,7 +19,6 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Optional
 
 import numpy as np
 
@@ -28,7 +27,7 @@ from ..common.errors import LockTimeoutError, TxnAbortedError, TxnError
 from ..sql.compiler import compile_predicate
 from .locks import LockManager, LockMode
 from .twopc import TwoPCStats, XAManager
-from .wal import ABORT, BEGIN, COMMIT, LogManager, PREPARE, UPDATE
+from .wal import ABORT, COMMIT, LogManager, PREPARE, UPDATE
 
 _txn_ids = itertools.count(1)
 
@@ -169,7 +168,7 @@ class TransactionSystem:
                 self._lock(txn, w, table, LockMode.S)
 
     def _insert(self, txn: Txn, entry, batch: RowBatch) -> int:
-        from ..storage.partition import Replicated, disk_of_rows
+        from ..storage.partition import Replicated
 
         n_workers = self.db.config.n_workers
         if isinstance(entry.scheme, Replicated):
@@ -292,6 +291,82 @@ class TransactionSystem:
             return out
 
         storage.delete_where(pred)
+
+    # -- crash recovery (2PC termination protocol) -----------------------------------------
+    def recover_worker(self, worker_id: int) -> dict[int, str]:
+        """Post-crash recovery for one worker's transaction state.
+
+        Scans the worker's WAL: transactions whose log ends without a
+        decision are either **losers** (no PREPARE record — presumed
+        abort, undone from WAL before-images) or **in doubt** (PREPARE
+        forced, no decision — the termination protocol asks the owning
+        coordinator's :meth:`XAManager.outcome`, which answers from its
+        forced XA log or presumes abort). Returns ``{txn: decision}`` for
+        every transaction resolved.
+        """
+        node = self.nodes[worker_id]
+        status: dict[int, tuple[str, int | None]] = {}
+        for rec in node.log.records():
+            if rec.kind == UPDATE:
+                status.setdefault(rec.txn, ("active", None))
+            elif rec.kind == PREPARE:
+                status[rec.txn] = ("prepared", rec.coordinator)
+            elif rec.kind in (COMMIT, ABORT):
+                status[rec.txn] = ("decided", None)
+        resolved: dict[int, str] = {}
+        for txn_id, (state, coord) in status.items():
+            if state == "decided":
+                continue
+            if state == "prepared":
+                xa = self.xa.get(coord) or next(iter(self.xa.values()))
+                decision = xa.outcome(txn_id)
+            else:
+                decision = "rollback"  # loser transaction: presumed abort
+            if decision == "commit":
+                node.commit(txn_id)
+            else:
+                self.undo_from_wal(worker_id, txn_id)
+                node.log.append(txn=txn_id, kind=ABORT)
+                node.log.force()
+                node.locks.release_all(txn_id)
+            resolved[txn_id] = decision
+        return resolved
+
+    def resolve_in_doubt(self) -> dict[tuple[int, int], str]:
+        """Run the termination protocol on every worker; returns
+        ``{(worker, txn): decision}`` for all transactions converged."""
+        out: dict[tuple[int, int], str] = {}
+        for w in sorted(self.nodes):
+            for txn_id, decision in self.recover_worker(w).items():
+                out[(w, txn_id)] = decision
+        return out
+
+    def undo_from_wal(self, worker_id: int, txn_id: int) -> None:
+        """Logical undo driven purely by WAL before/after images — the
+        path a worker takes when its in-memory transaction state died
+        with it (crash recovery), mirroring ARIES logical undo."""
+        node = self.nodes[worker_id]
+        recs = [
+            r
+            for r in node.log.records()
+            if r.txn == txn_id
+            and r.kind == UPDATE
+            and r.page
+            and r.page[0] == "logical"
+        ]
+        for rec in reversed(recs):
+            _, table, _w = rec.page
+            storage = self.db.workers[worker_id].storage.get(table)
+            if storage is None:
+                continue
+            op = (rec.info or {}).get("op")
+            if op == "insert":
+                self._delete_exact(storage, RowBatch.from_bytes(rec.after))
+            elif op == "delete":
+                storage.insert(RowBatch.from_bytes(rec.before))
+            elif op == "update":
+                self._delete_exact(storage, RowBatch.from_bytes(rec.after))
+                storage.insert(RowBatch.from_bytes(rec.before))
 
     # -- metadata transactions (coordinator sync, paper §VI) --------------------------------
     def metadata_commit(self, mutate, coordinator: int = 0) -> bool:

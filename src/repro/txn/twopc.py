@@ -11,17 +11,30 @@ credits for 2PC scalability (§VI).
 All decisions are WAL-logged: participants force a PREPARE record before
 voting; the coordinator forces the decision to its XA log before phase 2
 (presumed abort: a missing decision record means rollback).
+
+Failure handling (the chaos substrate exercises all of these):
+
+* a participant that cannot be reached or raises during PREPARE counts
+  as a **NO vote** — the prepare timeout degenerates to presumed abort;
+* a coordinator crash before the decision record is forced raises
+  :class:`TwoPCError`; prepared participants are left in doubt and run
+  the termination protocol against :meth:`XAManager.outcome` once the
+  coordinator recovers (presumed abort: no record, no commit);
+* a hub-node failure mid-broadcast reroutes the decision through a tree
+  rebuilt over the still-unreached participants; participants that are
+  themselves down are recorded in :attr:`XAManager.in_doubt` and
+  converge later via the termination protocol.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Optional, Protocol
+from dataclasses import dataclass
+from typing import Protocol
 
-from ..common.errors import TwoPCError
+from ..common.errors import NetworkError, TwoPCError, WorkerFailureError
 from ..network.simnet import SimNetwork
 from ..network.topology import TreeTopology
-from .wal import ABORT, COMMIT, LogManager, PREPARE
+from .wal import ABORT, COMMIT, LogManager
 
 
 class Participant(Protocol):
@@ -39,6 +52,12 @@ class TwoPCStats:
     prepare_messages: int = 0
     decision_messages: int = 0
     coordinator_messages: int = 0  # messages the coordinator itself sent/recv
+    #: unreachable/failed participants treated as NO votes (prepare timeouts)
+    timeouts: int = 0
+    #: participants the decision could not be delivered to
+    in_doubt: int = 0
+    #: decision deliveries that needed a rebuilt tree (hub failure reroute)
+    rerouted: int = 0
 
 
 class XAManager:
@@ -51,6 +70,8 @@ class XAManager:
         self.xa_log = xa_log
         #: decisions by txn (also recoverable from the XA log)
         self.decisions: dict[int, str] = {}
+        #: per-txn participants the decision never reached (await termination)
+        self.in_doubt: dict[int, set[int]] = {}
 
     # -- the protocol ----------------------------------------------------------------
     def commit(
@@ -74,42 +95,130 @@ class XAManager:
             """Deliver PREPARE to node, recurse to children, aggregate votes."""
             vote = True
             if node in participants:
-                vote = participants[node].prepare(txn, self.coord_id)
+                try:
+                    vote = participants[node].prepare(txn, self.coord_id)
+                except Exception:
+                    # a participant that dies while preparing never voted:
+                    # count it as NO (presumed abort)
+                    stats.timeouts += 1
+                    vote = False
             for child in tree.children(node):
-                self.net.send(node, child, b"PREPARE", tag=f"2pc{txn}")
+                try:
+                    self.net.send(node, child, b"PREPARE", tag=f"2pc{txn}")
+                except (NetworkError, WorkerFailureError):
+                    # the child (or this hub) is unreachable or down: its
+                    # whole subtree never prepares, so silence is a NO vote
+                    stats.timeouts += 1
+                    vote = False
+                    continue
                 stats.prepare_messages += 1
                 if node == self.coord_id:
                     stats.coordinator_messages += 1
                 child_vote = prepare_subtree(child)
-                self.net.send(child, node, b"YES" if child_vote else b"NO", tag=f"2pc{txn}")
-                stats.prepare_messages += 1
-                if node == self.coord_id:
-                    stats.coordinator_messages += 1
+                try:
+                    self.net.send(child, node, b"YES" if child_vote else b"NO", tag=f"2pc{txn}")
+                except (NetworkError, WorkerFailureError):
+                    stats.timeouts += 1
+                    child_vote = False
+                else:
+                    stats.prepare_messages += 1
+                    if node == self.coord_id:
+                        stats.coordinator_messages += 1
                 vote = vote and child_vote
             return vote
 
         all_yes = prepare_subtree(self.coord_id)
         decision = "commit" if all_yes else "rollback"
+        # the decision record must hit the XA log before phase 2; a
+        # coordinator crash at this boundary leaves every prepared
+        # participant in doubt (resolved by the termination protocol)
+        inj = getattr(self.net, "injector", None)
+        if inj is not None:
+            inj.advance()  # deciding consumes fault-clock time
+            if inj.node_down(self.coord_id):
+                inj.record("crash_before_decision", node=self.coord_id)
+                raise TwoPCError(
+                    f"coordinator {self.coord_id} crashed before logging a decision "
+                    f"for txn {txn}"
+                )
         self._decide(txn, decision)
 
-        def decide_subtree(node: int) -> None:
-            if node in participants:
-                if decision == "commit":
-                    participants[node].commit(txn)
-                else:
-                    participants[node].rollback(txn)
-            for child in tree.children(node):
-                self.net.send(node, child, decision.upper().encode(), tag=f"2pc{txn}")
-                stats.decision_messages += 1
-                if node == self.coord_id:
-                    stats.coordinator_messages += 1
-                decide_subtree(child)
+        # phase 2: apply locally, then broadcast down the tree
+        if self.coord_id in participants:
+            self._apply(participants[self.coord_id], txn, decision)
+        undelivered = self._broadcast_decision(txn, decision, participants, others, stats)
+        if undelivered:
+            self.in_doubt[txn] = undelivered
+            stats.in_doubt += len(undelivered)
 
-        decide_subtree(self.coord_id)
         # drain protocol messages so inboxes stay clean
         for node in tree.nodes:
-            self.net.recv_all(node, tag=f"2pc{txn}")
+            try:
+                self.net.recv_all(node, tag=f"2pc{txn}")
+            except WorkerFailureError:
+                pass  # a down node keeps its stale protocol messages
         return decision == "commit"
+
+    def _broadcast_decision(
+        self,
+        txn: int,
+        decision: str,
+        participants: dict[int, Participant],
+        targets: list[int],
+        stats: TwoPCStats,
+    ) -> set[int]:
+        """Deliver the decision down the tree; on hub failure, rebuild the
+        tree over the unreached participants and reroute. Returns the set
+        of participants the decision never reached (left in doubt)."""
+        remaining = set(targets)
+        in_doubt: set[int] = set()
+        rounds = 0
+        while remaining:
+            rounds += 1
+            tree = TreeTopology(
+                [self.coord_id] + sorted(remaining), self.n_max, root=self.coord_id
+            )
+            reached: set[int] = set()
+
+            def walk(node: int) -> None:
+                for child in tree.children(node):
+                    try:
+                        self.net.send(node, child, decision.upper().encode(), tag=f"2pc{txn}")
+                    except WorkerFailureError as e:
+                        if e.worker_id == child:
+                            # the child itself is down: it stays in doubt
+                            # until its recovery runs the termination protocol
+                            in_doubt.add(child)
+                        # else the hub failed: the child may be alive, keep
+                        # it in `remaining` so the rebuilt tree reroutes it
+                        continue
+                    except NetworkError:
+                        continue  # transient link fault: retry next round
+                    stats.decision_messages += 1
+                    if node == self.coord_id:
+                        stats.coordinator_messages += 1
+                    if rounds > 1:
+                        stats.rerouted += 1
+                    reached.add(child)
+                    if child in participants:
+                        self._apply(participants[child], txn, decision)
+                    walk(child)
+
+            walk(self.coord_id)
+            progressed = reached | in_doubt
+            remaining -= progressed
+            if not progressed or rounds >= 4:
+                # no route makes progress (e.g. the coordinator itself is
+                # down): everyone left converges via the termination protocol
+                in_doubt |= remaining
+                break
+        return in_doubt
+
+    def _apply(self, participant: Participant, txn: int, decision: str) -> None:
+        if decision == "commit":
+            participant.commit(txn)
+        else:
+            participant.rollback(txn)
 
     def rollback(self, txn: int, participants: dict[int, Participant]) -> None:
         self._decide(txn, "rollback")
@@ -132,3 +241,14 @@ class XAManager:
             if rec.txn == txn and rec.kind == ABORT:
                 return "rollback"
         return "rollback"  # presumed abort
+
+    def recover(self) -> dict[int, str]:
+        """Coordinator restart: rebuild the decision table from the forced
+        XA log (ARIES analysis over the decision records)."""
+        self.decisions = {}
+        for rec in self.xa_log.scan():
+            if rec.kind == COMMIT:
+                self.decisions[rec.txn] = "commit"
+            elif rec.kind == ABORT:
+                self.decisions[rec.txn] = "rollback"
+        return dict(self.decisions)

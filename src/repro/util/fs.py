@@ -13,7 +13,6 @@ from __future__ import annotations
 
 import os
 import threading
-from typing import Iterable
 
 from ..common.errors import StorageError
 

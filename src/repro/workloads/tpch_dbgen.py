@@ -21,7 +21,6 @@ import numpy as np
 
 from ..common.batch import RowBatch
 from ..common.dates import date_to_days
-from ..common.schema import Schema
 from . import tpch_schema as S
 
 NATIONS = [

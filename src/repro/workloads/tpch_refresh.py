@@ -12,12 +12,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
 from ..common.batch import RowBatch
-from ..sql.ast import DeleteStmt, Literal
 from ..sql.parser import parse_expr
-from . import tpch_dbgen, tpch_schema
+from . import tpch_dbgen
 
 
 @dataclass
@@ -30,7 +27,6 @@ class RefreshResult:
 def rf1_insert(db, sf: float, stream: int = 0, seed: int = 77) -> RefreshResult:
     """Insert a refresh batch of new orders + line items transactionally."""
     n_orders = max(1, int(round(sf * 1500)))
-    rng = np.random.default_rng(np.random.SeedSequence([seed, stream]))
     base_orders = tpch_dbgen.gen_orders(sf, seed + 1000 + stream)
     batch_orders = base_orders.slice(0, min(n_orders, base_orders.length))
     # refresh keys live above the existing key space

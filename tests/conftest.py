@@ -2,11 +2,10 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro import ClusterConfig, Database
-from repro.common import DataType, RowBatch, Schema
+from repro.common import DataType, RowBatch
 from repro.storage.buffer import BufferManager
 from repro.util.fs import MemFS
 from repro.workloads import tpch_dbgen, tpch_schema

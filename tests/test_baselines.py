@@ -5,12 +5,7 @@ import numpy as np
 import pytest
 
 from repro import ClusterConfig, Database
-from repro.baselines import (
-    BaselineIOStats,
-    MapReduceStyleExecutor,
-    MPPStyleExecutor,
-    SparkStyleExecutor,
-)
+from repro.baselines import MapReduceStyleExecutor, MPPStyleExecutor, SparkStyleExecutor
 from repro.common import DataType, RowBatch
 from repro.sql import parse
 

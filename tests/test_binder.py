@@ -17,16 +17,6 @@ from repro.optimizer import Binder, Catalog
 from repro.optimizer.logical import Aggregate, Distinct, Filter, Join, Limit, Project, Scan, Sort
 from repro.optimizer.rewrite import push_filters
 from repro.sql import parse
-from repro.sql.ast import (
-    BinaryOp,
-    ColumnRef,
-    Exists,
-    InSubquery,
-    Literal,
-    ScalarSubquery,
-    SelectStmt,
-    UnaryOp,
-)
 
 T1 = Schema.of(("a", DataType.INT64), ("b", DataType.INT64))
 T2 = Schema.of(("x", DataType.INT64), ("y", DataType.INT64))
@@ -156,7 +146,6 @@ def _rows(table):
 def naive(sql_filter, tables, projection):
     """Nested-loop evaluation: sql_filter(env) -> bool over joined rows."""
     out = []
-    names = [t for t, _ in tables]
     for combo in itertools.product(*[_rows(t) for t, _ in tables]):
         env = {}
         for (t, alias), row in zip(tables, combo):

@@ -1,0 +1,485 @@
+"""Chaos harness: deterministic fault injection end-to-end.
+
+The acceptance bar for the chaos substrate: under injected node
+crashes, dropped links, duplicated and reordered messages, query
+results must be *identical* to the fault-free run (retry/backoff,
+blacklist-and-failover, and query restarts absorb every fault), and
+2PC must leave every participant converged on one decision even when
+participants, hubs, or the coordinator crash mid-protocol.
+
+Both sides of every comparison attach an injector (the baseline uses
+the empty schedule) so message delivery order is canonical in each run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import ClusterConfig, Database
+from repro.common import DataType, RowBatch
+from repro.common.errors import (
+    ConfigError,
+    NetworkError,
+    TwoPCError,
+    WorkerFailureError,
+)
+from repro.fault import (
+    CrashWindow,
+    FaultInjector,
+    FaultSchedule,
+    NetworkPartition,
+    WorkerHealthTracker,
+)
+from repro.network.simnet import SimNetwork
+from repro.sql import parse
+from repro.txn.twopc import TwoPCStats, XAManager
+from repro.txn.wal import LogManager
+from repro.util.fs import MemFS
+from repro.workloads import tpch_schema
+from repro.workloads.tpch_queries import query as tpch_query
+
+CHAOS_SEEDS = [11, 23, 37, 41, 59, 67]
+
+QUERIES = [
+    "select v, count(*), sum(k) from t group by v order by v",
+    "select count(*) from t where k < 17",
+    "select d.grp, sum(t.k) from t, dim d where t.v = d.id group by d.grp order by d.grp",
+]
+
+
+def build_db(**cfg_overrides) -> Database:
+    cfg = dict(
+        n_workers=4, n_max=4, page_size=16 * 1024,
+        send_retries=6, max_query_restarts=16,
+    )
+    cfg.update(cfg_overrides)
+    db = Database(ClusterConfig(**cfg))
+    db.sql("create table t (k integer, v integer) partition by hash (k)")
+    db.sql("create table dim (id integer, grp integer) partition by replicated")
+    rng = np.random.default_rng(7)
+    db.load(
+        "t",
+        RowBatch.from_pairs(
+            ("k", DataType.INT64, rng.integers(0, 40, 3000)),
+            ("v", DataType.INT64, rng.integers(0, 8, 3000)),
+        ),
+    )
+    db.load(
+        "dim",
+        RowBatch.from_pairs(
+            ("id", DataType.INT64, np.arange(8)),
+            ("grp", DataType.INT64, np.arange(8) % 3),
+        ),
+    )
+    return db
+
+
+def baseline_rows(queries=QUERIES) -> list[list[tuple]]:
+    db = build_db()
+    db.chaos(FaultSchedule.none())  # canonical delivery order, zero faults
+    return [db.sql(q).rows() for q in queries]
+
+
+# ---------------------------------------------------------------------------
+# schedule / injector unit behaviour
+# ---------------------------------------------------------------------------
+
+
+class TestScheduleAndInjector:
+    def test_schedule_validation(self):
+        with pytest.raises(ConfigError):
+            FaultSchedule(drop_prob=1.5)
+        with pytest.raises(ConfigError):
+            CrashWindow(node=0, at=-1)
+        with pytest.raises(ConfigError):
+            NetworkPartition(frozenset({0}), frozenset({0, 1}), at=0, duration=5)
+
+    def test_crash_window_fires_and_heals(self):
+        inj = FaultInjector(FaultSchedule(crashes=(CrashWindow(node=2, at=3, duration=4),)))
+        inj.advance(2)
+        assert not inj.node_down(2)
+        inj.advance(1)  # tick 3: crash fires
+        assert inj.node_down(2)
+        inj.advance(4)  # tick 7: heals
+        assert not inj.node_down(2)
+        assert [e.kind for e in inj.events] == ["crash", "recover"]
+
+    def test_partition_window(self):
+        part = NetworkPartition(frozenset({0}), frozenset({1, 2}), at=2, duration=3)
+        inj = FaultInjector(FaultSchedule(partitions=(part,)))
+        inj.advance(2)
+        assert inj.link_cut(0, 1) and inj.link_cut(2, 0)
+        assert not inj.link_cut(1, 2)  # same side
+        inj.advance(3)
+        assert not inj.link_cut(0, 1)
+
+    def test_send_to_down_node_raises(self):
+        net = SimNetwork([0, 1])
+        inj = FaultInjector()
+        net.attach(inj)
+        inj.crash_now(1)
+        with pytest.raises(WorkerFailureError):
+            net.send(0, 1, b"x")
+        inj.recover_now(1)
+        net.send(0, 1, b"x")
+        assert net.recv_all(1) == [(0, "", b"x")]
+
+    def test_recv_on_down_node_raises(self):
+        net = SimNetwork([0, 1])
+        inj = FaultInjector()
+        net.attach(inj)
+        net.send(0, 1, b"x")
+        inj.crash_now(1)
+        with pytest.raises(WorkerFailureError):
+            net.recv_all(1)
+
+    def test_duplicate_delivery_is_deduped(self):
+        net = SimNetwork([0, 1])
+        net.attach(FaultInjector(FaultSchedule(dup_prob=1.0)))
+        net.send(0, 1, b"payload")
+        assert net.pending(1) == 2  # two copies on the wire
+        assert net.recv_all(1) == [(0, "", b"payload")]  # one survives dedup
+        assert net.injector.summary().get("duplicate") == 1
+        assert net.injector.summary().get("dedup") == 1
+
+    def test_silent_drop_recorded_but_invisible(self):
+        net = SimNetwork([0, 1])
+        net.attach(FaultInjector(FaultSchedule(silent_drop_prob=1.0)))
+        net.send(0, 1, b"gone")
+        assert net.recv_all(1) == []
+        assert net.total_messages == 1  # the wire was still used
+        assert net.injector.summary() == {"silent_drop": 1}
+
+    def test_loud_drop_raises_network_error(self):
+        net = SimNetwork([0, 1])
+        net.attach(FaultInjector(FaultSchedule(drop_prob=1.0)))
+        with pytest.raises(NetworkError):
+            net.send(0, 1, b"x")
+
+    def test_canonical_recv_order_despite_delays(self):
+        sched = FaultSchedule(seed=3, delay_prob=1.0)
+        net = SimNetwork([0, 1, 2])
+        net.attach(FaultInjector(sched))
+        for i in range(5):
+            net.send(0, 2, f"a{i}".encode())
+            net.send(1, 2, f"b{i}".encode())
+        got = net.recv_all(2)
+        want = [(0, "", f"a{i}".encode()) for i in range(5)] + [
+            (1, "", f"b{i}".encode()) for i in range(5)
+        ]
+        assert got == want  # sorted by (src, send order), delays invisible
+
+    def test_identical_seeds_identical_chaos(self):
+        def run(seed):
+            net = SimNetwork([0, 1])
+            net.attach(FaultInjector(FaultSchedule(seed=seed, dup_prob=0.3, delay_prob=0.3)))
+            for i in range(50):
+                net.send(0, 1, bytes([i]))
+            net.recv_all(1)
+            return [(e.tick, e.kind) for e in net.injector.events]
+
+        assert run(5) == run(5)
+        assert run(5) != run(6)  # different stream
+
+    def test_health_tracker_blacklist(self):
+        h = WorkerHealthTracker(blacklist_after=2)
+        h.record_failure(3)
+        assert not h.is_blacklisted(3)
+        h.record_failure(3)
+        assert h.is_blacklisted(3) and h.blacklisted() == {3}
+        h.record_success(3)
+        assert not h.is_blacklisted(3)
+
+
+# ---------------------------------------------------------------------------
+# queries under chaos: results must match the fault-free run exactly
+# ---------------------------------------------------------------------------
+
+
+class TestQueriesUnderChaos:
+    @pytest.fixture(scope="class")
+    def baseline(self):
+        return baseline_rows()
+
+    @pytest.mark.parametrize("seed", CHAOS_SEEDS)
+    def test_results_identical_under_chaos(self, baseline, seed):
+        db = build_db()
+        schedule = FaultSchedule.chaos(seed, db.worker_ids)
+        inj = db.chaos(schedule)
+        for want, q in zip(baseline, QUERIES):
+            assert db.sql(q).rows() == want, f"divergence under {schedule.describe()}"
+        assert inj.tick > 0  # the chaos clock actually ran
+
+    def test_crash_mid_query_restarts_and_matches(self, baseline):
+        db = build_db()
+        inj = db.chaos(
+            FaultSchedule(crashes=(CrashWindow(node=1, at=4, duration=25),))
+        )
+        res = db.sql(QUERIES[0])
+        assert res.rows() == baseline[0]
+        assert res.stats.restarts > 0
+        assert 1 in res.stats.failed_workers
+        assert inj.events_of("crash") and inj.events_of("recover")
+
+    def test_dropped_links_recovered_by_retry(self, baseline):
+        db = build_db(send_retries=8)
+        db.chaos(FaultSchedule(seed=2, drop_prob=0.25))
+        res = db.sql(QUERIES[0])
+        assert res.rows() == baseline[0]
+        assert res.stats.retries > 0
+        assert res.stats.backoff_time > 0.0
+
+    def test_duplicates_and_delays_invisible(self, baseline):
+        db = build_db()
+        inj = db.chaos(FaultSchedule(seed=4, dup_prob=0.5, delay_prob=0.5))
+        res = db.sql(QUERIES[0])
+        assert res.rows() == baseline[0]
+        assert res.stats.restarts == 0  # dedup absorbs duplicates, no restart
+        assert inj.summary().get("duplicate", 0) > 0
+        assert inj.summary().get("dedup", 0) > 0
+
+    def test_network_partition_heals(self, baseline):
+        db = build_db()
+        part = NetworkPartition(
+            frozenset({0}), frozenset(db.worker_ids[1:]), at=5, duration=30
+        )
+        inj = db.chaos(FaultSchedule(partitions=(part,)))
+        res = db.sql(QUERIES[0])
+        assert res.rows() == baseline[0]
+        assert inj.events_of("partition_drop")
+
+    def test_replicated_read_fails_over_without_restart(self):
+        db = build_db()
+        want = db.sql("select grp, count(*) from dim group by grp order by grp").rows()
+        inj = db.chaos(FaultSchedule.none())
+        inj.crash_now(1, duration=10_000)
+        res = db.sql("select grp, count(*) from dim group by grp order by grp")
+        assert res.rows() == want
+        assert res.stats.restarts == 0  # degraded read, not a restart
+        assert 1 in res.stats.failed_workers
+        assert inj.events_of("failover")
+
+    def test_blacklisted_worker_skipped_proactively(self):
+        db = build_db(blacklist_threshold=2)
+        inj = db.chaos(FaultSchedule.none())
+        inj.crash_now(2, duration=10_000)
+        q = "select count(*) from dim"
+        for _ in range(3):
+            db.sql(q)
+        assert db._executor.health.is_blacklisted(2)
+        before = len(inj.events_of("op_on_down"))
+        db.sql(q)  # blacklisted: no probe of worker 2 at all
+        assert len(inj.events_of("op_on_down")) == before
+        assert any("blacklisted" in e.detail for e in inj.events_of("failover"))
+
+    def test_partitioned_crash_exhausts_restart_budget(self):
+        db = build_db(max_query_restarts=2)
+        db.chaos(FaultSchedule.none()).crash_now(0)  # permanent, partitioned table
+        with pytest.raises(WorkerFailureError, match="restart budget exhausted"):
+            db.sql(QUERIES[0])
+
+    def test_deterministic_replay(self):
+        def run(seed):
+            db = build_db()
+            inj = db.chaos(FaultSchedule.chaos(seed, db.worker_ids))
+            rows = [db.sql(q).rows() for q in QUERIES]
+            return rows, [e.kind for e in inj.events]
+
+        rows_a, events_a = run(23)
+        rows_b, events_b = run(23)
+        assert rows_a == rows_b
+        assert events_a == events_b
+
+
+class TestTPCHUnderChaos:
+    """TPC-H under randomized fault schedules (acceptance criterion)."""
+
+    TPCH_QUERIES = [1, 6]
+
+    def _db(self, data) -> Database:
+        cfg = ClusterConfig(
+            n_workers=4, n_max=4, page_size=32 * 1024, batch_size=4096,
+            send_retries=6, max_query_restarts=16,
+        )
+        db = Database(cfg)
+        for name, schema in tpch_schema.SCHEMAS.items():
+            db.create_table(name, schema, tpch_schema.PARTITIONING[name])
+            db.load(name, data[name])
+        return db
+
+    @pytest.fixture(scope="class")
+    def baseline(self, tpch_data):
+        db = self._db(tpch_data)
+        db.chaos(FaultSchedule.none())
+        return {q: db.sql(tpch_query(q, sf=0.002)).rows() for q in self.TPCH_QUERIES}
+
+    @pytest.mark.parametrize("seed", CHAOS_SEEDS[:5])
+    def test_tpch_byte_identical_under_chaos(self, tpch_data, baseline, seed):
+        db = self._db(tpch_data)
+        schedule = FaultSchedule.chaos(seed, db.worker_ids)
+        db.chaos(schedule)
+        for q in self.TPCH_QUERIES:
+            got = db.sql(tpch_query(q, sf=0.002)).rows()
+            assert got == baseline[q], f"TPC-H Q{q} diverged under {schedule.describe()}"
+
+
+# ---------------------------------------------------------------------------
+# 2PC under fire
+# ---------------------------------------------------------------------------
+
+
+class _Participant:
+    def __init__(self, node_id):
+        self.node_id = node_id
+        self.events = []
+
+    def prepare(self, txn, coordinator):
+        self.events.append("prepare")
+        return True
+
+    def commit(self, txn):
+        self.events.append("commit")
+
+    def rollback(self, txn):
+        self.events.append("rollback")
+
+
+class TestTwoPCUnderFire:
+    COORD = 999
+
+    def _setup(self, n=7, n_max=3, schedule=None):
+        net = SimNetwork([self.COORD] + list(range(n)))
+        inj = FaultInjector(schedule)
+        net.attach(inj)
+        xa = XAManager(self.COORD, net, n_max, LogManager(MemFS()))
+        parts = {i: _Participant(i) for i in range(n)}
+        return xa, net, inj, parts
+
+    def test_crashed_participant_counts_as_no_vote(self):
+        xa, net, inj, parts = self._setup()
+        inj.crash_now(2, duration=10_000)
+        stats = TwoPCStats()
+        assert not xa.commit(1, parts, stats)  # silence == NO (presumed abort)
+        assert stats.timeouts > 0
+        assert parts[2].events == []  # never reached
+        # every *reachable* participant converged on rollback
+        for i, p in parts.items():
+            if i != 2:
+                assert p.events[-1] == "rollback"
+        # node 6 sits under the dead hub 2: the decision was rerouted to it
+        assert parts[6].events == ["rollback"]
+        assert stats.rerouted > 0
+        assert xa.in_doubt[1] == {2}
+        assert xa.outcome(1) == "rollback"  # node 2's termination answer
+
+    def test_participant_crash_after_prepare_left_in_doubt(self):
+        # prepare = 14 ticks (2 per tree edge), decide = tick 15,
+        # broadcast starts at tick 16; crash node 1 exactly then
+        xa, net, inj, parts = self._setup(
+            schedule=FaultSchedule(crashes=(CrashWindow(node=1, at=16, duration=10_000),))
+        )
+        stats = TwoPCStats()
+        assert xa.commit(1, parts, stats)
+        assert parts[1].events == ["prepare"]  # prepared, never told: in doubt
+        assert xa.in_doubt[1] == {1}
+        # its children (4, 5) were rerouted around the dead hub
+        assert parts[4].events == ["prepare", "commit"]
+        assert parts[5].events == ["prepare", "commit"]
+        assert stats.rerouted > 0
+        # termination protocol: the recovered node asks and gets COMMIT
+        assert xa.outcome(1) == "commit"
+
+    def test_coordinator_crash_before_decision_presumes_abort(self):
+        xa, net, inj, parts = self._setup(
+            schedule=FaultSchedule(crashes=(CrashWindow(node=999, at=15, duration=10_000),))
+        )
+        with pytest.raises(TwoPCError, match="before logging a decision"):
+            xa.commit(1, parts)
+        for p in parts.values():
+            assert p.events == ["prepare"]  # all in doubt
+        # recovery: no decision record anywhere -> presumed abort
+        assert xa.recover() == {}
+        assert xa.outcome(1) == "rollback"
+
+    def test_coordinator_crash_mid_broadcast_converges_via_log(self):
+        xa, net, inj, parts = self._setup(
+            schedule=FaultSchedule(crashes=(CrashWindow(node=999, at=16, duration=10_000),))
+        )
+        stats = TwoPCStats()
+        assert xa.commit(1, parts, stats)  # decision forced to the XA log first
+        assert stats.in_doubt == len(parts)  # nobody was told
+        # coordinator restarts: ARIES over the XA log rebuilds the decision,
+        # and every participant's termination protocol converges on COMMIT
+        xa2 = XAManager(self.COORD, net, 3, xa.xa_log)
+        assert xa2.recover() == {1: "commit"}
+        assert all(xa2.outcome(1) == "commit" for _ in parts)
+
+
+class TestDMLChaos:
+    """Multi-partition DML + 2PC failure recovery on the real database."""
+
+    def _db(self):
+        db = Database(ClusterConfig(n_workers=3, n_max=4, page_size=16 * 1024))
+        db.sql("create table t (k integer, v varchar) partition by hash (k)")
+        return db
+
+    def _insert_everywhere(self, db, txn):
+        stmt = parse(
+            "insert into t values "
+            + ", ".join(f"({i}, 'r{i}')" for i in range(30))
+        )
+        db.insert_values(stmt, txn=txn)
+        assert txn.involved == set(db.worker_ids)  # genuinely multi-partition
+
+    def test_participant_misses_decision_then_converges(self):
+        db = self._db()
+        txn = db.txn_system.begin()
+        self._insert_everywhere(db, txn)
+        inj = db.chaos(FaultSchedule.none())
+        # 3 participants: prepare = 6 ticks, decide = 7, broadcast = 8...
+        # crash worker 0 exactly when its COMMIT delivery is attempted
+        inj.schedule = FaultSchedule(crashes=(CrashWindow(node=0, at=8, duration=10_000),))
+        assert db.txn_system.commit(txn)
+        assert db.txn_system.xa[db.coord_ids[0]].in_doubt[txn.txn_id] == {0}
+        # worker 0 recovers and runs the termination protocol
+        inj.recover_now(0)
+        resolved = db.txn_system.recover_worker(0)
+        assert resolved == {txn.txn_id: "commit"}
+        db.net.attach(None)
+        assert db.sql("select count(*) from t").rows() == [(30,)]
+
+    def test_unreachable_participant_rolls_back_on_recovery(self):
+        db = self._db()
+        db.sql("insert into t values (100, 'pre')")
+        txn = db.txn_system.begin()
+        self._insert_everywhere(db, txn)
+        inj = db.chaos(FaultSchedule.none())
+        inj.crash_now(0, duration=10_000)
+        assert not db.txn_system.commit(txn)  # unreachable worker -> NO vote
+        # workers 1 and 2 rolled back inline; worker 0 still holds its
+        # uncommitted rows until recovery undoes them from the WAL
+        inj.recover_now(0)
+        resolved = db.txn_system.resolve_in_doubt()
+        assert resolved == {(0, txn.txn_id): "rollback"}
+        db.net.attach(None)
+        assert db.sql("select count(*) from t").rows() == [(1,)]
+
+    def test_coordinator_crash_then_recovery_converges_all(self):
+        db = self._db()
+        txn = db.txn_system.begin()
+        self._insert_everywhere(db, txn)
+        coord = db.coord_ids[0]
+        inj = db.chaos(FaultSchedule.none())
+        # crash the coordinator at the decide boundary (after 6 prepare ticks)
+        inj.schedule = FaultSchedule(crashes=(CrashWindow(node=coord, at=7, duration=10_000),))
+        with pytest.raises(TwoPCError):
+            db.txn_system.commit(txn)
+        # every worker prepared and is in doubt; coordinator recovers with
+        # no decision record -> presumed abort everywhere
+        inj.recover_now(coord)
+        db.txn_system.xa[coord].recover()
+        resolved = db.txn_system.resolve_in_doubt()
+        assert set(resolved.values()) == {"rollback"}
+        db.net.attach(None)
+        assert db.sql("select count(*) from t").rows() == [(0,)]

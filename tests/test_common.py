@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.common import ClusterConfig, Column, DataType, Schema
+from repro.common import ClusterConfig, DataType, Schema
 from repro.common.dates import (
     add_months,
     add_years,

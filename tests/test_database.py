@@ -1,6 +1,5 @@
 """Database façade: DDL, loading, statistics, explain, configuration."""
 
-import numpy as np
 import pytest
 
 from repro import ClusterConfig, Database, DataType, RowBatch, Schema

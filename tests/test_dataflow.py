@@ -1,12 +1,11 @@
 """Phase 2/3 planner tests: placement, partitioning properties, shuffle
 insertion and elision, aggregation strategies, top-k fusion."""
 
-import pytest
 
 from repro.common import ClusterConfig, DataType, Schema
 from repro.optimizer import Binder, Catalog, StatsDeriver, StatsProvider, TableStats
 from repro.optimizer.dataflow import DataflowPlanner, convert_naive
-from repro.optimizer.physical import ARBITRARY, COORD, REPLICATED, WORKERS, hash_part
+from repro.optimizer.physical import COORD, REPLICATED, WORKERS, hash_part
 from repro.optimizer.rewrite import optimize_logical
 from repro.optimizer.stats import ColumnStats
 from repro.sql import parse

@@ -10,7 +10,6 @@ profile could silently steer join ordering).
 import gc
 
 import numpy as np
-import pytest
 
 from repro import ClusterConfig, Database
 from repro.common import DataType, RowBatch

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.bench import figures
-from repro.bench.model import PROFILES, QueryCost, SystemProfile, cost_query, plan_query
+from repro.bench.model import PROFILES, cost_query, plan_query
 
 
 class TestPrinters:

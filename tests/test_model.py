@@ -4,7 +4,7 @@ the regenerated figures (shape, not absolute numbers — see DESIGN.md §4)."""
 import pytest
 
 from repro.bench import figures, model
-from repro.bench.model import PROFILES, model_query, model_total, plan_query
+from repro.bench.model import model_query, model_total, plan_query
 
 
 class TestPlanLayer:
@@ -175,7 +175,6 @@ class TestMechanisms:
 
     def test_hub_topology_has_bounded_conn_setup(self):
         """Shuffle connection setup stays flat for HRDBMS, grows for GP."""
-        h8 = model_query("hrdbms", 18, 1000.0, 8).net_seconds
         h96 = model_query("hrdbms", 18, 1000.0, 96).net_seconds
         g96 = model_query("greenplum", 18, 1000.0, 96).net_seconds
         assert g96 > h96

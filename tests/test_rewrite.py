@@ -7,7 +7,7 @@ import pytest
 from repro.common import DataType, RowBatch, Schema
 from repro.core import execute_logical
 from repro.optimizer import Binder, Catalog, StatsDeriver, StatsProvider, TableStats
-from repro.optimizer.logical import Aggregate, Filter, Join, Project, Scan, walk
+from repro.optimizer.logical import Aggregate, Filter, Join, Scan, walk
 from repro.optimizer.rewrite import (
     apply_groupby_pushdown,
     factor_or,

@@ -11,7 +11,6 @@ from repro.sql.ast import (
     Between,
     BinaryOp,
     CaseExpr,
-    ColumnRef,
     CreateTable,
     DeleteStmt,
     Exists,

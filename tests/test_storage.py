@@ -15,8 +15,8 @@ from repro.storage.compression import (
 )
 from repro.storage.page import PagedFile
 from repro.storage.row_page import RowPage, decode_row, encode_row
-from repro.storage.table import COLUMN, ROW, ScanStats, TableStorage
-from repro.util.fs import LocalFS, MemFS
+from repro.storage.table import COLUMN, ROW, TableStorage
+from repro.util.fs import LocalFS
 
 
 class TestMemFS:

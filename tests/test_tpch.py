@@ -6,7 +6,7 @@ import pytest
 
 from repro.common.dates import date_to_days
 from repro.workloads import tpch_dbgen, tpch_schema
-from repro.workloads.tpch_queries import ALL_QUERIES, PAPER_QUERY_SET, query
+from repro.workloads.tpch_queries import ALL_QUERIES, query
 
 from tests.conftest import TPCH_SF, rows_match_unordered
 
@@ -144,7 +144,6 @@ class TestBaselineEngines:
     same answers while exhibiting their signature behaviours."""
 
     def _against(self, tpch_db, executor_cls, qno=3):
-        from repro.core.executor import DistributedExecutor
 
         sql = query(qno, TPCH_SF)
         from repro.sql import parse

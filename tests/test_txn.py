@@ -1,10 +1,9 @@
 """Concurrency control & recovery: locks, WAL, ARIES, 2PC, DML."""
 
-import numpy as np
 import pytest
 
 from repro import ClusterConfig, Database
-from repro.common import DataType, RowBatch, Schema
+from repro.common import DataType, Schema
 from repro.common.errors import DeadlockError, LockTimeoutError, RecoveryError, TxnError
 from repro.network.simnet import SimNetwork
 from repro.txn.aries import recover
@@ -171,7 +170,7 @@ class TestAriesRecovery:
         log.append(txn=3, kind=UPDATE, page=("t", 2), before=b"o", after=b"n")
         log.append(txn=3, kind=PREPARE, coordinator=10_000)
         pages = _Pages()
-        rep = recover(log, pages.write, resolve_outcome=lambda c, t: "rollback")
+        recover(log, pages.write, resolve_outcome=lambda c, t: "rollback")
         assert pages.pages[("t", 2)] == b"o"
 
     def test_in_doubt_without_resolver_fails(self, memfs):
@@ -188,7 +187,7 @@ class TestAriesRecovery:
         log.append(txn=2, kind=UPDATE, page=("t", 1), before=b"b0", after=b"b1")
         log.append(txn=1, kind=COMMIT)
         pages = _Pages()
-        rep = recover(log, pages.write)
+        recover(log, pages.write)
         assert pages.pages[("t", 0)] == b"a1"  # committed survives
         assert pages.pages[("t", 1)] == b"b0"  # loser rolled back
 
@@ -253,6 +252,44 @@ class TestTwoPC:
         xa.commit(1, parts, stats)
         # fan-out 3: the coordinator exchanges messages with <= 3 children
         assert stats.coordinator_messages <= 3 * 3  # prepare+vote+decision
+
+
+class TestXAOutcomeRecovery:
+    """The termination protocol's source of truth: ``XAManager.outcome``
+    must answer correctly from memory, from the forced XA log after a
+    coordinator restart, and by presumed abort when no record exists."""
+
+    def _xa(self):
+        net = SimNetwork([999, 0, 1])
+        return XAManager(999, net, 4, LogManager(MemFS())), net
+
+    def test_presumed_abort_even_with_other_decisions(self):
+        xa, _ = self._xa()
+        xa.commit(1, {0: _FakeParticipant(0)})
+        xa.rollback(2, {0: _FakeParticipant(0)})
+        # txn 3 never reached a decision: silence means rollback
+        assert xa.outcome(3) == "rollback"
+
+    def test_outcome_survives_coordinator_restart(self):
+        xa, net = self._xa()
+        xa.commit(5, {0: _FakeParticipant(0)})
+        assert not xa.commit(6, {0: _FakeParticipant(0, vote=False)})
+        # a brand-new manager over the same forced log (true restart:
+        # no in-memory decision table survives)
+        xa2 = XAManager(999, net, 4, xa.xa_log)
+        assert xa2.decisions == {}
+        assert xa2.outcome(5) == "commit"
+        assert xa2.outcome(6) == "rollback"
+
+    def test_recover_rebuilds_decision_table(self):
+        xa, net = self._xa()
+        xa.commit(10, {0: _FakeParticipant(0)})
+        assert not xa.commit(11, {0: _FakeParticipant(0, vote=False)})
+        xa.rollback(12, {0: _FakeParticipant(0)})
+        xa2 = XAManager(999, net, 4, xa.xa_log)
+        assert xa2.recover() == {10: "commit", 11: "rollback", 12: "rollback"}
+        # after analysis, outcome answers from the rebuilt table
+        assert xa2.outcome(10) == "commit"
 
 
 def _dml_db(n_workers=3):

@@ -1,9 +1,8 @@
 """Workload modules: analytic TPC-H statistics, skew generator, queries."""
 
-import numpy as np
 import pytest
 
-from repro.workloads import tpch_queries, tpch_schema, tpch_stats
+from repro.workloads import tpch_schema, tpch_stats
 from repro.workloads.skew import SkewedWorkload
 from repro.workloads.tpch_queries import ALL_QUERIES, PAPER_QUERY_SET, query
 
