@@ -85,6 +85,35 @@ def test_batch_serialization(benchmark):
     assert out.length == 20_000
 
 
+@pytest.mark.parametrize("vectorized", [False, True])
+def test_string_codec(benchmark, vectorized, monkeypatch):
+    """Wire string codec ablation: scalar loops vs bulk NumPy encode/decode
+    (plus dictionary encoding, which only the vectorized path attempts)."""
+    from repro.common import batch as batch_mod
+
+    monkeypatch.setattr(batch_mod, "VECTORIZED_STRINGS", vectorized)
+    monkeypatch.setattr(batch_mod, "DICT_ENCODE_STRINGS", vectorized)
+    strs = np.empty(50_000, dtype=object)
+    strs[:] = [f"order-status-{i % 5}" for i in range(50_000)]
+    b = RowBatch.from_pairs(("s", DataType.STRING, strs))
+
+    out = benchmark(lambda: RowBatch.from_bytes(b.to_bytes()))
+    assert out.columns["s"].tolist() == strs.tolist()
+
+
+@pytest.mark.parametrize("vectorized", [False, True])
+def test_huffman_string_pages(benchmark, vectorized, monkeypatch):
+    """Storage string codec ablation: scalar per-bit Huffman vs the
+    table-driven NumPy coder (streams are bit-identical either way)."""
+    from repro.storage import compression as comp_mod
+
+    monkeypatch.setattr(comp_mod, "VECTORIZED_HUFFMAN", vectorized)
+    values = [f"comment text fragment {i % 211}" for i in range(5_000)]
+    blob = comp_mod.huffman_encode_strings(values)
+
+    assert benchmark(lambda: comp_mod.huffman_decode_strings(blob)) == values
+
+
 def test_page_compression_lz4sim(benchmark):
     codec = get_codec("lz4sim")
     payload = np.arange(16_384, dtype=np.int64).tobytes()

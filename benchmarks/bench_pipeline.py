@@ -1,0 +1,179 @@
+"""Before/after benchmark for morsel-driven pipelined execution.
+
+Runs a set of TPC-H queries twice on identically loaded clusters:
+
+* **before** — the pre-PR engine shape: ``pipelined_execution=False``
+  (operator-at-a-time evaluation with materialized exchanges) plus the
+  scalar string codec and per-character FNV hash
+  (``batch.VECTORIZED_STRINGS = False``, ``batch.DICT_ENCODE_STRINGS =
+  False``).
+* **after** — the defaults: fused scan→filter→project chains, streaming
+  shuffles/broadcasts/gathers, vectorized wire codec with dictionary
+  encoding.
+
+Results (wall-clock per query, ExecStats.peak_memory, pipeline counters)
+are written to ``BENCH_PIPELINE.json`` at the repo root so the numbers
+ride along with the PR. The script exits non-zero only on crashes or
+result mismatches between the two engines — never on timing — so CI can
+run it at tiny scale as a smoke test.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_pipeline.py            # default scale
+    PYTHONPATH=src python benchmarks/bench_pipeline.py --sf 0.001 --repeat 1 --out /dev/null
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from contextlib import contextmanager
+from pathlib import Path
+
+from repro import ClusterConfig, Database
+from repro.common import batch as batch_mod
+from repro.storage import col_page as colpage_mod
+from repro.storage import compression as comp_mod
+from repro.workloads import tpch_dbgen, tpch_schema
+from repro.workloads.tpch_queries import query
+
+#: qno -> workload shape (acceptance needs one agg-heavy and one
+#: join-heavy query to clear the speedup bar)
+QUERIES = {
+    1: "agg",   # wide aggregate over lineitem, string group keys
+    6: "agg",   # tight scan-filter-aggregate
+    3: "join",  # customer x orders x lineitem, top-k
+    10: "join", # 4-way join returning wide string columns
+    12: "join", # orders x lineitem with CASE aggregation
+}
+
+DEFAULT_SF = 0.01
+
+
+@contextmanager
+def legacy_codec():
+    """Disable the vectorized wire/storage codecs (pre-PR behavior)."""
+    vec, dic = batch_mod.VECTORIZED_STRINGS, batch_mod.DICT_ENCODE_STRINGS
+    huf, pages = comp_mod.VECTORIZED_HUFFMAN, colpage_mod.DICT_PAGES
+    batch_mod.VECTORIZED_STRINGS = False
+    batch_mod.DICT_ENCODE_STRINGS = False
+    comp_mod.VECTORIZED_HUFFMAN = False
+    colpage_mod.DICT_PAGES = False
+    try:
+        yield
+    finally:
+        batch_mod.VECTORIZED_STRINGS = vec
+        batch_mod.DICT_ENCODE_STRINGS = dic
+        comp_mod.VECTORIZED_HUFFMAN = huf
+        colpage_mod.DICT_PAGES = pages
+
+
+def rows_match(a, b, rel=1e-9) -> bool:
+    """Row equality with FP tolerance: pipelined aggregation folds partial
+    results in morsel order, so float sums differ in the last ulps."""
+    if len(a) != len(b):
+        return False
+    for ra, rb in zip(a, b):
+        if len(ra) != len(rb):
+            return False
+        for va, vb in zip(ra, rb):
+            if isinstance(va, float) and isinstance(vb, float):
+                if abs(va - vb) > rel * max(1.0, abs(va), abs(vb)):
+                    return False
+            elif va != vb:
+                return False
+    return True
+
+
+def build_db(sf: float, pipelined: bool) -> Database:
+    cfg = ClusterConfig(
+        n_workers=4,
+        n_max=4,
+        page_size=32 * 1024,
+        batch_size=4096,
+        pipelined_execution=pipelined,
+    )
+    db = Database(cfg)
+    data = tpch_dbgen.generate(sf=sf)
+    for name, schema in tpch_schema.SCHEMAS.items():
+        db.create_table(name, schema, tpch_schema.PARTITIONING[name])
+        db.load(name, data[name])
+    return db
+
+
+def time_query(db: Database, sql: str, repeat: int):
+    """Best-of-``repeat`` wall clock after one untimed warmup run."""
+    result = db.sql(sql)  # warmup: buffer pool, predicate caches, JIT-ish paths
+    best = float("inf")
+    for _ in range(repeat):
+        t0 = time.perf_counter()
+        result = db.sql(sql)
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--sf", type=float, default=DEFAULT_SF, help="TPC-H scale factor")
+    ap.add_argument("--repeat", type=int, default=3, help="timed runs per query (best-of)")
+    ap.add_argument(
+        "--queries", type=int, nargs="*", default=sorted(QUERIES), help="TPC-H query numbers"
+    )
+    ap.add_argument(
+        "--out",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_PIPELINE.json"),
+        help="output JSON path",
+    )
+    args = ap.parse_args()
+
+    print(f"loading TPC-H sf={args.sf} twice (before/after engines) ...")
+    with legacy_codec():
+        db_before = build_db(args.sf, pipelined=False)
+    db_after = build_db(args.sf, pipelined=True)
+
+    report = {
+        "sf": args.sf,
+        "repeat": args.repeat,
+        "before": "pipelined_execution=False, scalar string codec, scalar FNV hash",
+        "after": "morsel-driven pipelines, streaming exchanges, vectorized wire codec",
+        "queries": {},
+    }
+    failures = 0
+    for qno in args.queries:
+        sql = query(qno, args.sf)
+        with legacy_codec():
+            t_before, r_before = time_query(db_before, sql, args.repeat)
+        t_after, r_after = time_query(db_after, sql, args.repeat)
+        if not rows_match(r_before.rows(), r_after.rows()):
+            print(f"Q{qno:<2} RESULT MISMATCH between engines")
+            failures += 1
+            continue
+        entry = {
+            "kind": QUERIES.get(qno, "?"),
+            "before_s": round(t_before, 4),
+            "after_s": round(t_after, 4),
+            "speedup": round(t_before / t_after, 2) if t_after else None,
+            "before_peak_memory": r_before.stats.peak_memory,
+            "after_peak_memory": r_after.stats.peak_memory,
+            "pipelines": r_after.stats.pipelines,
+            "fused_ops": r_after.stats.fused_ops,
+            "morsels": r_after.stats.morsels,
+            "peak_inflight_batches": r_after.stats.peak_inflight_batches,
+        }
+        report["queries"][str(qno)] = entry
+        print(
+            f"Q{qno:<2} [{entry['kind']:<4}] before={t_before:.3f}s after={t_after:.3f}s "
+            f"speedup={entry['speedup']}x  peak_mem {entry['before_peak_memory']}"
+            f"->{entry['after_peak_memory']}  pipelines={entry['pipelines']} "
+            f"morsels={entry['morsels']}"
+        )
+
+    if args.out != "/dev/null":
+        Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {args.out}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -367,7 +367,7 @@ class Database:
         if not isinstance(stmt, SelectStmt):
             raise PlanError("EXPLAIN ANALYZE supports SELECT only")
         logical, physical = self.plan_select(stmt)
-        self._executor.execute(physical)
+        _, stats = self._executor.execute(physical)
         rows = self._executor.op_rows
 
         def render(op, indent=0):
@@ -381,7 +381,12 @@ class Database:
                 lines.append(render(c, indent + 1))
             return "\n".join(lines)
 
-        return render(physical)
+        footer = (
+            f"-- pipelines={stats.pipelines} fused_ops={stats.fused_ops} "
+            f"morsels={stats.morsels} "
+            f"peak_inflight_batches={stats.peak_inflight_batches}"
+        )
+        return render(physical) + "\n" + footer
 
     def execute_reference(self, text: str) -> RowBatch:
         """Run via the single-node reference executor (oracle for tests)."""

@@ -66,6 +66,14 @@ class ClusterConfig:
     #: consecutive scan failures before a worker is blacklisted and
     #: replicated reads fail over to a healthy replica
     blacklist_threshold: int = 3
+    #: execute fused scan→filter→project→partial-agg chains as
+    #: morsel-driven streaming pipelines (paper §III-B: the engine never
+    #: materializes full intermediates); False falls back to
+    #: operator-at-a-time evaluation for A/B comparison
+    pipelined_execution: bool = True
+    #: worker threads per morsel-driven pipeline; 0 = auto (number of
+    #: disks, throttled by the worker's resource monitor like scan DOP)
+    morsel_dop: int = 0
 
     def __post_init__(self):
         if self.n_workers < 1:
@@ -88,6 +96,8 @@ class ClusterConfig:
             raise ConfigError("backoff_base must be positive")
         if self.blacklist_threshold < 1:
             raise ConfigError("blacklist_threshold must be >= 1")
+        if self.morsel_dop < 0:
+            raise ConfigError("morsel_dop must be >= 0 (0 = auto)")
 
     def with_(self, **kwargs) -> "ClusterConfig":
         """Functional update."""

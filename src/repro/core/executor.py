@@ -39,8 +39,24 @@ from ..optimizer.physical import COORD, WORKERS, PhysOp
 from ..sql.ast import ColumnRef, Expr
 from ..sql.compiler import compile_expr, compile_predicate, to_scan_predicate
 from ..storage.table import ScanStats, TableStorage
-from .kernels import bloom_filter_codes, bloom_filter_test, sort_indices, top_k
+from .kernels import (
+    JoinHashTable,
+    bloom_filter_codes,
+    bloom_filter_test,
+    sort_indices,
+    top_k,
+)
+from .pipeline import (
+    FusedChain,
+    InflightTracker,
+    PipelineMetrics,
+    apply_steps,
+    coalesce_batches,
+    fuse_chain,
+    run_tasks_ordered,
+)
 from .reference import (
+    _combine,
     aggregate_batch,
     distinct_batch,
     hash_join,
@@ -91,6 +107,14 @@ class ExecStats:
     backoff_time: float = 0.0
     #: workers that failed (probe or send) at any point during the query
     failed_workers: tuple = ()
+    #: fused morsel-driven pipelines built for the query
+    pipelines: int = 0
+    #: operators folded into those pipelines (scans included)
+    fused_ops: int = 0
+    #: morsel tasks executed (one per table fragment per site)
+    morsels: int = 0
+    #: peak batches produced by morsel tasks but not yet consumed
+    peak_inflight_batches: int = 0
 
 
 SiteData = dict[int, list[RowBatch]]
@@ -126,6 +150,9 @@ class DistributedExecutor:
         self.retries = 0
         self.backoff_time = 0.0
         self.failed_workers: set[int] = set()
+        #: per-execute() pipelining observability
+        self.pipe = PipelineMetrics()
+        self.inflight = InflightTracker()
 
     # -- entry ---------------------------------------------------------------------
     def execute(self, plan: PhysOp) -> tuple[RowBatch, ExecStats]:
@@ -137,6 +164,8 @@ class DistributedExecutor:
         self.retries = 0
         self.backoff_time = 0.0
         self.failed_workers = set()
+        self.pipe = PipelineMetrics()
+        self.inflight = InflightTracker()
         for w in self.workers.values():
             w.governor.spilled_bytes = 0
             w.governor.peak = w.governor.used
@@ -163,11 +192,21 @@ class DistributedExecutor:
             retries=self.retries,
             backoff_time=self.backoff_time,
             failed_workers=tuple(sorted(self.failed_workers)),
+            pipelines=self.pipe.pipelines,
+            fused_ops=self.pipe.fused_ops,
+            morsels=self.pipe.morsels,
+            peak_inflight_batches=self.inflight.peak,
         )
         return result, stats
 
     # -- dispatch ------------------------------------------------------------------
     def _eval(self, op: PhysOp) -> SiteData:
+        if op.op in ("filter", "project"):
+            chain = self._chain_for(op, allow_bare_scan=False)
+            if chain is not None:
+                out = self._run_chain_collect(chain)
+                self.op_rows[op.id] = sum(b.length for bs in out.values() for b in bs)
+                return out
         fn = getattr(self, f"_eval_{op.op}", None)
         if fn is None:
             raise ExecutionError(f"no evaluator for physical op {op.op!r}")
@@ -175,6 +214,111 @@ class DistributedExecutor:
         # per-operator observability (EXPLAIN ANALYZE)
         self.op_rows[op.id] = sum(b.length for bs in out.values() for b in bs)
         return out
+
+    # -- fused pipelines ------------------------------------------------------------
+    def _chain_for(self, op: PhysOp, allow_bare_scan: bool) -> FusedChain | None:
+        """A fused chain for ``op``'s subtree, or None to fall back to
+        operator-at-a-time evaluation (``pipelined_execution=False``,
+        non-linear shapes, or external tables the chain scanner cannot
+        serve)."""
+        if not self.config.pipelined_execution:
+            return None
+        chain = fuse_chain(op)
+        if chain is None:
+            return None
+        if not allow_bare_scan and not chain.transforms:
+            return None
+        table = chain.scan.attrs["table"]
+        if any(table in rt.external for rt in self.workers.values()):
+            return None
+        return chain
+
+    def _open_chain(self, chain: FusedChain) -> dict[int, int]:
+        """Account a chain execution and return its row-count accumulator."""
+        self.pipe.pipelines += 1
+        self.pipe.fused_ops += chain.n_ops
+        counts = {chain.scan.id: 0}
+        for t in chain.transforms:
+            counts[t.id] = 0
+        return counts
+
+    def _close_chain(self, counts: dict[int, int]) -> None:
+        """Publish fused per-op actuals for EXPLAIN ANALYZE."""
+        for op_id, n in counts.items():
+            self.op_rows[op_id] = n
+
+    def _coalesce(self, batches, schema: Schema):
+        """Regroup streamed batches to full width (4x batch_size rows) so
+        per-batch exchange and fold costs stay amortized; memory stays
+        bounded by the coalesce window."""
+        return coalesce_batches(batches, schema, 4 * self.config.batch_size)
+
+    def _run_chain_collect(self, chain: FusedChain) -> SiteData:
+        """Evaluate a fused chain to materialized SiteData (used when the
+        parent operator has no streaming path)."""
+        counts = self._open_chain(chain)
+        out: SiteData = {}
+        for w in self.worker_ids:
+            out[w] = list(self._chain_site_batches(chain, w, counts))
+        self._close_chain(counts)
+        return out
+
+    def _chain_site_batches(
+        self, chain: FusedChain, w: int, counts: dict[int, int]
+    ):
+        """Stream one site's batches through the fused chain.
+
+        Each table fragment becomes one morsel task that scans and runs
+        the full transform chain in its worker thread; the driver thread
+        consumes task results in submission order, so every downstream
+        send sequence (and the fault injector's clock) stays
+        deterministic no matter how threads interleave.
+        """
+        op = chain.scan
+        table = op.attrs["table"]
+        replicated = op.partitioning.kind == "replicated"
+        serving = self._serving_for(op, w, table, replicated)
+        rt = self.workers[serving]
+        storage = rt.storage.get(table)
+        if storage is None:
+            raise ExecutionError(f"worker {serving} has no table {table!r}")
+        needed, pred_fn, scan_pred, finish = self._scan_plan(storage, op)
+        steps = chain.steps()
+        scan_id = op.id
+        n_disks = len(storage.fragments)
+        dop = self.config.morsel_dop or rt.current_dop()
+        dop = max(1, min(dop, n_disks))
+        threaded = (
+            (self.config.parallel_scans or self.config.morsel_dop > 1)
+            and dop > 1
+            and n_disks > 1
+        )
+
+        def morsel(d: int) -> tuple[list[RowBatch], dict[int, int], ScanStats]:
+            st = ScanStats()
+            local: dict[int, int] = {}
+            outs: list[RowBatch] = []
+            for raw in storage.scan(
+                needed, pred_fn, scan_pred,
+                skipping=self.config.data_skipping, stats=st, disks=[d],
+            ):
+                b = finish(raw)
+                local[scan_id] = local.get(scan_id, 0) + b.length
+                b = apply_steps(b, steps, local)
+                if b is not None and b.length:
+                    outs.append(b)
+            self.inflight.produced(len(outs))
+            return outs, local, st
+
+        self.pipe.morsels += n_disks
+        tasks = [lambda d=d: morsel(d) for d in range(n_disks)]
+        for outs, local, st in run_tasks_ordered(tasks, dop, threaded):
+            self._scan_stats.merge(st)
+            for op_id, n in local.items():
+                counts[op_id] = counts.get(op_id, 0) + n
+            for b in outs:
+                self.inflight.consumed(1)
+                yield b
 
     def _instances(self, op: PhysOp) -> list[int]:
         return self.worker_ids if op.site == WORKERS else [self.coord_id]
@@ -243,43 +387,50 @@ class DistributedExecutor:
     def _eval_dual(self, op: PhysOp) -> SiteData:
         return {self.coord_id: [RowBatch(op.schema, {"__one": np.array([1], dtype=np.int64)})]}
 
+    def _serving_for(self, op: PhysOp, w: int, table: str, replicated: bool) -> int:
+        """The worker that will serve site ``w``'s partition of ``table``:
+        ``w`` itself when healthy, otherwise (replicated tables only) a
+        live replica after the blacklist/failover dance."""
+        serving = w
+        if replicated and self.health.is_blacklisted(w):
+            # degrade gracefully: skip the known-bad worker entirely
+            peer = self._healthy_peer(op, table, exclude=w)
+            if peer is not None:
+                serving = peer
+                self.failed_workers.add(w)
+                self._record_chaos(
+                    "failover", node=w,
+                    detail=f"blacklisted; replicated {table!r} served by worker {peer}",
+                )
+        if serving == w:
+            try:
+                self._probe_worker(w, op)
+                self.health.record_success(w)
+            except WorkerFailureError:
+                self.health.record_failure(w)
+                self.failed_workers.add(w)
+                if self.health.is_blacklisted(w):
+                    self._record_chaos(
+                        "blacklist", node=w,
+                        detail=f"{self.health.failures(w)} consecutive failures",
+                    )
+                peer = self._healthy_peer(op, table, exclude=w) if replicated else None
+                if peer is None:
+                    raise  # partitioned data only lives on w: restart the query
+                serving = peer
+                self._record_chaos(
+                    "failover", node=w,
+                    detail=f"replicated {table!r} served by worker {peer}",
+                )
+        return serving
+
     def _eval_scan(self, op: PhysOp) -> SiteData:
         table = op.attrs["table"]
         pred_expr: Expr | None = op.attrs.get("predicate")
         replicated = op.partitioning.kind == "replicated"
         out: SiteData = {}
         for w in self.worker_ids:
-            serving = w
-            if replicated and self.health.is_blacklisted(w):
-                # degrade gracefully: skip the known-bad worker entirely
-                peer = self._healthy_peer(op, table, exclude=w)
-                if peer is not None:
-                    serving = peer
-                    self.failed_workers.add(w)
-                    self._record_chaos(
-                        "failover", node=w,
-                        detail=f"blacklisted; replicated {table!r} served by worker {peer}",
-                    )
-            if serving == w:
-                try:
-                    self._probe_worker(w, op)
-                    self.health.record_success(w)
-                except WorkerFailureError:
-                    self.health.record_failure(w)
-                    self.failed_workers.add(w)
-                    if self.health.is_blacklisted(w):
-                        self._record_chaos(
-                            "blacklist", node=w,
-                            detail=f"{self.health.failures(w)} consecutive failures",
-                        )
-                    peer = self._healthy_peer(op, table, exclude=w) if replicated else None
-                    if peer is None:
-                        raise  # partitioned data only lives on w: restart the query
-                    serving = peer
-                    self._record_chaos(
-                        "failover", node=w,
-                        detail=f"replicated {table!r} served by worker {peer}",
-                    )
+            serving = self._serving_for(op, w, table, replicated)
             rt = self.workers[serving]
             if table in rt.external:
                 out[w] = self._scan_external(rt, table, op)
@@ -290,13 +441,15 @@ class DistributedExecutor:
             out[w] = self._scan_storage(storage, op, pred_expr)
         return out
 
-    def _scan_storage(self, storage: TableStorage, op: PhysOp, pred_expr: Expr | None) -> list[RowBatch]:
+    def _scan_plan(self, storage: TableStorage, op: PhysOp):
+        """Compile a scan op against a table: (needed columns, batch
+        predicate, storage-level scan predicate, schema-align closure)."""
+        pred_expr: Expr | None = op.attrs.get("predicate")
         tschema = storage.schema
         out_bases = [c.unqualified for c in op.schema]
         needed = list(dict.fromkeys(out_bases))
         pred_fn = None
         scan_pred = None
-        base_pred = None
         if pred_expr is not None:
             base_pred = _strip_qualifiers(pred_expr)
             from ..sql.ast import column_refs
@@ -319,6 +472,10 @@ class DistributedExecutor:
             # align column order/names with the physical schema
             return RowBatch(op.schema, {c.name: b.col(c.name) for c in op.schema})
 
+        return needed, pred_fn, scan_pred, finish
+
+    def _scan_storage(self, storage: TableStorage, op: PhysOp, pred_expr: Expr | None) -> list[RowBatch]:
+        needed, pred_fn, scan_pred, finish = self._scan_plan(storage, op)
         n_disks = len(storage.fragments)
         dop = min(n_disks, max(1, self._dop_for(storage)))
         if self.config.parallel_scans and dop > 1 and n_disks > 1:
@@ -419,8 +576,22 @@ class DistributedExecutor:
         return out
 
     def _eval_topk(self, op: PhysOp) -> SiteData:
-        child = self._eval(op.children[0])
         keys, k = op.attrs["keys"], op.attrs["k"]
+        chain = self._chain_for(op.children[0], allow_bare_scan=True)
+        if chain is not None:
+            # fused: fold the bounded heap directly over chain output
+            counts = self._open_chain(chain)
+            out: SiteData = {}
+            for site in self.worker_ids:
+                acc = RowBatch.empty(op.schema)
+                for b in self._coalesce(
+                    self._chain_site_batches(chain, site, counts), op.schema
+                ):
+                    acc = top_k(RowBatch.concat(op.schema, [acc, b]), keys, k)
+                out[site] = [acc]
+            self._close_chain(counts)
+            return out
+        child = self._eval(op.children[0])
         out: SiteData = {}
         for site, batches in child.items():
             # streaming bounded heap: fold batches through top_k
@@ -458,9 +629,14 @@ class DistributedExecutor:
 
     # -- aggregation ---------------------------------------------------------------
     def _eval_agg(self, op: PhysOp) -> SiteData:
-        child = self._eval(op.children[0])
         mode = op.attrs.get("mode", "complete")
         keys = tuple(op.attrs.get("group_keys", ()))
+        if mode in ("partial", "complete"):
+            distinct = mode == "complete" and any(s.distinct for s in op.attrs["aggs"])
+            chain = None if distinct else self._chain_for(op.children[0], allow_bare_scan=True)
+            if chain is not None:
+                return self._eval_agg_fused(op, chain, keys, mode)
+        child = self._eval(op.children[0])
         out: SiteData = {}
         for site, batches in child.items():
             if mode == "complete":
@@ -474,6 +650,53 @@ class DistributedExecutor:
                 else:
                     raise ExecutionError(f"unknown agg mode {mode}")
             out[site] = [res]
+        return out
+
+    def _eval_agg_fused(self, op: PhysOp, chain: FusedChain, keys, mode: str) -> SiteData:
+        """Fold partial aggregates over fused-chain output, one pass.
+
+        Each non-empty batch is pre-aggregated to partial form and
+        folded into a per-site accumulator as it leaves the chain, so
+        the operator never materializes its input. Complete mode (no
+        distinct aggs) goes through the partial/final split — exactly
+        the operator-level resource-management shape
+        :meth:`_complete_aggregate` uses under memory pressure.
+        """
+        child_schema = op.children[0].schema
+        if mode == "partial":
+            partial_schema, partial_specs = op.schema, op.attrs["partial_specs"]
+            final_specs = None
+        else:
+            from types import SimpleNamespace
+
+            from ..optimizer.dataflow import _split_aggs
+
+            node = SimpleNamespace(group_keys=keys, aggs=op.attrs["aggs"])
+            partial_schema, partial_specs, final_specs = _split_aggs(node, child_schema)
+        counts = self._open_chain(chain)
+        out: SiteData = {}
+        for site in self.worker_ids:
+            acc: RowBatch | None = None
+            for b in self._coalesce(
+                self._chain_site_batches(chain, site, counts), child_schema
+            ):
+                part = _partial_aggregate(b, keys, partial_specs, partial_schema)
+                if acc is None:
+                    acc = part
+                else:
+                    both = RowBatch.concat(partial_schema, [acc, part])
+                    acc = _combine_partials(both, keys, partial_specs, partial_schema)
+            if acc is None:
+                # empty site: aggregate the empty input once (keeps the
+                # engine's empty-input semantics, incl. MIN/MAX defaults
+                # for global aggregates)
+                acc = _partial_aggregate(
+                    RowBatch.empty(child_schema), keys, partial_specs, partial_schema
+                )
+            if mode == "complete":
+                acc = _final_aggregate(acc, keys, final_specs, op.schema)
+            out[site] = [acc]
+        self._close_chain(counts)
         return out
 
     def _complete_aggregate(self, site, op: PhysOp, keys, batches) -> RowBatch:
@@ -538,15 +761,66 @@ class DistributedExecutor:
         else:
             left = self._eval(left_op)
 
+        # left/single/cross joins need the whole probe side (row order of
+        # unmatched padding, scalar cardinality checks), so only the
+        # probe-order-preserving kinds stream
+        streaming = (
+            self.config.pipelined_execution and pairs and kind in ("inner", "semi", "anti")
+        )
         out: SiteData = {}
         for site in self._instances(op):
-            lb = self._materialize(site, left_op.schema, left.get(site, []))
             rb = self._materialize(site, right_op.schema, right.get(site, []))
-            out[site] = [
-                hash_join(lb, rb, kind, pairs, residual, op.schema, match_col,
-                          left_op.schema, right_op.schema)
-            ]
+            if streaming:
+                # build once, probe every left batch as it streams by —
+                # the per-pipeline reusable hash table (paper §III-B)
+                jht = JoinHashTable(
+                    [
+                        np.asarray(compile_expr(re, right_op.schema).fn(rb))
+                        for _, re in pairs
+                    ]
+                )
+                parts = [
+                    self._probe_batch(op, jht, lb, rb, kind, pairs, residual,
+                                      left_op.schema, right_op.schema)
+                    for lb in self._coalesce(left.get(site, []), left_op.schema)
+                ]
+                parts = [p for p in parts if p.length]
+                out[site] = parts if parts else [RowBatch.empty(op.schema)]
+            else:
+                lb = self._materialize(site, left_op.schema, left.get(site, []))
+                out[site] = [
+                    hash_join(lb, rb, kind, pairs, residual, op.schema, match_col,
+                              left_op.schema, right_op.schema)
+                ]
         return out
+
+    def _probe_batch(
+        self, op: PhysOp, jht: JoinHashTable, lb: RowBatch, rb: RowBatch,
+        kind: str, pairs, residual, lschema: Schema, rschema: Schema,
+    ) -> RowBatch:
+        """Probe one left batch against a prebuilt join hash table."""
+        lkeys = [np.asarray(compile_expr(le, lschema).fn(lb)) for le, _ in pairs]
+        li, ri = jht.match_indices(lkeys)
+        if residual and len(li):
+            combined = _combine(lb.take(li), rb.take(ri))
+            mask = np.ones(len(li), dtype=bool)
+            for r in residual:
+                mask &= compile_predicate(r, combined.schema)(combined)
+            li, ri = li[mask], ri[mask]
+        if kind == "inner":
+            lt, rt = lb.take(li), rb.take(ri)
+            cols = {c.name: lt.col(c.name) for c in lschema}
+            for c in rschema:
+                cols[c.name] = rt.col(c.name)
+            return RowBatch(op.schema, cols)
+        if kind == "semi":
+            keep = np.zeros(lb.length, dtype=bool)
+            keep[li] = True
+            return lb.filter(keep)
+        # anti
+        keep = np.ones(lb.length, dtype=bool)
+        keep[li] = False
+        return lb.filter(keep)
 
     def _build_bloom_prefilter(
         self, op: PhysOp, right: SiteData, right_op: PhysOp, pairs
@@ -592,43 +866,60 @@ class DistributedExecutor:
         return prefilter
 
     # -- exchanges ----------------------------------------------------------------------
+    def _shuffle_batch(self, src: int, batch: RowBatch, compiled, buffers, tag: str, prefilter) -> None:
+        """Partition one batch by key hash and send/buffer each slice."""
+        n = len(self.worker_ids)
+        if prefilter is not None:
+            batch = prefilter(batch)
+        if batch.length == 0:
+            return
+        arrays = [np.asarray(c.fn(batch)) for c in compiled]
+        codes = _value_hash(arrays)
+        dest_idx = (codes % np.uint64(n)).astype(np.int64)
+        order = np.argsort(dest_idx, kind="stable")
+        sorted_dest = dest_idx[order]
+        bounds = np.searchsorted(sorted_dest, np.arange(1, n))
+        chunks = np.split(order, bounds)
+        for d, idx in enumerate(chunks):
+            if len(idx) == 0:
+                continue
+            part = batch.take(idx)
+            dest = self.worker_ids[d]
+            if dest == src:
+                buffers[dest].append(part)  # local partition: no network
+            else:
+                payload = part.to_bytes()
+                self._retrying(
+                    lambda: self.net.route_send(self.ntm, src, dest, payload, tag),
+                    dest,
+                )
+
     def _eval_shuffle(self, op: PhysOp, prefilter=None) -> SiteData:
         child_op = op.children[0]
-        child = self._eval(child_op)
         key_exprs = op.attrs["key_exprs"]
         tag = f"shuf{op.id}"
-        n = len(self.worker_ids)
         compiled = [compile_expr(e, child_op.schema) for e in key_exprs]
         buffers: dict[int, SpillableList] = {
             w: SpillableList(self.workers[w].fs, self.workers[w].governor, op.schema, tag)
             for w in self.worker_ids
         }
-        for src, batches in child.items():
-            for batch in batches:
-                if prefilter is not None:
-                    batch = prefilter(batch)
-                if batch.length == 0:
-                    continue
-                arrays = [np.asarray(c.fn(batch)) for c in compiled]
-                codes = _value_hash(arrays)
-                dest_idx = (codes % np.uint64(n)).astype(np.int64)
-                order = np.argsort(dest_idx, kind="stable")
-                sorted_dest = dest_idx[order]
-                bounds = np.searchsorted(sorted_dest, np.arange(1, n))
-                chunks = np.split(order, bounds)
-                for d, idx in enumerate(chunks):
-                    if len(idx) == 0:
-                        continue
-                    part = batch.take(idx)
-                    dest = self.worker_ids[d]
-                    if dest == src:
-                        buffers[dest].append(part)  # local partition: no network
-                    else:
-                        payload = part.to_bytes()
-                        self._retrying(
-                            lambda: self.net.route_send(self.ntm, src, dest, payload, tag),
-                            dest,
-                        )
+        chain = self._chain_for(child_op, allow_bare_scan=True)
+        if chain is not None:
+            # streaming exchange: each batch is partitioned and routed the
+            # moment its morsel completes — the producer side never
+            # materializes its output
+            counts = self._open_chain(chain)
+            for src in self.worker_ids:
+                for batch in self._coalesce(
+                    self._chain_site_batches(chain, src, counts), child_op.schema
+                ):
+                    self._shuffle_batch(src, batch, compiled, buffers, tag, prefilter)
+            self._close_chain(counts)
+        else:
+            child = self._eval(child_op)
+            for src, batches in child.items():
+                for batch in batches:
+                    self._shuffle_batch(src, batch, compiled, buffers, tag, prefilter)
         out: SiteData = {}
         for w in self.worker_ids:
             for _, _, payload in self.net.recv_all(w, tag):
@@ -639,8 +930,36 @@ class DistributedExecutor:
 
     def _eval_broadcast(self, op: PhysOp) -> SiteData:
         child_op = op.children[0]
-        child = self._eval(child_op)
         tag = f"bcast{op.id}"
+        if child_op.site != COORD and child_op.partitioning.kind != "replicated":
+            chain = self._chain_for(child_op, allow_bare_scan=True)
+            if chain is not None:
+                # streaming broadcast: replicate each batch as it is produced
+                counts = self._open_chain(chain)
+                local: SiteData = {w: [] for w in self.worker_ids}
+                for src in self.worker_ids:
+                    for b in self._coalesce(
+                        self._chain_site_batches(chain, src, counts), child_op.schema
+                    ):
+                        local[src].append(b)
+                        payload = b.to_bytes()
+                        for dest in self.worker_ids:
+                            if dest != src:
+                                self._retrying(
+                                    lambda dest=dest: self.net.route_send(
+                                        self.ntm, src, dest, payload, tag
+                                    ),
+                                    dest,
+                                )
+                self._close_chain(counts)
+                out: SiteData = {}
+                for w in self.worker_ids:
+                    received = [
+                        RowBatch.from_bytes(p) for _, _, p in self.net.recv_all(w, tag)
+                    ]
+                    out[w] = local[w] + received
+                return out
+        child = self._eval(child_op)
         if child_op.site == COORD:
             for b in child.get(self.coord_id, []):
                 payload = b.to_bytes()
@@ -674,13 +993,45 @@ class DistributedExecutor:
     def _eval_gather(self, op: PhysOp) -> SiteData:
         child_op = op.children[0]
         mode = op.attrs.get("mode", "concat")
+        tag = f"gather{op.id}"
+        if mode == "concat" and child_op.site != COORD and child_op.op != "shuffle":
+            chain = self._chain_for(child_op, allow_bare_scan=True)
+            if chain is not None:
+                # streaming gather: batches climb the tree as morsels finish.
+                # The chain still runs on every site (a replicated child is
+                # scanned everywhere, like the operator-at-a-time engine, so
+                # probe/failover bookkeeping is identical) but only the
+                # designated sources forward their output.
+                sources = self.worker_ids
+                if op.attrs.get("replicated_child"):
+                    sources = self.worker_ids[:1]
+                counts = self._open_chain(chain)
+                for w in self.worker_ids:
+                    forward = w in sources
+                    for b in self._coalesce(
+                        self._chain_site_batches(chain, w, counts), child_op.schema
+                    ):
+                        if forward:
+                            payload = b.to_bytes()
+                            self._retrying(
+                                lambda w=w: self.net.route_send(
+                                    self.tree, w, self.coord_id, payload, tag
+                                ),
+                                self.coord_id,
+                            )
+                self._close_chain(counts)
+                received = [
+                    RowBatch.from_bytes(p)
+                    for _, _, p in self.net.recv_all(self.coord_id, tag)
+                ]
+                return {self.coord_id: received}
         if child_op.op == "shuffle":
             child = self._eval_shuffle(child_op)
+            self.op_rows[child_op.id] = sum(b.length for bs in child.values() for b in bs)
         else:
             child = self._eval(child_op)
         if child_op.site == COORD:
             return child
-        tag = f"gather{op.id}"
         sources = self.worker_ids
         if op.attrs.get("replicated_child"):
             sources = self.worker_ids[:1]

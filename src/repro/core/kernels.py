@@ -87,6 +87,75 @@ def join_match_indices(
     return left_idx, right_idx
 
 
+class JoinHashTable:
+    """Build-once / probe-many join table for streaming pipelines.
+
+    ``factorize_pair`` re-dictionarizes both sides on every call, so a
+    pipelined probe (one call per probe batch) would rebuild the build
+    side's dictionary per batch. This table factorizes the build side
+    once — per-column sorted dictionaries plus a composite code with one
+    sentinel slot per column for probe values absent from the build side
+    — and each probe batch only pays ``searchsorted`` lookups.
+
+    Output ordering is identical to ``factorize_pair`` +
+    ``join_match_indices``: probe-major, build rows in original order
+    within a key (stable sort), so a per-batch probe concatenated over
+    probe batches reproduces the materialized join bit-for-bit.
+    """
+
+    __slots__ = ("dicts", "order", "sorted_codes", "n_build")
+
+    def __init__(self, build_cols: Sequence[np.ndarray]):
+        cols = [np.asarray(c) for c in build_cols]
+        self.n_build = len(cols[0]) if cols else 0
+        self.dicts: list[np.ndarray] = []
+        code = np.zeros(self.n_build, dtype=np.int64)
+        for c in cols:
+            uniq, inv = np.unique(c, return_inverse=True)
+            self.dicts.append(uniq)
+            # +1 reserves a sentinel code per column for probe misses
+            code = code * (len(uniq) + 1) + inv
+        self.order = np.argsort(code, kind="stable")
+        self.sorted_codes = code[self.order]
+
+    def _probe_codes(self, probe_cols: Sequence[np.ndarray]) -> tuple[np.ndarray, np.ndarray]:
+        cols = [np.asarray(c) for c in probe_cols]
+        if len(cols) != len(self.dicts):
+            raise ExecutionError("join key arity mismatch")
+        n = len(cols[0]) if cols else 0
+        code = np.zeros(n, dtype=np.int64)
+        miss = np.zeros(n, dtype=bool)
+        for uniq, c in zip(self.dicts, cols):
+            k = len(uniq) + 1
+            if len(uniq) == 0:
+                miss[:] = True
+                inv = np.zeros(n, dtype=np.int64)
+            else:
+                pos = np.searchsorted(uniq, c)
+                pos_c = np.minimum(pos, len(uniq) - 1)
+                hit = uniq[pos_c] == c
+                miss |= ~hit
+                inv = np.where(hit, pos_c, len(uniq)).astype(np.int64)
+            code = code * k + inv
+        return code, miss
+
+    def match_indices(self, probe_cols: Sequence[np.ndarray]) -> tuple[np.ndarray, np.ndarray]:
+        """All matching (probe_idx, build_idx) pairs for one probe batch."""
+        code, miss = self._probe_codes(probe_cols)
+        if len(code):
+            # build codes are non-negative, so -1 can never match
+            code = np.where(miss, np.int64(-1), code)
+        starts = np.searchsorted(self.sorted_codes, code, side="left")
+        ends = np.searchsorted(self.sorted_codes, code, side="right")
+        counts = ends - starts
+        probe_idx = np.repeat(np.arange(len(code)), counts)
+        if len(probe_idx) == 0:
+            return probe_idx, probe_idx.copy()
+        offsets = np.concatenate([[0], np.cumsum(counts)[:-1]])
+        flat = np.arange(counts.sum()) - np.repeat(offsets, counts) + np.repeat(starts, counts)
+        return probe_idx, self.order[flat]
+
+
 def match_mask(lcode: np.ndarray, rcode: np.ndarray) -> np.ndarray:
     """Boolean per left row: does any right row share its code? (semi join)"""
     uniq_r = np.unique(rcode)
@@ -156,6 +225,12 @@ def group_aggregate(
         c = np.bincount(codes, minlength=n_groups)
         return s / np.maximum(c, 1)
     if func in ("MIN", "MAX"):
+        if len(codes) == 0:
+            return (
+                np.empty(n_groups, dtype=object)
+                if values.dtype == object
+                else np.zeros(n_groups, dtype=values.dtype)
+            )
         order = np.argsort(codes, kind="stable")
         sorted_codes = codes[order]
         sorted_vals = values[order]

@@ -1,0 +1,197 @@
+"""Morsel-driven pipelined execution (paper §III-B, §IV).
+
+HRDBMS's per-node performance claim rests on *pipelining*: the engine
+never materializes a full intermediate between operators. This module
+supplies the pieces the distributed executor composes into that shape:
+
+* :func:`fuse_chain` detects a linear ``scan -> filter -> project``
+  chain of WORKERS-site operators and packages it as a
+  :class:`FusedChain` — a single-pass batch transformer with per-op
+  row accounting (EXPLAIN ANALYZE still sees every fused operator).
+* :func:`run_tasks_ordered` is the morsel driver: per-fragment scan
+  tasks run on a bounded thread pool (generalizing the seed's
+  scan-only DOP to the whole fused chain), and results are consumed in
+  deterministic submission order so downstream network sends — and
+  therefore the fault injector's event clock — are reproducible.
+* :class:`InflightTracker` measures the peak number of produced-but-
+  unconsumed batches, the observable that distinguishes streaming from
+  operator-at-a-time execution.
+
+Exchange streaming (shuffle/broadcast/gather sends issued per morsel
+batch) and aggregate folding live in :mod:`repro.core.executor`, which
+owns the network and failover machinery the sends must thread through.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Optional
+
+from ..common.batch import RowBatch
+from ..optimizer.physical import WORKERS, PhysOp
+from ..sql.compiler import compile_predicate
+from .reference import project_batch
+
+
+@dataclass
+class PipelineMetrics:
+    """Per-query pipelining counters surfaced through ExecStats."""
+
+    #: fused chains built (one per chain per query, executed SPMD)
+    pipelines: int = 0
+    #: operators folded into those chains (scan included)
+    fused_ops: int = 0
+    #: morsel tasks executed (one per table fragment per site)
+    morsels: int = 0
+
+
+class InflightTracker:
+    """Counts batches produced by morsel tasks but not yet consumed."""
+
+    def __init__(self) -> None:
+        self._cur = 0
+        self.peak = 0
+        self._lock = threading.Lock()
+
+    def produced(self, n: int) -> None:
+        with self._lock:
+            self._cur += n
+            if self._cur > self.peak:
+                self.peak = self._cur
+
+    def consumed(self, n: int) -> None:
+        with self._lock:
+            self._cur -= n
+
+
+@dataclass
+class FusedChain:
+    """A fusable linear operator chain rooted at a worker-site scan.
+
+    ``transforms`` holds the filter/project ops bottom-up (nearest the
+    scan first). :meth:`steps` compiles them once; :func:`apply_steps`
+    then runs a batch through the whole chain in one pass.
+    """
+
+    scan: PhysOp
+    transforms: list[PhysOp]
+    _steps: Optional[list] = field(default=None, repr=False)
+
+    @property
+    def root(self) -> PhysOp:
+        return self.transforms[-1] if self.transforms else self.scan
+
+    @property
+    def n_ops(self) -> int:
+        return 1 + len(self.transforms)
+
+    def steps(self) -> list[tuple[int, str, object]]:
+        """Compiled (op_id, kind, payload) list; compiled lazily once.
+
+        Call from the driver thread before spawning morsel tasks — the
+        compiled closures are pure and safe to share across threads.
+        """
+        if self._steps is None:
+            steps: list[tuple[int, str, object]] = []
+            for t in self.transforms:
+                child_schema = t.children[0].schema
+                if t.op == "filter":
+                    steps.append((t.id, "filter", compile_predicate(t.attrs["predicate"], child_schema)))
+                else:
+                    steps.append((t.id, "project", (t.attrs["exprs"], t.schema)))
+            self._steps = steps
+        return self._steps
+
+
+def fuse_chain(op: PhysOp) -> FusedChain | None:
+    """Detect a linear filter/project chain over a WORKERS-site scan.
+
+    Returns None when ``op`` is not fusable (wrong site, a non-linear
+    shape, or a leaf other than a table scan); callers then fall back to
+    operator-at-a-time evaluation.
+    """
+    if op.site != WORKERS:
+        return None
+    transforms: list[PhysOp] = []
+    cur = op
+    while cur.op in ("filter", "project"):
+        if len(cur.children) != 1:
+            return None
+        transforms.append(cur)
+        cur = cur.children[0]
+        if cur.site != WORKERS:
+            return None
+    if cur.op != "scan":
+        return None
+    return FusedChain(scan=cur, transforms=list(reversed(transforms)))
+
+
+def apply_steps(
+    batch: RowBatch, steps: list[tuple[int, str, object]], counts: dict[int, int]
+) -> RowBatch | None:
+    """Run one batch through a chain's compiled transforms, single pass.
+
+    Accumulates each fused operator's output row count into ``counts``
+    (EXPLAIN ANALYZE accounting). Returns None as soon as a filter
+    leaves zero rows — the rest of the chain is skipped, matching the
+    operator-at-a-time engine's empty-batch dropping.
+    """
+    for op_id, kind, payload in steps:
+        if kind == "filter":
+            batch = batch.filter(payload(batch))
+            counts[op_id] = counts.get(op_id, 0) + batch.length
+            if batch.length == 0:
+                return None
+        else:
+            exprs, schema = payload
+            batch = project_batch(batch, exprs, schema)
+            counts[op_id] = counts.get(op_id, 0) + batch.length
+    return batch
+
+
+def coalesce_batches(
+    batches, schema, target_rows: int
+) -> Iterator[RowBatch]:
+    """Merge consecutive streamed batches until ``target_rows`` is reached.
+
+    Morsel outputs can be small (a scan batch split per destination, a
+    filter that drops most rows); per-batch costs downstream — hash
+    partitioning, wire encoding, partial-aggregate folds — have fixed
+    NumPy setup overhead that small batches amortize badly. Coalescing
+    holds at most ``target_rows`` rows, so memory stays bounded while
+    downstream work runs at full batch width. Grouping depends only on
+    batch sizes, which are deterministic, so exchange ordering (and the
+    fault injector's clock) is unaffected by thread scheduling.
+    """
+    pending: list[RowBatch] = []
+    rows = 0
+    for b in batches:
+        if not b.length:
+            continue
+        pending.append(b)
+        rows += b.length
+        if rows >= target_rows:
+            yield pending[0] if len(pending) == 1 else RowBatch.concat(schema, pending)
+            pending, rows = [], 0
+    if pending:
+        yield pending[0] if len(pending) == 1 else RowBatch.concat(schema, pending)
+
+
+def run_tasks_ordered(
+    tasks: list[Callable[[], object]], dop: int, threaded: bool
+) -> Iterator[object]:
+    """Morsel driver: run tasks with up to ``dop`` threads, yielding
+    results in submission order (deterministic regardless of thread
+    scheduling). Falls back to inline sequential execution when
+    threading is disabled or pointless."""
+    if threaded and dop > 1 and len(tasks) > 1:
+        from concurrent.futures import ThreadPoolExecutor
+
+        with ThreadPoolExecutor(max_workers=dop) as pool:
+            futures = [pool.submit(t) for t in tasks]
+            for f in futures:
+                yield f.result()
+    else:
+        for t in tasks:
+            yield t()

@@ -8,11 +8,16 @@ reconstruction is positional.
 
 Fixed-width columns are raw little-endian arrays; strings are
 Huffman-coded (paper: Huffman + LZ4 + sparse files address page-set
-underutilization). Page-slot compression happens one layer down in
-:class:`~repro.storage.page.PagedFile`.
+underutilization), and low-cardinality string pages are
+dictionary-encoded first — a tiny Huffman-coded dictionary plus
+fixed-width integer codes — so decode is a frombuffer and a gather
+instead of a Huffman stream over every row. Page-slot compression
+happens one layer down in :class:`~repro.storage.page.PagedFile`.
 """
 
 from __future__ import annotations
+
+import struct
 
 import numpy as np
 
@@ -20,15 +25,65 @@ from ..common.dtypes import DataType
 from ..common.errors import PageFormatError
 from .compression import huffman_decode_strings, huffman_encode_strings
 
+#: dictionary-encode low-cardinality string pages (module-level so the
+#: benchmark's "before" leg can load data with the pre-PR page format)
+DICT_PAGES = True
+
+#: dict pages are self-describing via this prefix; plain Huffman pages
+#: start with a u32 row count whose high byte is always zero for any
+#: realistic page, so the formats cannot collide
+_DICT_MAGIC = b"DPG1"
+
+_DICT_MIN_ROWS = 64
+
+
+def _dict_encode_strings(arr: np.ndarray) -> bytes | None:
+    n = len(arr)
+    if n < _DICT_MIN_ROWS:
+        return None
+    # cheap cardinality probe before the O(n log n) unique
+    sample = arr[:256]
+    if len(set(sample.tolist())) * 2 > len(sample):
+        return None
+    uniq, codes = np.unique(arr, return_inverse=True)
+    if len(uniq) * 4 > n:
+        return None
+    width = 1 if len(uniq) <= 0xFF else 2 if len(uniq) <= 0xFFFF else 4
+    dict_blob = huffman_encode_strings(list(uniq))
+    header = _DICT_MAGIC + struct.pack("<BII", width, n, len(dict_blob))
+    return header + dict_blob + codes.astype(f"<u{width}").tobytes()
+
+
+def _dict_decode_strings(payload: bytes, n_rows: int) -> np.ndarray:
+    width, n, dict_len = struct.unpack_from("<BII", payload, 4)
+    if n != n_rows:
+        raise PageFormatError(
+            f"string page holds {n} values, expected {n_rows}"
+        )
+    off = 4 + struct.calcsize("<BII")
+    uniq = huffman_decode_strings(payload[off : off + dict_len])
+    codes = np.frombuffer(payload, dtype=f"<u{width}", offset=off + dict_len)
+    if len(codes) != n_rows:
+        raise PageFormatError("dictionary page code vector length mismatch")
+    uniq_arr = np.empty(len(uniq), dtype=object)
+    uniq_arr[:] = uniq
+    return uniq_arr[codes]
+
 
 def encode_column(arr: np.ndarray, dtype: DataType) -> bytes:
     if dtype == DataType.STRING:
+        if DICT_PAGES:
+            blob = _dict_encode_strings(arr)
+            if blob is not None:
+                return blob
         return huffman_encode_strings(list(arr))
     return np.ascontiguousarray(arr, dtype=dtype.numpy_dtype).tobytes()
 
 
 def decode_column(payload: bytes, dtype: DataType, n_rows: int) -> np.ndarray:
     if dtype == DataType.STRING:
+        if payload[:4] == _DICT_MAGIC:
+            return _dict_decode_strings(payload, n_rows)
         values = huffman_decode_strings(payload)
         if len(values) != n_rows:
             raise PageFormatError(

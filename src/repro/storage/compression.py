@@ -21,7 +21,17 @@ import struct
 import zlib
 from typing import Sequence
 
+import numpy as np
+
+from ..common.batch import decode_utf8_offsets
 from ..common.errors import StorageError
+
+#: Use the NumPy table-driven Huffman coder (bit-identical streams to the
+#: scalar coder). Module-level so benchmarks can A/B the scalar path.
+VECTORIZED_HUFFMAN = True
+
+#: memoized coders keyed by their 256-byte length table
+_CODER_CACHE: dict[bytes, "HuffmanCoder"] = {}
 
 
 class Codec:
@@ -69,7 +79,7 @@ class HuffmanCoder:
     header, so decode needs no frequency information.
     """
 
-    __slots__ = ("lengths", "_enc", "_dec")
+    __slots__ = ("lengths", "_enc", "_dec", "_vec")
 
     def __init__(self, lengths: Sequence[int]):
         if len(lengths) != 256:
@@ -77,17 +87,51 @@ class HuffmanCoder:
         self.lengths = tuple(int(x) for x in lengths)
         self._enc = _build_encode_table(self.lengths)
         self._dec = _build_decode_table(self.lengths)
+        self._vec = None  # canonical NumPy tables, built on first bulk use
 
     # -- construction ----------------------------------------------------------
     @classmethod
     def from_data(cls, data: bytes) -> "HuffmanCoder":
-        freq = [0] * 256
-        for b in data:
-            freq[b] += 1
+        if VECTORIZED_HUFFMAN:
+            freq = np.bincount(
+                np.frombuffer(data, dtype=np.uint8), minlength=256
+            ).tolist()
+        else:
+            freq = [0] * 256
+            for b in data:
+                freq[b] += 1
         return cls(_code_lengths(freq))
+
+    def _vec_tables(self):
+        """Canonical per-length tables for the NumPy coder.
+
+        ``first[L]``/``cnt[L]`` delimit the consecutive code range of each
+        length, ``base[L]`` indexes its first symbol in ``symtab`` (symbols
+        in canonical (length, symbol) order), so a length-L code ``v``
+        decodes to ``symtab[base[L] + v - first[L]]``.
+        """
+        if self._vec is None:
+            max_len = max(self.lengths) if any(self.lengths) else 0
+            first = np.zeros(max_len + 1, dtype=np.int64)
+            cnt = np.zeros(max_len + 1, dtype=np.int64)
+            base = np.zeros(max_len + 1, dtype=np.int64)
+            symtab, codes, lens = [], np.zeros(256, np.int64), np.zeros(256, np.int64)
+            for length, sym in sorted((l, s) for s, l in enumerate(self.lengths) if l):
+                code, _ = self._enc[sym]
+                if cnt[length] == 0:
+                    first[length] = code
+                    base[length] = len(symtab)
+                cnt[length] += 1
+                symtab.append(sym)
+                codes[sym], lens[sym] = code, length
+            self._vec = (max_len, first, cnt, base,
+                         np.array(symtab, dtype=np.uint8), codes, lens)
+        return self._vec
 
     # -- coding ----------------------------------------------------------------
     def encode(self, data: bytes) -> bytes:
+        if VECTORIZED_HUFFMAN and len(data) >= 16:
+            return self._encode_bulk(data)
         out = bytearray()
         acc = 0
         nbits = 0
@@ -105,8 +149,30 @@ class HuffmanCoder:
             out.append((acc << (8 - nbits)) & 0xFF)
         return struct.pack("<I", len(data)) + bytes(out)
 
+    def _encode_bulk(self, data: bytes) -> bytes:
+        """NumPy bit-packing encoder; byte-identical to the scalar path."""
+        max_len, _, _, _, _, codes, lens = self._vec_tables()
+        arr = np.frombuffer(data, dtype=np.uint8)
+        clen = lens[arr]
+        if not clen.all():
+            missing = int(arr[clen == 0][0])
+            raise StorageError(f"symbol {missing} not in Huffman table")
+        code = codes[arr]
+        ends = np.cumsum(clen)
+        starts = ends - clen
+        bits = np.zeros(int(ends[-1]), dtype=np.uint8)
+        for j in range(max_len):
+            active = clen > j
+            if not active.any():
+                break
+            bits[starts[active] + j] = (code[active] >> (clen[active] - 1 - j)) & 1
+        # packbits zero-pads the final byte on the right, like the scalar coder
+        return struct.pack("<I", len(data)) + np.packbits(bits).tobytes()
+
     def decode(self, blob: bytes) -> bytes:
         (n,) = struct.unpack_from("<I", blob, 0)
+        if VECTORIZED_HUFFMAN and n >= 16:
+            return self._decode_bulk(blob[4:], n)
         out = bytearray(n)
         dec = self._dec
         code = 0
@@ -128,11 +194,57 @@ class HuffmanCoder:
             raise StorageError("truncated Huffman stream")
         return bytes(out)
 
+    def _decode_bulk(self, stream: bytes, n: int) -> bytes:
+        """NumPy canonical decoder.
+
+        Speculatively decodes a (length, symbol) pair at *every* bit
+        offset in ``max_len`` vector passes — position p's first matching
+        canonical range is exactly the prefix-free code starting there —
+        then a single pointer chase over code lengths picks out the ``n``
+        true symbol starts.
+        """
+        max_len, first, cnt, base, symtab, _, _ = self._vec_tables()
+        bits = np.unpackbits(np.frombuffer(stream, dtype=np.uint8)).astype(np.int64)
+        nbits = bits.size
+        padded = np.concatenate([bits, np.zeros(max_len, dtype=np.int64)])
+        val = np.zeros(nbits, dtype=np.int64)
+        code_len = np.zeros(nbits, dtype=np.int64)
+        sym = np.zeros(nbits, dtype=np.uint8)
+        for length in range(1, max_len + 1):
+            val = (val << 1) | padded[length - 1 : length - 1 + nbits]
+            if not cnt[length]:
+                continue
+            hit = (code_len == 0) & (val >= first[length]) & (
+                val < first[length] + cnt[length]
+            )
+            if hit.any():
+                sym[hit] = symtab[base[length] + (val[hit] - first[length])]
+                code_len[hit] = length
+        steps = code_len.tolist()
+        positions = np.empty(n, dtype=np.int64)
+        p = 0
+        for i in range(n):
+            if p >= nbits or steps[p] == 0:
+                raise StorageError("truncated Huffman stream")
+            positions[i] = p
+            p += steps[p]
+        return sym[positions].tobytes()
+
     def table_bytes(self) -> bytes:
         return bytes(self.lengths)
 
     @classmethod
     def from_table_bytes(cls, blob: bytes) -> "HuffmanCoder":
+        if VECTORIZED_HUFFMAN:
+            # pages of one column almost always share code lengths, so the
+            # (eagerly built) encode/decode tables are worth memoizing
+            coder = _CODER_CACHE.get(blob)
+            if coder is None:
+                if len(_CODER_CACHE) >= 512:
+                    _CODER_CACHE.clear()
+                coder = cls(list(blob))
+                _CODER_CACHE[blob] = coder
+            return coder
         return cls(list(blob))
 
 
@@ -217,4 +329,8 @@ def huffman_decode_strings(blob: bytes) -> list[str]:
     off += 256
     coder = HuffmanCoder.from_table_bytes(table)
     raw = coder.decode(blob[off:])
+    if VECTORIZED_HUFFMAN and n:
+        out = decode_utf8_offsets(raw, np.asarray(offsets, dtype=np.int64))
+        if out is not None:
+            return out.tolist()
     return [raw[offsets[i] : offsets[i + 1]].decode() for i in range(n)]

@@ -7,6 +7,7 @@ from hypothesis import strategies as st
 
 from repro.common import DataType, RowBatch
 from repro.core.kernels import (
+    JoinHashTable,
     bloom_filter_codes,
     bloom_filter_test,
     factorize,
@@ -16,6 +17,7 @@ from repro.core.kernels import (
     group_sum_distinct,
     join_match_indices,
     match_mask,
+    merge_sorted,
     sort_indices,
     top_k,
 )
@@ -207,6 +209,113 @@ class TestTopK:
             acc = top_k(RowBatch.concat(b.schema, [acc, chunk]), [("v", False)], 10)
         want = sorted(vals.tolist(), reverse=True)[:10]
         assert acc.col("v").tolist() == want
+
+
+class TestEdgeCases:
+    """Degenerate inputs the streaming engine can produce: empty morsels,
+    filters that drop every row, single-value group keys."""
+
+    def _kv(self, ks, vs):
+        return RowBatch.from_pairs(
+            ("k", DataType.INT64, ks), ("v", DataType.FLOAT64, vs)
+        )
+
+    def test_merge_sorted_all_empty(self):
+        b = self._kv([], [])
+        out = merge_sorted([b, b.slice(0, 0)], b.schema, [("k", True)])
+        assert out.length == 0 and out.schema == b.schema
+
+    def test_merge_sorted_some_empty(self):
+        full = self._kv([3, 1], [0.3, 0.1])
+        out = merge_sorted(
+            [full.slice(0, 0), full.take(sort_indices(full, [("k", True)]))],
+            full.schema,
+            [("k", True)],
+        )
+        assert out.col("k").tolist() == [1, 3]
+
+    def test_top_k_empty_batch(self):
+        b = self._kv([], [])
+        out = top_k(b, [("k", False)], 5)
+        assert out.length == 0
+
+    def test_top_k_zero_k(self):
+        b = self._kv([2, 1], [0.2, 0.1])
+        assert top_k(b, [("k", True)], 0).length == 0
+
+    def test_group_aggregate_zero_groups(self):
+        codes = np.array([], dtype=np.int64)
+        for func, vals in [
+            ("SUM", np.array([], np.float64)),
+            ("COUNT", None),
+            ("MIN", np.array([], np.float64)),
+        ]:
+            out = group_aggregate(codes, 0, func, vals)
+            assert len(out) == 0
+
+    def test_factorize_all_identical(self):
+        codes, n = factorize([np.array([7] * 64, np.int64)])
+        assert n == 1 and set(codes.tolist()) == {0}
+
+    def test_factorize_all_distinct(self):
+        vals = np.arange(64, dtype=np.int64)
+        codes, n = factorize([vals])
+        assert n == 64 and len(set(codes.tolist())) == 64
+
+    def test_factorize_all_identical_strings(self):
+        arr = np.empty(32, dtype=object)
+        arr[:] = ["same"] * 32
+        codes, n = factorize([arr])
+        assert n == 1 and set(codes.tolist()) == {0}
+
+
+class TestJoinHashTable:
+    """Build-once/probe-many table must replicate factorize_pair +
+    join_match_indices exactly, including per-batch probing."""
+
+    def _oracle(self, build, probe):
+        build_codes, probe_codes = factorize_pair(build, probe)
+        pi, bi = join_match_indices(probe_codes, build_codes)
+        return sorted(zip(pi.tolist(), bi.tolist()))
+
+    def test_matches_oracle(self):
+        rng = np.random.default_rng(3)
+        build = [rng.integers(0, 20, 100)]
+        probe = [rng.integers(0, 25, 300)]
+        jt = JoinHashTable(build)
+        pi, bi = jt.match_indices(probe)
+        assert sorted(zip(pi.tolist(), bi.tolist())) == self._oracle(build, probe)
+
+    def test_batched_probe_equals_whole(self):
+        rng = np.random.default_rng(4)
+        build = [rng.integers(0, 10, 50), rng.integers(0, 3, 50)]
+        probe = [rng.integers(0, 12, 200), rng.integers(0, 4, 200)]
+        jt = JoinHashTable(build)
+        whole = list(zip(*[a.tolist() for a in jt.match_indices(probe)]))
+        chunked = []
+        for s in range(0, 200, 64):
+            pi, bi = jt.match_indices([c[s : s + 64] for c in probe])
+            chunked.extend((int(p) + s, int(b)) for p, b in zip(pi, bi))
+        assert chunked == whole
+
+    def test_empty_build_side(self):
+        jt = JoinHashTable([np.array([], np.int64)])
+        pi, bi = jt.match_indices([np.array([1, 2, 3], np.int64)])
+        assert len(pi) == 0 and len(bi) == 0
+
+    def test_empty_probe_batch(self):
+        jt = JoinHashTable([np.array([1, 2], np.int64)])
+        pi, bi = jt.match_indices([np.array([], np.int64)])
+        assert len(pi) == 0 and len(bi) == 0
+
+    def test_string_keys(self):
+        b = np.empty(3, dtype=object)
+        b[:] = ["a", "b", "a"]
+        p = np.empty(2, dtype=object)
+        p[:] = ["a", "c"]
+        jt = JoinHashTable([b])
+        pi, bi = jt.match_indices([p])
+        assert sorted(zip(pi.tolist(), bi.tolist())) == [(0, 0), (0, 2)]
 
 
 class TestBloom:

@@ -1,0 +1,250 @@
+"""Morsel-driven pipelined execution: fusion, streaming, codec toggles.
+
+The pipelined engine must be an *invisible* rewrite: identical results
+to operator-at-a-time evaluation (``pipelined_execution=False``), with
+the difference observable only through ExecStats pipeline counters and
+wall clock. These tests pin that contract, plus the vectorized wire
+codec's scalar-equivalence toggles and the batch coalescer.
+"""
+
+import numpy as np
+import pytest
+
+from repro import ClusterConfig, Database
+from repro.common import DataType, RowBatch, Schema
+from repro.common import batch as batch_mod
+from repro.core.pipeline import coalesce_batches, fuse_chain
+from repro.storage import col_page
+from repro.storage import compression as comp_mod
+
+from tests.conftest import rows_match_unordered
+
+
+def build_db(pipelined: bool, **cfg_kwargs) -> Database:
+    cfg = ClusterConfig(
+        n_workers=3,
+        n_max=4,
+        page_size=16 * 1024,
+        batch_size=256,
+        pipelined_execution=pipelined,
+        **cfg_kwargs,
+    )
+    db = Database(cfg)
+    rng = np.random.default_rng(7)
+    n = 2500
+    tags = np.empty(n, dtype=object)
+    tags[:] = [f"tag{i % 5}" for i in range(n)]
+    db.create_table(
+        "fact",
+        Schema.of(
+            ("fk", DataType.INT64), ("val", DataType.FLOAT64), ("tag", DataType.STRING)
+        ),
+        partition=("hash", ("fk",)),
+    )
+    db.load(
+        "fact",
+        RowBatch(
+            db.catalog.entry("fact").schema,
+            {
+                "fk": rng.integers(0, 80, n),
+                "val": np.round(rng.random(n), 6),
+                "tag": tags,
+            },
+        ),
+    )
+    db.create_table(
+        "dim",
+        Schema.of(("dk", DataType.INT64), ("grp", DataType.STRING)),
+        partition=("hash", ("dk",)),
+    )
+    grp = np.empty(80, dtype=object)
+    grp[:] = [f"g{i % 6}" for i in range(80)]
+    db.load(
+        "dim",
+        RowBatch(db.catalog.entry("dim").schema, {"dk": np.arange(80), "grp": grp}),
+    )
+    return db
+
+
+@pytest.fixture(scope="module")
+def pipelined_db():
+    return build_db(True)
+
+
+@pytest.fixture(scope="module")
+def fallback_db():
+    return build_db(False)
+
+
+AB_QUERIES = [
+    "select count(*), sum(val) from fact",
+    "select tag, count(*) c, sum(val) s from fact group by tag order by tag",
+    "select tag, sum(val) s from fact where fk < 40 group by tag order by s desc",
+    "select grp, count(*) c from fact join dim on fk = dk group by grp order by grp",
+    "select fk, val, tag from fact where val < 0.02 order by val limit 20",
+]
+
+
+class TestPipelinedEquivalence:
+    """pipelined_execution is a pure engine A/B switch: same rows out."""
+
+    @pytest.mark.parametrize("sql", AB_QUERIES)
+    def test_same_rows(self, pipelined_db, fallback_db, sql):
+        a = pipelined_db.sql(sql)
+        b = fallback_db.sql(sql)
+        if "order by" in sql:
+            assert a.rows() == pytest.approx(b.rows())
+        else:
+            assert rows_match_unordered(a.rows(), b.rows())
+
+    def test_pipeline_counters_only_when_enabled(self, pipelined_db, fallback_db):
+        sql = "select tag, sum(val) from fact where fk < 40 group by tag"
+        sa = pipelined_db.sql(sql).stats
+        sb = fallback_db.sql(sql).stats
+        assert sa.pipelines > 0 and sa.fused_ops >= 2 and sa.morsels > 0
+        assert sb.pipelines == 0 and sb.fused_ops == 0 and sb.morsels == 0
+
+    def test_explain_analyze_reports_pipeline_metrics(self, pipelined_db):
+        out = pipelined_db.explain_analyze(
+            "select tag, sum(val) from fact where fk < 40 group by tag"
+        )
+        assert "pipelines=" in out
+        assert "fused_ops=" in out
+        assert "morsels=" in out
+        assert "peak_inflight_batches=" in out
+
+    def test_morsel_dop_threads_same_rows(self):
+        db = build_db(True, morsel_dop=4, disks_per_node=4)
+        ref = build_db(False, disks_per_node=4)
+        sql = "select tag, count(*) c, sum(val) s from fact group by tag order by tag"
+        assert db.sql(sql).rows() == pytest.approx(ref.sql(sql).rows())
+
+
+class TestFuseChain:
+    def test_non_worker_root_not_fused(self):
+        from repro.optimizer.physical import COORD, SINGLETON, PhysOp
+
+        scan = PhysOp(
+            op="scan", children=[], schema=None, site=COORD,
+            partitioning=SINGLETON, attrs={},
+        )
+        assert fuse_chain(scan) is None
+
+
+class TestCoalesce:
+    def _batches(self, sizes):
+        schema = Schema.of(("x", DataType.INT64))
+        out, start = [], 0
+        for s in sizes:
+            out.append(RowBatch(schema, {"x": np.arange(start, start + s)}))
+            start += s
+        return schema, out
+
+    def test_merges_to_target(self):
+        schema, bs = self._batches([10, 10, 10, 10, 10])
+        got = list(coalesce_batches(bs, schema, 25))
+        assert [b.length for b in got] == [30, 20]
+        assert np.concatenate([b.col("x") for b in got]).tolist() == list(range(50))
+
+    def test_skips_empty_batches(self):
+        schema, bs = self._batches([0, 5, 0, 0, 5, 0])
+        got = list(coalesce_batches(bs, schema, 100))
+        assert [b.length for b in got] == [10]
+
+    def test_all_empty_yields_nothing(self):
+        schema, bs = self._batches([0, 0])
+        assert list(coalesce_batches(bs, schema, 10)) == []
+
+    def test_passthrough_when_large(self):
+        schema, bs = self._batches([40])
+        got = list(coalesce_batches(bs, schema, 10))
+        assert len(got) == 1 and got[0] is bs[0]
+
+
+class TestCodecToggles:
+    """Vectorized paths must be drop-in equivalent to the scalar ones."""
+
+    def _string_batch(self, values):
+        arr = np.empty(len(values), dtype=object)
+        arr[:] = values
+        return RowBatch.from_pairs(("s", DataType.STRING, arr))
+
+    CASES = [
+        ["plain", "ascii", "strings"] * 40,
+        ["héllo", "wörld", "日本語", ""] * 30,
+        ["same"] * 128,
+        [f"uniq-{i}" for i in range(128)],
+        ["nul\x00inside", "trailing"] * 64,
+    ]
+
+    @pytest.mark.parametrize("values", CASES)
+    def test_wire_roundtrip_both_paths(self, values, monkeypatch):
+        b = self._string_batch(values)
+        blobs = {}
+        for vec in (False, True):
+            monkeypatch.setattr(batch_mod, "VECTORIZED_STRINGS", vec)
+            monkeypatch.setattr(batch_mod, "DICT_ENCODE_STRINGS", vec)
+            out = RowBatch.from_bytes(b.to_bytes())
+            assert out.col("s").tolist() == values
+            blobs[vec] = out
+        # scalar decoder must also understand vectorized-encoded bytes
+        monkeypatch.setattr(batch_mod, "VECTORIZED_STRINGS", True)
+        monkeypatch.setattr(batch_mod, "DICT_ENCODE_STRINGS", True)
+        wire = b.to_bytes()
+        monkeypatch.setattr(batch_mod, "VECTORIZED_STRINGS", False)
+        assert RowBatch.from_bytes(wire).col("s").tolist() == values
+
+    @pytest.mark.parametrize("values", CASES)
+    def test_huffman_streams_bit_identical(self, values, monkeypatch):
+        monkeypatch.setattr(comp_mod, "VECTORIZED_HUFFMAN", False)
+        scalar = comp_mod.huffman_encode_strings(values)
+        assert comp_mod.huffman_decode_strings(scalar) == values
+        monkeypatch.setattr(comp_mod, "VECTORIZED_HUFFMAN", True)
+        vec = comp_mod.huffman_encode_strings(values)
+        assert vec == scalar
+        assert comp_mod.huffman_decode_strings(vec) == values
+
+    def test_hash_codes_scalar_vs_vectorized(self, monkeypatch):
+        b = self._string_batch([f"k-{i % 13}" for i in range(200)])
+        monkeypatch.setattr(batch_mod, "VECTORIZED_STRINGS", False)
+        scalar = b.hash_codes(["s"]).tolist()
+        monkeypatch.setattr(batch_mod, "VECTORIZED_STRINGS", True)
+        assert b.hash_codes(["s"]).tolist() == scalar
+
+
+class TestDictPages:
+    def _col(self, values):
+        arr = np.empty(len(values), dtype=object)
+        arr[:] = values
+        return arr
+
+    def test_low_cardinality_uses_dict(self):
+        arr = self._col(["A", "N", "R"] * 100)
+        blob = col_page.encode_column(arr, DataType.STRING)
+        assert blob[:4] == col_page._DICT_MAGIC
+        out = col_page.decode_column(blob, DataType.STRING, len(arr))
+        assert out.tolist() == arr.tolist()
+
+    def test_high_cardinality_falls_back(self):
+        arr = self._col([f"c{i}" for i in range(300)])
+        blob = col_page.encode_column(arr, DataType.STRING)
+        assert blob[:4] != col_page._DICT_MAGIC
+        out = col_page.decode_column(blob, DataType.STRING, len(arr))
+        assert out.tolist() == arr.tolist()
+
+    def test_toggle_off_reads_old_format(self, monkeypatch):
+        arr = self._col(["x", "y"] * 100)
+        monkeypatch.setattr(col_page, "DICT_PAGES", False)
+        legacy = col_page.encode_column(arr, DataType.STRING)
+        monkeypatch.setattr(col_page, "DICT_PAGES", True)
+        # a reader with dict pages enabled still decodes legacy pages
+        out = col_page.decode_column(legacy, DataType.STRING, len(arr))
+        assert out.tolist() == arr.tolist()
+
+    def test_row_count_mismatch_raises(self):
+        from repro.common.errors import PageFormatError
+
+        arr = self._col(["a", "b"] * 64)
+        blob = col_page.encode_column(arr, DataType.STRING)
+        with pytest.raises(PageFormatError):
+            col_page.decode_column(blob, DataType.STRING, 5)
