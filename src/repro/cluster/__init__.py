@@ -1,13 +1,20 @@
 """Cluster orchestration: workers, coordinators, catalog, Database façade."""
 
 from .catalog import CatalogEntry, ClusterCatalog
-from .database import Coordinator, Database, QueryResult, Worker
+from .database import Coordinator, Database, QueryResult, Session, Worker
+from .plancache import PlanCache
+from .resource import AdmissionController, AdmissionTimeout, ResourceMonitor
 
 __all__ = [
     "Database",
     "QueryResult",
+    "Session",
     "Worker",
     "Coordinator",
     "ClusterCatalog",
     "CatalogEntry",
+    "PlanCache",
+    "AdmissionController",
+    "AdmissionTimeout",
+    "ResourceMonitor",
 ]

@@ -18,6 +18,8 @@ Usage::
 
 from __future__ import annotations
 
+import itertools
+import threading
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
@@ -28,6 +30,7 @@ from ..common.config import ClusterConfig
 from ..common.errors import PlanError, WorkerFailureError
 from ..common.schema import Schema
 from ..core.executor import DistributedExecutor, ExecStats, WorkerRuntime
+from ..core.pipeline import MorselScheduler
 from ..core.reference import execute_logical
 from ..core.spill import MemoryGovernor
 from ..network.simnet import SimNetwork
@@ -55,6 +58,8 @@ from ..storage.table import TableStorage
 from ..txn.manager import TransactionSystem
 from ..util.fs import FileSystem, LocalFS, MemFS
 from .catalog import CatalogEntry, ClusterCatalog, scheme_from_clause
+from .plancache import PlanCache
+from .resource import AdmissionController
 
 COORD_BASE = 10_000
 
@@ -131,6 +136,27 @@ class Coordinator:
         self.stats = StatsProvider()
 
 
+class Session:
+    """One client connection, pinned to a coordinator.
+
+    The paper's coordinators replicate metadata and load-balance client
+    connections; :meth:`Database.session` hands sessions out round-robin
+    across coordinators. Each call plans on its coordinator's catalog
+    replica and executes through the shared admission-controlled
+    pipeline, so many threads may each hold a session and issue SQL
+    simultaneously.
+    """
+
+    def __init__(self, db: "Database", coordinator: int):
+        self.db = db
+        self.coordinator = coordinator
+
+    def sql(self, text: str, naive_dataflow: bool = False, txn=None) -> QueryResult:
+        return self.db.sql(
+            text, naive_dataflow=naive_dataflow, coordinator=self.coordinator, txn=txn
+        )
+
+
 class Database:
     def __init__(self, config: ClusterConfig | None = None):
         self.config = config or ClusterConfig()
@@ -150,6 +176,27 @@ class Database:
             self.net,
             self.config,
         )
+        # -- concurrent serving layer --------------------------------------
+        #: shared morsel pool multiplexed across concurrent queries
+        self.scheduler = MorselScheduler(self.config.morsel_threads)
+        self._executor.scheduler = self.scheduler
+        #: coordinator admission gate against the aggregate memory budget
+        self.admission = AdmissionController(
+            total_budget=self.config.memory_per_node * self.config.n_workers,
+            max_concurrent=self.config.max_concurrent_queries,
+            default_grant=self.config.query_memory_grant,
+            timeout=self.config.admission_timeout,
+        )
+        #: optimized-plan cache (normalized SQL + catalog/stats versions)
+        self.plan_cache = PlanCache(self.config.plan_cache_size)
+        #: planning mutates global fresh-name state; one planner at a time
+        self._plan_lock = threading.Lock()
+        #: DDL/DML writers serialize against each other
+        self._write_lock = threading.RLock()
+        self._qid = itertools.count(1)
+        self._session_rr = itertools.count()
+        self._submit_pool = None
+        self._submit_mu = threading.Lock()
 
     def chaos(self, schedule=None):
         """Attach a fault injector driven by ``schedule`` to the cluster
@@ -165,6 +212,47 @@ class Database:
         if self.config.data_dir:
             return LocalFS(f"{self.config.data_dir}/worker{worker_id}")
         return MemFS()
+
+    # -- concurrent serving -------------------------------------------------------
+    def session(self) -> Session:
+        """A client connection, load-balanced round-robin across
+        coordinators (the paper's client-distribution scheme)."""
+        return Session(self, next(self._session_rr) % self.config.n_coordinators)
+
+    def submit(self, text: str, naive_dataflow: bool = False):
+        """Run ``text`` asynchronously on a fresh session; returns a
+        :class:`concurrent.futures.Future` of the :class:`QueryResult`.
+        Queries still pass through admission, so at most
+        ``max_concurrent_queries`` execute at once."""
+        with self._submit_mu:
+            if self._submit_pool is None:
+                from concurrent.futures import ThreadPoolExecutor
+
+                self._submit_pool = ThreadPoolExecutor(
+                    max_workers=max(4, 2 * self.config.max_concurrent_queries),
+                    thread_name_prefix="client",
+                )
+            pool = self._submit_pool
+        sess = self.session()
+        return pool.submit(sess.sql, text, naive_dataflow)
+
+    def close(self) -> None:
+        """Shut down the client pool and the shared morsel scheduler."""
+        with self._submit_mu:
+            if self._submit_pool is not None:
+                self._submit_pool.shutdown(wait=True)
+                self._submit_pool = None
+        self.scheduler.shutdown()
+
+    def concurrency_stats(self) -> dict:
+        """Serving-layer observability: admission, plan cache, morsels."""
+        return {
+            "admission": self.admission.stats(),
+            "plan_cache": self.plan_cache.stats(),
+            "morsel_tasks": self.scheduler.submitted,
+            "peak_memory": max(w.governor.peak for w in self.workers.values()),
+            "memory_budget_per_node": self.config.memory_per_node,
+        }
 
     # -- catalog views ------------------------------------------------------------
     @property
@@ -195,14 +283,16 @@ class Database:
     ) -> None:
         scheme = scheme_from_clause(partition, self.config.n_workers)
         entry = CatalogEntry(name, schema, scheme, fmt, tuple(clustering))
-        self._replicate_metadata(lambda c: c.catalog.add(entry))
-        for w in self.workers.values():
-            w.create_table(entry)
+        with self._write_lock:
+            self._replicate_metadata(lambda c: c.catalog.add(entry))
+            for w in self.workers.values():
+                w.create_table(entry)
 
     def drop_table(self, name: str) -> None:
-        self._replicate_metadata(lambda c: c.catalog.drop(name))
-        for w in self.workers.values():
-            w.drop_table(name)
+        with self._write_lock:
+            self._replicate_metadata(lambda c: c.catalog.drop(name))
+            for w in self.workers.values():
+                w.drop_table(name)
 
     def create_index(self, table: str, column: str) -> None:
         """Build the set-granular secondary index on every worker."""
@@ -227,17 +317,18 @@ class Database:
         """Bulk-load rows, partitioning across workers per the table scheme."""
         entry = self.catalog.entry(name)
         n = self.config.n_workers
-        if isinstance(entry.scheme, Replicated):
-            for w in self.workers.values():
-                w.storage[name].load(batch)
-        else:
-            targets = entry.scheme.assign_nodes(batch, n)
-            for i, w in enumerate(self.worker_ids):
-                part = batch.filter(targets == i)
-                if part.length:
-                    disks = disk_of_rows(part, entry.scheme, self.config.disks_per_node)
-                    self.workers[w].storage[name].load(part, disks)
-        self.analyze(name, batch)
+        with self._write_lock:
+            if isinstance(entry.scheme, Replicated):
+                for w in self.workers.values():
+                    w.storage[name].load(batch)
+            else:
+                targets = entry.scheme.assign_nodes(batch, n)
+                for i, w in enumerate(self.worker_ids):
+                    part = batch.filter(targets == i)
+                    if part.length:
+                        disks = disk_of_rows(part, entry.scheme, self.config.disks_per_node)
+                        self.workers[w].storage[name].load(part, disks)
+            self.analyze(name, batch)
 
     def analyze(self, name: str, sample: RowBatch | None = None) -> None:
         """Refresh optimizer statistics (replicated to all coordinators)."""
@@ -261,19 +352,103 @@ class Database:
     ) -> tuple[LogicalPlan, PhysOp]:
         from ..optimizer.logical import reset_fresh_names
 
-        reset_fresh_names()  # deterministic plans per statement
+        with self._plan_lock:  # fresh-name state is global: one planner at a time
+            reset_fresh_names()  # deterministic plans per statement
+            coord = self.coordinators[coordinator]
+            binder = Binder(coord.catalog)
+            logical = binder.bind(stmt)
+            deriver = StatsDeriver(coord.stats)
+            logical = optimize_logical(logical, deriver)
+            placement = lambda t: coord.catalog.entry(t).partitioning()
+            if naive_dataflow:
+                physical = convert_naive(logical, placement)
+            else:
+                deriver2 = StatsDeriver(coord.stats)
+                physical = DataflowPlanner(placement, deriver2, self.config).plan(logical)
+            return logical, physical
+
+    def _plan_select_cached(
+        self, text: str, stmt: SelectStmt, naive_dataflow: bool, coordinator: int
+    ) -> tuple[LogicalPlan, PhysOp]:
+        """Plan through the coordinator's plan cache.
+
+        Plans are immutable after optimization, so a cached (logical,
+        physical) pair is shared by concurrent executions as-is; only
+        per-query executor state is cloned. The key carries the catalog
+        and statistics versions, so DDL or ANALYZE invalidates."""
         coord = self.coordinators[coordinator]
-        binder = Binder(coord.catalog)
-        logical = binder.bind(stmt)
-        deriver = StatsDeriver(coord.stats)
-        logical = optimize_logical(logical, deriver)
-        placement = lambda t: coord.catalog.entry(t).partitioning()
-        if naive_dataflow:
-            physical = convert_naive(logical, placement)
-        else:
-            deriver2 = StatsDeriver(coord.stats)
-            physical = DataflowPlanner(placement, deriver2, self.config).plan(logical)
-        return logical, physical
+        key = PlanCache.key(
+            text,
+            "naive" if naive_dataflow else "opt",
+            coordinator,
+            coord.catalog.version,
+            coord.stats.version,
+        )
+        pair = self.plan_cache.get(key)
+        if pair is None:
+            pair = self.plan_select(stmt, naive_dataflow, coordinator)
+            self.plan_cache.put(key, pair)
+        return pair
+
+    def _run_select(self, logical, physical, txn=None, coordinator: int = 0) -> QueryResult:
+        """Admission-gated distributed execution with restart-on-failure.
+
+        Each run gets a shallow executor clone (fresh counters, a unique
+        ``q<id>|`` exchange-tag namespace) so concurrent queries never
+        share mutable state or cross-deliver messages; the admission
+        grant is held for the query's whole lifetime, restarts included.
+        The query executes rooted at the session's coordinator node, so
+        round-robined sessions spread gather/merge load across the
+        replicated coordinators (paper §II: clients load-balance over
+        coordinators).
+        """
+        qid = next(self._qid)
+        ex = self._executor.for_query(
+            qid, self.coord_ids[coordinator % len(self.coord_ids)]
+        )
+        with self.admission.admit():
+            # fault tolerance (paper §I): a mid-query worker failure aborts
+            # the query; after the node recovers (ARIES handles its local
+            # state) the coordinator simply restarts the query, up to the
+            # configured restart budget
+            attempts = 0
+            total_retries = 0
+            total_backoff = 0.0
+            failed: set[int] = set()
+            while True:
+                attempts += 1
+                try:
+                    # solo queries keep the serial per-query peak-memory
+                    # semantics; under concurrency governors are shared, so
+                    # peak reflects aggregate cluster pressure
+                    batch, stats = ex.execute(
+                        physical, reset_governors=self.admission.active == 1
+                    )
+                    break
+                except WorkerFailureError as e:
+                    total_retries += ex.retries
+                    total_backoff += ex.backoff_time
+                    failed |= ex.failed_workers
+                    failed.add(e.worker_id)
+                    if attempts > self.config.max_query_restarts:
+                        raise WorkerFailureError(
+                            e.worker_id,
+                            f"query restart budget exhausted after {attempts} attempts "
+                            f"(max_query_restarts={self.config.max_query_restarts}): {e}",
+                        ) from e
+                    # abandon only THIS query's in-flight exchanges
+                    self.net.clear_inboxes(ex.qtag)
+                    if self.net.injector is not None:
+                        # restarting is not free: failure detection and
+                        # requeueing consume fault-clock time, during which
+                        # crashed nodes make progress toward recovery
+                        self.net.injector.advance(8)
+        result = QueryResult(batch, stats, logical, physical)
+        result.stats.restarts = attempts - 1
+        result.stats.retries += total_retries
+        result.stats.backoff_time += total_backoff
+        result.stats.failed_workers = tuple(sorted(failed | set(stats.failed_workers)))
+        return result
 
     def sql(
         self,
@@ -284,7 +459,9 @@ class Database:
     ) -> QueryResult:
         stmt = parse(text)
         if isinstance(stmt, SelectStmt):
-            logical, physical = self.plan_select(stmt, naive_dataflow, coordinator)
+            logical, physical = self._plan_select_cached(
+                text, stmt, naive_dataflow, coordinator
+            )
             if txn is not None:
                 # serializable reads: SS2PL shared locks on every scanned
                 # table, held until the transaction ends (paper §VI)
@@ -297,42 +474,7 @@ class Database:
                     and not self.catalog.entry(n.table).external
                 }
                 self.txn_system.lock_read(txn, tables)
-            # fault tolerance (paper §I): a mid-query worker failure aborts
-            # the query; after the node recovers (ARIES handles its local
-            # state) the coordinator simply restarts the query, up to the
-            # configured restart budget
-            attempts = 0
-            total_retries = 0
-            total_backoff = 0.0
-            failed: set[int] = set()
-            while True:
-                attempts += 1
-                try:
-                    batch, stats = self._executor.execute(physical)
-                    break
-                except WorkerFailureError as e:
-                    total_retries += self._executor.retries
-                    total_backoff += self._executor.backoff_time
-                    failed |= self._executor.failed_workers
-                    failed.add(e.worker_id)
-                    if attempts > self.config.max_query_restarts:
-                        raise WorkerFailureError(
-                            e.worker_id,
-                            f"query restart budget exhausted after {attempts} attempts "
-                            f"(max_query_restarts={self.config.max_query_restarts}): {e}",
-                        ) from e
-                    self.net.clear_inboxes()  # abandon in-flight exchanges
-                    if self.net.injector is not None:
-                        # restarting is not free: failure detection and
-                        # requeueing consume fault-clock time, during which
-                        # crashed nodes make progress toward recovery
-                        self.net.injector.advance(8)
-            result = QueryResult(batch, stats, logical, physical)
-            result.stats.restarts = attempts - 1
-            result.stats.retries += total_retries
-            result.stats.backoff_time += total_backoff
-            result.stats.failed_workers = tuple(sorted(failed | set(stats.failed_workers)))
-            return result
+            return self._run_select(logical, physical, txn=txn, coordinator=coordinator)
         if isinstance(stmt, CreateTable):
             schema = Schema.of(*((c.name, c.dtype) for c in stmt.columns))
             self.create_table(stmt.name, schema, stmt.partition, stmt.fmt, stmt.clustering)
@@ -439,8 +581,9 @@ class Database:
         return self._dml(stmt.table, "update", predicate=stmt.where, assignments=stmt.assignments, txn=txn)
 
     def _dml(self, table: str, op: str, batch=None, predicate=None, assignments=None, txn=None) -> QueryResult:
-        n = self.txn_system.run_dml(table, op, batch=batch, predicate=predicate,
-                                    assignments=assignments, txn=txn)
+        with self._write_lock:
+            n = self.txn_system.run_dml(table, op, batch=batch, predicate=predicate,
+                                        assignments=assignments, txn=txn)
         res = _empty_result()
         res.rowcount = n
         return res

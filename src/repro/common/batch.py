@@ -35,6 +35,8 @@ DICT_ENCODE_STRINGS = True
 #: wire encodings for the per-column payload
 _ENC_RAW = 0
 _ENC_DICT = 1
+#: raw strings prefixed by a NULL byte-mask (NULL string aggregates)
+_ENC_NULLS = 2
 
 #: dictionary-encode a string column when it has at least this many rows
 #: and at most rows/4 distinct values
@@ -125,11 +127,21 @@ class RowBatch:
         return RowBatch(schema, cols)
 
     def rows(self) -> list[tuple]:
-        """Materialize as Python tuples (result delivery / tests only)."""
+        """Materialize as Python tuples (result delivery / tests only).
+
+        NaN encodes SQL NULL (aggregates over no qualifying rows) and is
+        delivered as None, like object-column NULLs.
+        """
         if not self.length:
             return []
-        arrays = [self.columns[c.name] for c in self.schema]
-        return list(zip(*(a.tolist() for a in arrays)))
+        lists = []
+        for c in self.schema:
+            a = self.columns[c.name]
+            vals = a.tolist()
+            if a.dtype.kind == "f":
+                vals = [None if x != x else x for x in vals]
+            lists.append(vals)
+        return list(zip(*lists))
 
     # -- partitioning (shuffle support) -----------------------------------------
     def hash_codes(self, key_columns: Sequence[str]) -> np.ndarray:
@@ -171,11 +183,18 @@ class RowBatch:
         for c in self.schema:
             name_b = c.name.encode()
             arr = self.columns[c.name]
+            wire_type = c.dtype
             if c.dtype == DataType.STRING:
                 enc, payload = _encode_string_column(arr)
             else:
+                if arr.dtype.kind == "f" and c.dtype != DataType.FLOAT64:
+                    # a float64 NULL-hole array (NaN = NULL aggregate)
+                    # riding under an integer/date/bool schema column:
+                    # ship it as FLOAT64 so NULLs survive the wire
+                    wire_type = DataType.FLOAT64
+                    arr = arr.astype(np.float64, copy=False)
                 enc, payload = _ENC_RAW, np.ascontiguousarray(arr).tobytes()
-            parts.append(struct.pack("<HBB", len(name_b), _TYPE_CODE[c.dtype], enc))
+            parts.append(struct.pack("<HBB", len(name_b), _TYPE_CODE[wire_type], enc))
             parts.append(name_b)
             parts.append(struct.pack("<I", len(payload)))
             parts.append(payload)
@@ -215,7 +234,7 @@ class RowBatch:
         for c in self.schema:
             arr = self.columns[c.name]
             if arr.dtype == object:
-                total += sum(len(s) for s in arr) + 8 * len(arr)
+                total += sum(len(s) for s in arr if s is not None) + 8 * len(arr)
             else:
                 total += arr.nbytes
         return total
@@ -340,8 +359,15 @@ def _decode_strings(payload: bytes, n: int) -> np.ndarray:
 
 def _encode_string_column(arr: np.ndarray) -> tuple[int, bytes]:
     """Pick a wire encoding for a string column: raw offsets+body, or
-    dictionary (codes + distinct values) when cardinality is low."""
+    dictionary (codes + distinct values) when cardinality is low. NULLs
+    (None, produced only by aggregates over no qualifying rows) get a
+    byte-mask prefix ahead of the raw encoding."""
     n = len(arr)
+    if any(x is None for x in arr.tolist()):
+        mask = np.fromiter((x is None for x in arr), count=n, dtype=np.uint8)
+        filled = np.empty(n, dtype=object)
+        filled[:] = ["" if x is None else x for x in arr]
+        return _ENC_NULLS, mask.tobytes() + _encode_strings(filled)
     if DICT_ENCODE_STRINGS and n >= _DICT_MIN_ROWS:
         # cheap cardinality probe first: a near-distinct sample means the
         # full O(n log n) unique pass cannot pay off, skip it
@@ -358,6 +384,11 @@ def _encode_string_column(arr: np.ndarray) -> tuple[int, bytes]:
 def _decode_string_column(payload: bytes, n: int, enc: int) -> np.ndarray:
     if enc == _ENC_RAW:
         return _decode_strings(payload, n)
+    if enc == _ENC_NULLS:
+        mask = np.frombuffer(payload, dtype=np.uint8, count=n)
+        out = _decode_strings(payload[n:], n)
+        out[mask.astype(bool)] = None
+        return out
     if enc != _ENC_DICT:
         raise ExecutionError(f"unknown string encoding {enc}")
     (nuniq,) = struct.unpack_from("<I", payload, 0)

@@ -74,6 +74,19 @@ class ClusterConfig:
     #: worker threads per morsel-driven pipeline; 0 = auto (number of
     #: disks, throttled by the worker's resource monitor like scan DOP)
     morsel_dop: int = 0
+    #: queries allowed to execute simultaneously; extras queue FIFO in
+    #: the coordinator's admission controller (resource-mgmt level 1)
+    max_concurrent_queries: int = 4
+    #: memory grant charged against the cluster budget per admitted
+    #: query, bytes; 0 = auto (total budget / max_concurrent_queries)
+    query_memory_grant: int = 0
+    #: seconds a query may queue for admission before failing
+    admission_timeout: float = 60.0
+    #: optimized plans cached per coordinator (0 disables the cache)
+    plan_cache_size: int = 64
+    #: threads in the shared morsel scheduler multiplexed across
+    #: concurrent queries; 0 = auto (cpu count, capped at 32)
+    morsel_threads: int = 0
 
     def __post_init__(self):
         if self.n_workers < 1:
@@ -98,6 +111,16 @@ class ClusterConfig:
             raise ConfigError("blacklist_threshold must be >= 1")
         if self.morsel_dop < 0:
             raise ConfigError("morsel_dop must be >= 0 (0 = auto)")
+        if self.max_concurrent_queries < 1:
+            raise ConfigError("max_concurrent_queries must be >= 1")
+        if self.query_memory_grant < 0:
+            raise ConfigError("query_memory_grant must be >= 0 (0 = auto)")
+        if self.admission_timeout <= 0:
+            raise ConfigError("admission_timeout must be positive")
+        if self.plan_cache_size < 0:
+            raise ConfigError("plan_cache_size must be >= 0 (0 disables)")
+        if self.morsel_threads < 0:
+            raise ConfigError("morsel_threads must be >= 0 (0 = auto)")
 
     def with_(self, **kwargs) -> "ClusterConfig":
         """Functional update."""

@@ -22,6 +22,9 @@ in spillable lists governed by the per-worker memory budget.
 
 from __future__ import annotations
 
+import copy
+import threading
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 
@@ -49,6 +52,7 @@ from .kernels import (
 from .pipeline import (
     FusedChain,
     InflightTracker,
+    MorselScheduler,
     PipelineMetrics,
     apply_steps,
     coalesce_batches,
@@ -115,6 +119,11 @@ class ExecStats:
     morsels: int = 0
     #: peak batches produced by morsel tasks but not yet consumed
     peak_inflight_batches: int = 0
+    #: measured wall-seconds of morsel-task work per serving worker — the
+    #: data-parallel portion a real cluster runs on the worker machines
+    #: (feeds the concurrency bench's modeled-throughput computation and
+    #: exposes worker busy-time skew)
+    site_busy_s: dict = field(default_factory=dict)
 
 
 SiteData = dict[int, list[RowBatch]]
@@ -153,12 +162,58 @@ class DistributedExecutor:
         #: per-execute() pipelining observability
         self.pipe = PipelineMetrics()
         self.inflight = InflightTracker()
+        #: exchange-tag namespace; "" for the serial/legacy path, set to
+        #: "q<id>|" by :meth:`for_query` so concurrent queries' messages
+        #: never cross-deliver
+        self.qtag = ""
+        #: shared cross-query morsel pool (None = private per-chain pool)
+        self.scheduler: MorselScheduler | None = None
+        #: per-execute() morsel busy time per serving worker, seconds
+        self.site_busy_s: dict[int, float] = {}
+        self._busy_mu = threading.Lock()
+
+    def for_query(self, qid: int, coord_id: int | None = None) -> "DistributedExecutor":
+        """A shallow per-query clone with isolated mutable state.
+
+        Shared (by reference): workers (and their governors — aggregate
+        memory pressure must see every query), the network, topologies,
+        the health tracker, and the morsel scheduler. Fresh per clone:
+        every counter ``execute`` mutates, plus a unique exchange-tag
+        namespace. This is what lets multiple threads run ``execute``
+        concurrently against one cluster.
+
+        ``coord_id`` roots the query at a specific coordinator node
+        (HRDBMS load-balances clients across replicated coordinators, so
+        each session's gathers and final merges land on *its* coordinator,
+        not a shared one); the gather tree is rebuilt around that root.
+        """
+        clone = copy.copy(self)
+        clone.qtag = f"q{qid}|"
+        if coord_id is not None and coord_id != self.coord_id:
+            clone.coord_id = coord_id
+            clone.tree = TreeTopology(
+                [coord_id] + self.worker_ids, self.config.n_max, root=coord_id
+            )
+        clone._scan_stats = ScanStats()
+        clone.op_rows = {}
+        clone.retries = 0
+        clone.backoff_time = 0.0
+        clone.failed_workers = set()
+        clone.pipe = PipelineMetrics()
+        clone.inflight = InflightTracker()
+        clone.site_busy_s = {}
+        clone._busy_mu = threading.Lock()
+        return clone
+
+    def _note_busy(self, site: int, seconds: float) -> None:
+        """Attribute morsel-task wall time to the worker it served (morsel
+        threads may race under ``morsel_dop > 1``, hence the lock)."""
+        with self._busy_mu:
+            self.site_busy_s[site] = self.site_busy_s.get(site, 0.0) + seconds
 
     # -- entry ---------------------------------------------------------------------
-    def execute(self, plan: PhysOp) -> tuple[RowBatch, ExecStats]:
-        base_bytes = self.net.total_bytes
-        base_msgs = self.net.total_messages
-        base_fwd = self.net.forwarded_bytes
+    def execute(self, plan: PhysOp, reset_governors: bool = True) -> tuple[RowBatch, ExecStats]:
+        base = self.net.traffic_of(self.qtag)
         self._scan_stats = ScanStats()
         self.op_rows = {}
         self.retries = 0
@@ -166,13 +221,20 @@ class DistributedExecutor:
         self.failed_workers = set()
         self.pipe = PipelineMetrics()
         self.inflight = InflightTracker()
-        for w in self.workers.values():
-            w.governor.spilled_bytes = 0
-            w.governor.peak = w.governor.used
+        self.site_busy_s = {}
+        # spill is attributed by delta, never by reset — the counters are
+        # shared with concurrent queries and must stay monotonic
+        base_spill = sum(w.governor.spilled_bytes for w in self.workers.values())
+        if reset_governors:
+            # solo queries re-baseline peak so it reads per-query; under
+            # concurrency peak stays cumulative (aggregate cluster pressure)
+            for w in self.workers.values():
+                w.governor.peak = w.governor.used
         data = self._eval(plan)
         if plan.site != COORD:
             raise ExecutionError("plan root must be on the coordinator")
         result = RowBatch.concat(plan.schema, data.get(self.coord_id, []))
+        end = self.net.traffic_of(self.qtag)
         stats = ExecStats(
             rows_scanned=self._scan_stats.rows_out,
             pages_read=self._scan_stats.pages_read,
@@ -182,11 +244,12 @@ class DistributedExecutor:
                 + self._scan_stats.sets_skipped_index
             ),
             sets_total=self._scan_stats.sets_total,
-            network_bytes=self.net.total_bytes - base_bytes,
-            network_messages=self.net.total_messages - base_msgs,
-            forwarded_bytes=self.net.forwarded_bytes - base_fwd,
+            network_bytes=end.bytes - base.bytes,
+            network_messages=end.messages - base.messages,
+            forwarded_bytes=end.forwarded_bytes - base.forwarded_bytes,
             max_connections=self.net.max_connections(),
-            spilled_bytes=sum(w.governor.spilled_bytes for w in self.workers.values()),
+            spilled_bytes=sum(w.governor.spilled_bytes for w in self.workers.values())
+            - base_spill,
             peak_memory=max(w.governor.peak for w in self.workers.values()),
             rows_returned=result.length,
             retries=self.retries,
@@ -196,6 +259,7 @@ class DistributedExecutor:
             fused_ops=self.pipe.fused_ops,
             morsels=self.pipe.morsels,
             peak_inflight_batches=self.inflight.peak,
+            site_busy_s=dict(self.site_busy_s),
         )
         return result, stats
 
@@ -295,6 +359,7 @@ class DistributedExecutor:
         )
 
         def morsel(d: int) -> tuple[list[RowBatch], dict[int, int], ScanStats]:
+            t0 = time.perf_counter()
             st = ScanStats()
             local: dict[int, int] = {}
             outs: list[RowBatch] = []
@@ -308,11 +373,12 @@ class DistributedExecutor:
                 if b is not None and b.length:
                     outs.append(b)
             self.inflight.produced(len(outs))
+            self._note_busy(serving, time.perf_counter() - t0)
             return outs, local, st
 
         self.pipe.morsels += n_disks
         tasks = [lambda d=d: morsel(d) for d in range(n_disks)]
-        for outs, local, st in run_tasks_ordered(tasks, dop, threaded):
+        for outs, local, st in run_tasks_ordered(tasks, dop, threaded, self.scheduler):
             self._scan_stats.merge(st)
             for op_id, n in local.items():
                 counts[op_id] = counts.get(op_id, 0) + n
@@ -438,7 +504,7 @@ class DistributedExecutor:
             storage = rt.storage.get(table)
             if storage is None:
                 raise ExecutionError(f"worker {serving} has no table {table!r}")
-            out[w] = self._scan_storage(storage, op, pred_expr)
+            out[w] = self._scan_storage(storage, op, pred_expr, serving)
         return out
 
     def _scan_plan(self, storage: TableStorage, op: PhysOp):
@@ -474,16 +540,17 @@ class DistributedExecutor:
 
         return needed, pred_fn, scan_pred, finish
 
-    def _scan_storage(self, storage: TableStorage, op: PhysOp, pred_expr: Expr | None) -> list[RowBatch]:
+    def _scan_storage(
+        self, storage: TableStorage, op: PhysOp, pred_expr: Expr | None, site: int
+    ) -> list[RowBatch]:
         needed, pred_fn, scan_pred, finish = self._scan_plan(storage, op)
         n_disks = len(storage.fragments)
         dop = min(n_disks, max(1, self._dop_for(storage)))
         if self.config.parallel_scans and dop > 1 and n_disks > 1:
             # one scan thread per fragment (paper §IV); per-thread stats
             # are merged afterwards to keep counters race-free
-            from concurrent.futures import ThreadPoolExecutor
-
             def scan_disk(d: int) -> tuple[list[RowBatch], ScanStats]:
+                t0 = time.perf_counter()
                 st = ScanStats()
                 out = [
                     finish(b)
@@ -492,22 +559,26 @@ class DistributedExecutor:
                         skipping=self.config.data_skipping, stats=st, disks=[d],
                     )
                 ]
+                self._note_busy(site, time.perf_counter() - t0)
                 return out, st
 
             batches: list[RowBatch] = []
-            with ThreadPoolExecutor(max_workers=dop) as pool:
-                for out, st in pool.map(scan_disk, range(n_disks)):
-                    batches.extend(out)
-                    self._scan_stats.merge(st)
+            tasks = [lambda d=d: scan_disk(d) for d in range(n_disks)]
+            for out, st in run_tasks_ordered(tasks, dop, True, self.scheduler):
+                batches.extend(out)
+                self._scan_stats.merge(st)
             return batches
 
-        return [
+        t0 = time.perf_counter()
+        out = [
             finish(b)
             for b in storage.scan(
                 needed, pred_fn, scan_pred,
                 skipping=self.config.data_skipping, stats=self._scan_stats,
             )
         ]
+        self._note_busy(site, time.perf_counter() - t0)
+        return out
 
     def _dop_for(self, storage: TableStorage) -> int:
         """Worker-level DOP (resource-management level 2)."""
@@ -688,8 +759,9 @@ class DistributedExecutor:
                     acc = _combine_partials(both, keys, partial_specs, partial_schema)
             if acc is None:
                 # empty site: aggregate the empty input once (keeps the
-                # engine's empty-input semantics, incl. MIN/MAX defaults
-                # for global aggregates)
+                # engine's empty-input semantics — COUNT/SUM partials of
+                # 0 and NULL MIN/MAX partials, which the NaN-skipping
+                # combine then ignores)
                 acc = _partial_aggregate(
                     RowBatch.empty(child_schema), keys, partial_specs, partial_schema
                 )
@@ -844,15 +916,16 @@ class DistributedExecutor:
             bits = bloom_filter_codes(np.zeros(0, dtype=np.uint64))
         # account the filter exchange: every worker receives the merged bits
         payload = bits.tobytes()
+        tag = f"{self.qtag}bloom{op.id}"
         for w in self.worker_ids:
             self._retrying(
                 lambda w=w: self.net.route_send(
-                    self.tree, self.coord_id, w, payload, tag=f"bloom{op.id}"
+                    self.tree, self.coord_id, w, payload, tag=tag
                 ),
                 w,
             )
         for w in self.worker_ids:
-            self.net.recv_all(w, tag=f"bloom{op.id}")
+            self.net.recv_all(w, tag=tag)
         probe_exprs = [le for le, _ in pairs]
         probe_schema = op.children[0].children[0].schema  # shuffle's child
 
@@ -897,7 +970,7 @@ class DistributedExecutor:
     def _eval_shuffle(self, op: PhysOp, prefilter=None) -> SiteData:
         child_op = op.children[0]
         key_exprs = op.attrs["key_exprs"]
-        tag = f"shuf{op.id}"
+        tag = f"{self.qtag}shuf{op.id}"
         compiled = [compile_expr(e, child_op.schema) for e in key_exprs]
         buffers: dict[int, SpillableList] = {
             w: SpillableList(self.workers[w].fs, self.workers[w].governor, op.schema, tag)
@@ -930,7 +1003,7 @@ class DistributedExecutor:
 
     def _eval_broadcast(self, op: PhysOp) -> SiteData:
         child_op = op.children[0]
-        tag = f"bcast{op.id}"
+        tag = f"{self.qtag}bcast{op.id}"
         if child_op.site != COORD and child_op.partitioning.kind != "replicated":
             chain = self._chain_for(child_op, allow_bare_scan=True)
             if chain is not None:
@@ -993,7 +1066,7 @@ class DistributedExecutor:
     def _eval_gather(self, op: PhysOp) -> SiteData:
         child_op = op.children[0]
         mode = op.attrs.get("mode", "concat")
-        tag = f"gather{op.id}"
+        tag = f"{self.qtag}gather{op.id}"
         if mode == "concat" and child_op.site != COORD and child_op.op != "shuffle":
             chain = self._chain_for(child_op, allow_bare_scan=True)
             if chain is not None:
@@ -1156,7 +1229,12 @@ def _final_aggregate(batch: RowBatch, keys, final_specs, out_schema: Schema) -> 
         if c.name in mid.schema:
             cols[c.name] = mid.col(c.name)
     for name, s_col, c_col in post_avg:
-        cols[name] = mid.col(s_col) / np.maximum(mid.col(c_col), 1)
+        c = mid.col(c_col)
+        with np.errstate(invalid="ignore"):
+            # zero qualifying rows: AVG is NULL (NaN), not 0
+            cols[name] = np.where(
+                c > 0, mid.col(s_col) / np.maximum(c, 1), np.nan
+            )
     return RowBatch(out_schema, cols)
 
 

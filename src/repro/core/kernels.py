@@ -198,6 +198,11 @@ def bloom_filter_test(bits: np.ndarray, codes: np.ndarray) -> np.ndarray:
 # ---------------------------------------------------------------------------
 
 
+def _int_like(dtype: np.dtype) -> bool:
+    """int/bool dtypes whose sums must use the exact int64 path."""
+    return dtype != object and (np.issubdtype(dtype, np.integer) or dtype == np.bool_)
+
+
 def group_aggregate(
     codes: np.ndarray,
     n_groups: int,
@@ -207,8 +212,18 @@ def group_aggregate(
 ) -> np.ndarray:
     """Aggregate ``values`` per group code. ``func`` in SUM/COUNT/MIN/MAX/AVG.
 
-    ``valid`` masks rows that count (COUNT over an outer join's matches).
-    Outputs an array indexed by group code.
+    ``valid`` masks rows that count (aggregates over an outer join's
+    matched rows). Outputs an array indexed by group code.
+
+    NULL semantics: a group with no qualifying rows yields SQL NULL for
+    AVG/MIN/MAX, encoded as NaN (numeric columns are promoted to float64
+    when NULL holes appear; object columns use None). COUNT yields 0 and
+    SUM yields 0 — the distributed COUNT is finalized as a SUM over
+    partial counts (see ``dataflow._split_aggs``), which must stay 0
+    over empty input, so SUM-of-nothing deliberately stays 0 engine-wide.
+    NaN inputs to MIN/MAX are treated as NULLs and skipped (``fmin`` /
+    ``fmax``), so combining partials where an empty site contributed a
+    NULL cannot corrupt a real extremum.
     """
     if func == "COUNT":
         if valid is not None:
@@ -216,61 +231,105 @@ def group_aggregate(
         return np.bincount(codes, minlength=n_groups).astype(np.int64)
     if values is None:
         raise ExecutionError(f"{func} needs values")
+    if valid is not None:
+        keep = valid.astype(bool)
+        codes = codes[keep]
+        values = values[keep]
     if func == "SUM":
-        if values.dtype == np.int64:
-            return np.bincount(codes, weights=values.astype(np.float64), minlength=n_groups).astype(np.int64)
+        if _int_like(values.dtype):
+            # exact integer path: float64 bincount weights silently
+            # round sums beyond 2**53
+            out = np.zeros(n_groups, dtype=np.int64)
+            np.add.at(out, codes, values.astype(np.int64, copy=False))
+            return out
         return np.bincount(codes, weights=values.astype(np.float64), minlength=n_groups)
     if func == "AVG":
         s = np.bincount(codes, weights=values.astype(np.float64), minlength=n_groups)
         c = np.bincount(codes, minlength=n_groups)
-        return s / np.maximum(c, 1)
+        with np.errstate(invalid="ignore"):
+            return np.where(c > 0, s / np.maximum(c, 1), np.nan)
     if func in ("MIN", "MAX"):
+        return _group_min_max(codes, n_groups, func, values)
+    raise ExecutionError(f"unknown aggregate {func}")
+
+
+def _group_min_max(codes: np.ndarray, n_groups: int, func: str, values: np.ndarray) -> np.ndarray:
+    if values.dtype == object:
+        out = np.full(n_groups, None, dtype=object)
         if len(codes) == 0:
-            return (
-                np.empty(n_groups, dtype=object)
-                if values.dtype == object
-                else np.zeros(n_groups, dtype=values.dtype)
-            )
+            return out
         order = np.argsort(codes, kind="stable")
         sorted_codes = codes[order]
         sorted_vals = values[order]
         boundaries = np.flatnonzero(np.diff(sorted_codes)) + 1
         starts = np.concatenate([[0], boundaries])
+        ends = np.concatenate([boundaries, [len(sorted_vals)]])
         present = sorted_codes[starts]
-        if values.dtype == object:
-            out = np.empty(n_groups, dtype=object)
-            ends = np.concatenate([boundaries, [len(sorted_vals)]])
-            for g, a, b in zip(present, starts, ends):
-                seg = sorted_vals[a:b]
+        for g, a, b in zip(present, starts, ends):
+            seg = [x for x in sorted_vals[a:b] if x is not None]
+            if seg:
                 out[g] = min(seg) if func == "MIN" else max(seg)
-            return out
+        return out
+    if len(codes) == 0:
+        return np.full(n_groups, np.nan, dtype=np.float64)
+    order = np.argsort(codes, kind="stable")
+    sorted_codes = codes[order]
+    sorted_vals = values[order]
+    boundaries = np.flatnonzero(np.diff(sorted_codes)) + 1
+    starts = np.concatenate([[0], boundaries])
+    present = sorted_codes[starts]
+    if np.issubdtype(values.dtype, np.floating):
+        ufunc = np.fmin if func == "MIN" else np.fmax  # NaN = NULL: skip
+    else:
         ufunc = np.minimum if func == "MIN" else np.maximum
-        segd = ufunc.reduceat(sorted_vals, starts) if len(sorted_vals) else np.empty(0, values.dtype)
-        out = np.zeros(n_groups, dtype=values.dtype)
+    segd = ufunc.reduceat(sorted_vals, starts)
+    if len(present) == n_groups:
+        out = np.empty(n_groups, dtype=values.dtype)
         out[present] = segd
         return out
-    raise ExecutionError(f"unknown aggregate {func}")
+    # groups with no rows are NULL: promote to float64 with NaN holes
+    out = np.full(n_groups, np.nan, dtype=np.float64)
+    out[present] = segd.astype(np.float64)
+    return out
+
+
+def _distinct_group_pairs(
+    codes: np.ndarray, values: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """One representative row index per distinct (group, value) pair.
+
+    Returns (group codes, original row indices) of the representatives.
+    Implemented with ``lexsort`` over (group, value-code) rather than the
+    pair encoding ``codes * k + vcodes``, which overflows int64 once
+    ``n_groups * n_distinct_values`` exceeds 2**63 (high-cardinality
+    GROUP BY plus a near-unique DISTINCT argument).
+    """
+    vcodes, _ = factorize([values])
+    if len(codes) == 0:
+        return codes.astype(np.int64), np.zeros(0, dtype=np.int64)
+    order = np.lexsort((vcodes, codes))
+    gc = codes[order]
+    vc = vcodes[order]
+    new = np.ones(len(gc), dtype=bool)
+    new[1:] = (gc[1:] != gc[:-1]) | (vc[1:] != vc[:-1])
+    return gc[new].astype(np.int64), order[new]
 
 
 def group_count_distinct(codes: np.ndarray, n_groups: int, values: np.ndarray) -> np.ndarray:
     """COUNT(DISTINCT values) per group."""
-    vcodes, _ = factorize([values])
-    pair = codes.astype(np.int64) * (int(vcodes.max()) + 1 if len(vcodes) else 1) + vcodes
-    uniq = np.unique(pair)
-    k = int(vcodes.max()) + 1 if len(vcodes) else 1
-    gcodes = (uniq // k).astype(np.int64)
+    gcodes, _ = _distinct_group_pairs(codes, values)
     return np.bincount(gcodes, minlength=n_groups).astype(np.int64)
 
 
 def group_sum_distinct(codes: np.ndarray, n_groups: int, values: np.ndarray) -> np.ndarray:
     """SUM(DISTINCT values) per group."""
-    vcodes, _ = factorize([values])
-    k = int(vcodes.max()) + 1 if len(vcodes) else 1
-    pair = codes.astype(np.int64) * k + vcodes
-    uniq_pair, first_idx = np.unique(pair, return_index=True)
-    gcodes = (uniq_pair // k).astype(np.int64)
-    vals = values[first_idx].astype(np.float64)
-    return np.bincount(gcodes, weights=vals, minlength=n_groups)
+    gcodes, rep_idx = _distinct_group_pairs(codes, values)
+    vals = values[rep_idx]
+    if _int_like(vals.dtype):
+        out = np.zeros(n_groups, dtype=np.int64)
+        np.add.at(out, gcodes, vals.astype(np.int64, copy=False))
+        return out
+    return np.bincount(gcodes, weights=vals.astype(np.float64), minlength=n_groups)
 
 
 # ---------------------------------------------------------------------------
@@ -281,19 +340,31 @@ def group_sum_distinct(codes: np.ndarray, n_groups: int, values: np.ndarray) -> 
 def sort_indices(batch: RowBatch, keys: Sequence[tuple[str, bool]]) -> np.ndarray:
     """Stable multi-key sort supporting DESC on every type.
 
-    Strings are factorized to codes first so DESC is just negation; this
-    keeps the hot path inside ``np.lexsort``.
+    Strings are factorized to codes first so DESC is just negation.
+    Integer keys stay integer end to end: the old float64 cast rounded
+    values beyond 2**53 and mis-ordered large int64 keys, so DESC on
+    integers uses bitwise inversion (``~x`` is order-reversing over the
+    full int64 range, with no overflow at INT64_MIN the way ``-x`` has).
+    This keeps the hot path inside ``np.lexsort``.
     """
     arrays: list[np.ndarray] = []
     for col, asc in reversed(list(keys)):
         arr = batch.col(col)
         if arr.dtype == object:
-            # dictionary-encode preserving order
+            # dictionary-encode preserving order; NULL aggregates (None)
+            # sort before every string, deterministically in both engines
+            vals = arr.tolist()
+            if any(x is None for x in vals):
+                arr = np.array(["" if x is None else "\x01" + x for x in vals], dtype=object)
             uniq, inv = np.unique(arr, return_inverse=True)
             arr = inv.astype(np.int64)
-        else:
+            arrays.append(arr if asc else -arr)
+        elif np.issubdtype(arr.dtype, np.floating):
             arr = arr.astype(np.float64, copy=False)
-        arrays.append(arr if asc else -arr.astype(np.float64))
+            arrays.append(arr if asc else -arr)
+        else:
+            arr = arr.astype(np.int64, copy=False)
+            arrays.append(arr if asc else np.bitwise_not(arr))
     if not arrays:
         return np.arange(batch.length)
     return np.lexsort(arrays)

@@ -178,14 +178,87 @@ def coalesce_batches(
         yield pending[0] if len(pending) == 1 else RowBatch.concat(schema, pending)
 
 
+class MorselScheduler:
+    """A shared morsel worker pool multiplexed across concurrent queries.
+
+    The seed executor instantiated a fresh thread pool per query (per
+    fused chain, even); under concurrent sessions that multiplies OS
+    threads by the number of in-flight queries and defeats the morsel
+    model's core idea — a fixed worker set pulling tasks from whoever
+    has work. This scheduler owns one lazily-started pool sized to the
+    machine (or ``morsel_threads``); queries submit task lists through
+    :meth:`run_ordered`, which keeps at most ``dop`` of *that query's*
+    tasks in flight (preserving each query's intra-query DOP grant)
+    while the pool interleaves tasks from all queries.
+
+    Deadlock-free by construction: morsel tasks are leaf closures that
+    never submit to the scheduler themselves, so pool threads never
+    block on pool work.
+    """
+
+    def __init__(self, max_threads: int = 0):
+        import os
+
+        self.max_threads = max_threads if max_threads > 0 else min(32, (os.cpu_count() or 4))
+        self._pool = None
+        self._mu = threading.Lock()
+        #: tasks ever submitted (observability)
+        self.submitted = 0
+
+    def _ensure_pool(self):
+        with self._mu:
+            if self._pool is None:
+                from concurrent.futures import ThreadPoolExecutor
+
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.max_threads, thread_name_prefix="morsel"
+                )
+            return self._pool
+
+    def run_ordered(self, tasks: list[Callable[[], object]], dop: int) -> Iterator[object]:
+        """Run ``tasks`` on the shared pool, at most ``dop`` in flight,
+        yielding results in submission order."""
+        from collections import deque as _deque
+
+        pool = self._ensure_pool()
+        window = max(1, dop)
+        inflight: "_deque" = _deque()
+        it = iter(tasks)
+        try:
+            for t in it:
+                inflight.append(pool.submit(t))
+                self.submitted += 1
+                if len(inflight) >= window:
+                    yield inflight.popleft().result()
+            while inflight:
+                yield inflight.popleft().result()
+        finally:
+            # a consumer bailing early must not leak queued futures
+            for f in inflight:
+                f.cancel()
+
+    def shutdown(self) -> None:
+        with self._mu:
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
+                self._pool = None
+
+
 def run_tasks_ordered(
-    tasks: list[Callable[[], object]], dop: int, threaded: bool
+    tasks: list[Callable[[], object]],
+    dop: int,
+    threaded: bool,
+    scheduler: MorselScheduler | None = None,
 ) -> Iterator[object]:
     """Morsel driver: run tasks with up to ``dop`` threads, yielding
     results in submission order (deterministic regardless of thread
-    scheduling). Falls back to inline sequential execution when
-    threading is disabled or pointless."""
+    scheduling). With a :class:`MorselScheduler` the tasks run on the
+    shared cross-query pool; otherwise a private pool is spun up, and
+    when threading is disabled or pointless execution is inline."""
     if threaded and dop > 1 and len(tasks) > 1:
+        if scheduler is not None:
+            yield from scheduler.run_ordered(tasks, dop)
+            return
         from concurrent.futures import ThreadPoolExecutor
 
         with ThreadPoolExecutor(max_workers=dop) as pool:

@@ -10,8 +10,13 @@ Serves three roles:
 Semantics notes (engine-wide): the engine stores no NULLs. Outer joins
 mark unmatched rows via a boolean match column (fill values are type
 defaults); empty scalar subqueries yield zero joined rows, which matches
-SQL's NULL-comparison-is-false filtering behaviour; global aggregates
-over empty input return COUNT=0 / SUM=0 / MIN=MAX=type default.
+SQL's NULL-comparison-is-false filtering behaviour. Aggregates over
+empty input follow SQL: COUNT=0, AVG/MIN/MAX=NULL (encoded as NaN for
+numeric columns — which promotes integer/date outputs to float64 NULL
+holes — and None for strings; ``RowBatch.rows`` delivers them as None).
+SUM over empty input deliberately stays 0: the distributed COUNT is
+finalized as a SUM over partial counts, which must not turn a true zero
+into NULL.
 """
 
 from __future__ import annotations
@@ -352,8 +357,18 @@ def _global_agg(spec, values, valid, n_rows: int):
         if spec.distinct and values is not None:
             return len(np.unique(values))
         return len(values) if values is not None else n_rows
+    if valid is not None and values is not None:
+        values = values[valid]
+    if values is not None and values.dtype == object:
+        # None marks NULL (e.g. a MIN partial from an empty site)
+        values = values[[x is not None for x in values.tolist()]]
+    elif values is not None and np.issubdtype(values.dtype, np.floating):
+        # NaN marks NULL engine-wide; NULLs never qualify
+        values = values[~np.isnan(values)]
     if values is None or len(values) == 0:
-        return 0
+        # SQL: aggregates over no qualifying rows are NULL — except SUM,
+        # which stays 0 so COUNT's final SUM-over-partials stays exact
+        return 0 if spec.func == "SUM" else None
     if spec.distinct:
         values = np.unique(values)
     if spec.func == "SUM":
@@ -369,9 +384,27 @@ def _global_agg(spec, values, valid, n_rows: int):
 
 def _cast_agg(arr: np.ndarray, dt: DataType) -> np.ndarray:
     if dt == DataType.STRING:
+        if arr.dtype == object:
+            return arr
         out = np.empty(len(arr), dtype=object)
-        out[:] = [str(x) for x in arr] if arr.dtype != object else arr
-        return out if arr.dtype != object else arr
+        out[:] = [str(x) for x in arr]
+        return out
+    arr = np.asarray(arr)
+    if arr.dtype == object:
+        # scalar path: None marks NULL; numeric targets encode it as NaN
+        vals = [np.nan if x is None else x for x in arr.tolist()]
+        has_null = any(x is None for x in arr.tolist())
+        if has_null and dt != DataType.FLOAT64:
+            return np.asarray(vals, dtype=np.float64)
+        return np.asarray(vals, dtype=dt.numpy_dtype)
+    if (
+        arr.dtype == np.float64
+        and dt != DataType.FLOAT64
+        and np.isnan(arr).any()
+    ):
+        # NaN marks NULL (group with no qualifying rows): keep the
+        # float64 NULL-hole array instead of casting NULL away
+        return arr
     return np.asarray(arr, dtype=dt.numpy_dtype)
 
 

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import itertools
 import struct
+import threading
 from typing import Iterator
 
 from ..common.batch import RowBatch
@@ -31,6 +32,10 @@ class MemoryGovernor:
     Operators acquire grants; when the worker's budget is exceeded the
     governor answers ``should_spill`` affirmatively and tracks how many
     bytes went to disk (benchmark observability).
+
+    Thread-safe: one governor per worker is shared by every concurrent
+    query touching that worker, so ``used``/``peak`` reflect the true
+    aggregate pressure and spill decisions see the whole node.
     """
 
     def __init__(self, budget_bytes: int):
@@ -38,19 +43,24 @@ class MemoryGovernor:
         self.used = 0
         self.spilled_bytes = 0
         self.peak = 0
+        self._mu = threading.Lock()
 
     def acquire(self, n: int) -> None:
-        self.used += n
-        self.peak = max(self.peak, self.used)
+        with self._mu:
+            self.used += n
+            self.peak = max(self.peak, self.used)
 
     def release(self, n: int) -> None:
-        self.used = max(0, self.used - n)
+        with self._mu:
+            self.used = max(0, self.used - n)
 
     def should_spill(self, extra: int = 0) -> bool:
-        return self.used + extra > self.budget
+        with self._mu:
+            return self.used + extra > self.budget
 
     def note_spill(self, n: int) -> None:
-        self.spilled_bytes += n
+        with self._mu:
+            self.spilled_bytes += n
 
 
 class SpillableList:

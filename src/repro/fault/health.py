@@ -10,26 +10,38 @@ the blacklist, so recovered nodes rejoin automatically.
 
 from __future__ import annotations
 
+import threading
+
 
 class WorkerHealthTracker:
+    """Thread-safe: shared across concurrent queries so one query's
+    failed probes steer every query away from the sick worker."""
+
     def __init__(self, blacklist_after: int = 3):
         self.blacklist_after = max(1, blacklist_after)
         self._failures: dict[int, int] = {}
+        self._mu = threading.Lock()
 
     def record_failure(self, worker: int) -> None:
-        self._failures[worker] = self._failures.get(worker, 0) + 1
+        with self._mu:
+            self._failures[worker] = self._failures.get(worker, 0) + 1
 
     def record_success(self, worker: int) -> None:
-        self._failures.pop(worker, None)
+        with self._mu:
+            self._failures.pop(worker, None)
 
     def failures(self, worker: int) -> int:
-        return self._failures.get(worker, 0)
+        with self._mu:
+            return self._failures.get(worker, 0)
 
     def is_blacklisted(self, worker: int) -> bool:
-        return self._failures.get(worker, 0) >= self.blacklist_after
+        with self._mu:
+            return self._failures.get(worker, 0) >= self.blacklist_after
 
     def blacklisted(self) -> set[int]:
-        return {w for w, n in self._failures.items() if n >= self.blacklist_after}
+        with self._mu:
+            return {w for w, n in self._failures.items() if n >= self.blacklist_after}
 
     def reset(self) -> None:
-        self._failures.clear()
+        with self._mu:
+            self._failures.clear()

@@ -20,6 +20,7 @@ Tests may also steer faults imperatively with :meth:`crash_now` /
 from __future__ import annotations
 
 import random
+import threading
 from collections import Counter
 from dataclasses import dataclass
 
@@ -43,6 +44,11 @@ class ChaosEvent:
 
 
 class FaultInjector:
+    """Thread-safe: the fault clock, RNG, and event log sit behind one
+    reentrant lock so concurrent queries can consult the injector from
+    their own threads (the network calls in while holding its own lock;
+    the injector never calls back out, so lock order is acyclic)."""
+
     def __init__(self, schedule: FaultSchedule | None = None):
         self.schedule = schedule or FaultSchedule.none()
         self.tick = 0
@@ -51,12 +57,14 @@ class FaultInjector:
         #: node -> recovery tick (None = permanent)
         self._down: dict[int, int | None] = {}
         self._fired: set[int] = set()  # indices of crash windows already fired
+        self._mu = threading.RLock()
 
     # -- the fault clock ---------------------------------------------------------
     def advance(self, n: int = 1) -> None:
-        for _ in range(n):
-            self.tick += 1
-            self._apply_windows()
+        with self._mu:
+            for _ in range(n):
+                self.tick += 1
+                self._apply_windows()
 
     def _apply_windows(self) -> None:
         for node, until in list(self._down.items()):
@@ -75,12 +83,14 @@ class FaultInjector:
 
     # -- imperative control (tests) ----------------------------------------------
     def crash_now(self, node: int, duration: int | None = None) -> None:
-        self._set_down(node, duration)
+        with self._mu:
+            self._set_down(node, duration)
 
     def recover_now(self, node: int) -> None:
-        if node in self._down:
-            del self._down[node]
-            self.record("recover", node=node, detail="forced")
+        with self._mu:
+            if node in self._down:
+                del self._down[node]
+                self.record("recover", node=node, detail="forced")
 
     # -- state queries -----------------------------------------------------------
     def node_down(self, node: int) -> bool:
@@ -95,59 +105,65 @@ class FaultInjector:
     # -- hooks the network/executor consult --------------------------------------
     def on_op(self, worker: int, op: object) -> None:
         """Called before a worker executes a scan; one fault-clock tick."""
-        self.advance()
-        if self.node_down(worker):
-            self.record("op_on_down", node=worker, detail=f"op={getattr(op, 'op', op)!r}")
-            raise WorkerFailureError(worker, f"chaos: worker {worker} is down")
+        with self._mu:
+            self.advance()
+            if self.node_down(worker):
+                self.record("op_on_down", node=worker, detail=f"op={getattr(op, 'op', op)!r}")
+                raise WorkerFailureError(worker, f"chaos: worker {worker} is down")
 
     def on_send(self, src: int, dst: int, size: int, tag: str) -> int:
         """Consulted per send attempt; returns the number of copies to
         deliver (0 = silent drop, 2 = duplicate) or raises."""
-        self.advance()
-        if self.node_down(src):
-            self.record("send_from_down", node=src, src=src, dst=dst, tag=tag)
-            raise WorkerFailureError(src, f"chaos: sender {src} is down")
-        if self.node_down(dst):
-            self.record("send_to_down", node=dst, src=src, dst=dst, tag=tag)
-            raise WorkerFailureError(dst, f"chaos: destination {dst} is down")
-        if self.link_cut(src, dst):
-            self.record("partition_drop", src=src, dst=dst, tag=tag)
-            raise NetworkError(f"chaos: network partition severs {src} -> {dst}")
-        s = self.schedule
-        if s.drop_prob and self._rng.random() < s.drop_prob:
-            self.record("drop", src=src, dst=dst, tag=tag, detail=f"{size}B")
-            raise NetworkError(f"chaos: link {src} -> {dst} dropped a {size}B message")
-        if s.silent_drop_prob and self._rng.random() < s.silent_drop_prob:
-            self.record("silent_drop", src=src, dst=dst, tag=tag, detail=f"{size}B")
-            return 0
-        if s.dup_prob and self._rng.random() < s.dup_prob:
-            self.record("duplicate", src=src, dst=dst, tag=tag)
-            return 2
-        return 1
+        with self._mu:
+            self.advance()
+            if self.node_down(src):
+                self.record("send_from_down", node=src, src=src, dst=dst, tag=tag)
+                raise WorkerFailureError(src, f"chaos: sender {src} is down")
+            if self.node_down(dst):
+                self.record("send_to_down", node=dst, src=src, dst=dst, tag=tag)
+                raise WorkerFailureError(dst, f"chaos: destination {dst} is down")
+            if self.link_cut(src, dst):
+                self.record("partition_drop", src=src, dst=dst, tag=tag)
+                raise NetworkError(f"chaos: network partition severs {src} -> {dst}")
+            s = self.schedule
+            if s.drop_prob and self._rng.random() < s.drop_prob:
+                self.record("drop", src=src, dst=dst, tag=tag, detail=f"{size}B")
+                raise NetworkError(f"chaos: link {src} -> {dst} dropped a {size}B message")
+            if s.silent_drop_prob and self._rng.random() < s.silent_drop_prob:
+                self.record("silent_drop", src=src, dst=dst, tag=tag, detail=f"{size}B")
+                return 0
+            if s.dup_prob and self._rng.random() < s.dup_prob:
+                self.record("duplicate", src=src, dst=dst, tag=tag)
+                return 2
+            return 1
 
     def on_hop(self, hub: int, src: int, dst: int, tag: str) -> None:
         """Consulted for each intermediate node on a routed send."""
-        if self.node_down(hub):
-            self.record("hub_down", node=hub, src=src, dst=dst, tag=tag)
-            raise NetworkError(f"chaos: hub {hub} on route {src} -> {dst} is down")
+        with self._mu:
+            if self.node_down(hub):
+                self.record("hub_down", node=hub, src=src, dst=dst, tag=tag)
+                raise NetworkError(f"chaos: hub {hub} on route {src} -> {dst} is down")
 
     def on_recv(self, node: int) -> None:
-        if self.node_down(node):
-            self.record("recv_down", node=node)
-            raise WorkerFailureError(node, f"chaos: node {node} is down; cannot receive")
+        with self._mu:
+            if self.node_down(node):
+                self.record("recv_down", node=node)
+                raise WorkerFailureError(node, f"chaos: node {node} is down; cannot receive")
 
     def reorder_position(self, inbox_len: int) -> int | None:
         """Delay fault: a non-tail insertion position, or None (append)."""
-        s = self.schedule
-        if inbox_len and s.delay_prob and self._rng.random() < s.delay_prob:
-            pos = self._rng.randrange(inbox_len)
-            self.record("delay", detail=f"inserted at {pos}/{inbox_len}")
-            return pos
-        return None
+        with self._mu:
+            s = self.schedule
+            if inbox_len and s.delay_prob and self._rng.random() < s.delay_prob:
+                pos = self._rng.randrange(inbox_len)
+                self.record("delay", detail=f"inserted at {pos}/{inbox_len}")
+                return pos
+            return None
 
     # -- the chaos event log -----------------------------------------------------
     def record(self, kind: str, **kw) -> None:
-        self.events.append(ChaosEvent(tick=self.tick, kind=kind, **kw))
+        with self._mu:
+            self.events.append(ChaosEvent(tick=self.tick, kind=kind, **kw))
 
     def summary(self) -> dict[str, int]:
         return dict(Counter(e.kind for e in self.events))

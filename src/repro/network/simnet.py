@@ -16,6 +16,7 @@ model, the standard abstraction for cluster interconnects.
 from __future__ import annotations
 
 import itertools
+import threading
 from collections import defaultdict, deque
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable
@@ -33,7 +34,33 @@ class LinkStats:
     bytes: int = 0
 
 
+@dataclass
+class TrafficStats:
+    """Per-query-prefix traffic totals (concurrent-stats isolation)."""
+
+    messages: int = 0
+    bytes: int = 0
+    forwarded_bytes: int = 0
+
+
+def tag_prefix(tag: str) -> str:
+    """The query prefix of an exchange tag.
+
+    Concurrent queries namespace their exchange tags as
+    ``q<id>|<exchange>`` so messages never cross-deliver between
+    queries; everything before (and including) the first ``|`` is the
+    query prefix. Untagged/legacy traffic accounts under ``""``.
+    """
+    i = tag.find("|")
+    return tag[: i + 1] if i >= 0 else ""
+
+
 class SimNetwork:
+    """Thread-safe: concurrent queries send/receive under one reentrant
+    lock (the real system's per-socket serialization), and per-query
+    byte/message counters are kept alongside the global ones so each
+    query's ExecStats stay isolated under concurrency."""
+
     def __init__(self, node_ids: Iterable[int]):
         self.node_ids = set(node_ids)
         self._inbox: dict[int, deque] = {n: deque() for n in self.node_ids}
@@ -42,11 +69,14 @@ class SimNetwork:
         self.total_messages = 0
         self.total_bytes = 0
         self.forwarded_bytes = 0  # bytes relayed through hub nodes
+        #: per query-prefix traffic (see :func:`tag_prefix`)
+        self.tagged: dict[str, TrafficStats] = defaultdict(TrafficStats)
         #: chaos substrate; every send/recv consults it when attached
         self.injector: "FaultInjector | None" = None
         self._msg_seq = itertools.count(1)
         #: per-node delivered message ids (duplicate suppression)
         self._seen: dict[int, set[int]] = defaultdict(set)
+        self._lock = threading.RLock()
 
     def attach(self, injector: "FaultInjector | None") -> None:
         """Install (or remove, with None) the fault injector.
@@ -63,15 +93,16 @@ class SimNetwork:
         """Direct send over the (src, dst) link; opens the connection."""
         self._check(src)
         self._check(dst)
-        copies = 1
-        if self.injector is not None:
-            copies = self.injector.on_send(src, dst, len(payload), tag)
-        msg_id = next(self._msg_seq)
-        # a dropped message still used the wire; charge every copy
-        for _ in range(max(copies, 1)):
-            self._account(src, dst, len(payload), forwarded=False)
-        for _ in range(copies):
-            self._deliver(dst, (src, tag, payload, msg_id))
+        with self._lock:
+            copies = 1
+            if self.injector is not None:
+                copies = self.injector.on_send(src, dst, len(payload), tag)
+            msg_id = next(self._msg_seq)
+            # a dropped message still used the wire; charge every copy
+            for _ in range(max(copies, 1)):
+                self._account(src, dst, len(payload), forwarded=False, tag=tag)
+            for _ in range(copies):
+                self._deliver(dst, (src, tag, payload, msg_id))
 
     def route_send(
         self, topology: Topology, src: int, dst: int, payload: bytes, tag: str = ""
@@ -82,29 +113,30 @@ class SimNetwork:
         forwarding cost of the n-to-m topology) but the payload is only
         delivered to ``dst``'s inbox.
         """
-        if src == dst:
-            self._deliver(dst, (src, tag, payload, next(self._msg_seq)))
-            return 0
-        copies = 1
-        if self.injector is not None:
-            copies = self.injector.on_send(src, dst, len(payload), tag)
-        path = topology.route(src, dst)
-        if self.injector is not None:
-            for hop in path[:-1]:
-                self.injector.on_hop(hop, src, dst, tag)
-        for _ in range(max(copies, 1)):
-            prev = src
-            for hop in path:
-                self._account(prev, hop, len(payload), forwarded=prev != src)
-                prev = hop
-        if path[-1] != dst:  # pragma: no cover - topology contract
-            raise NetworkError("route did not terminate at destination")
-        msg_id = next(self._msg_seq)
-        for _ in range(copies):
-            self._deliver(dst, (src, tag, payload, msg_id))
-        return len(path)
+        with self._lock:
+            if src == dst:
+                self._deliver(dst, (src, tag, payload, next(self._msg_seq)))
+                return 0
+            copies = 1
+            if self.injector is not None:
+                copies = self.injector.on_send(src, dst, len(payload), tag)
+            path = topology.route(src, dst)
+            if self.injector is not None:
+                for hop in path[:-1]:
+                    self.injector.on_hop(hop, src, dst, tag)
+            for _ in range(max(copies, 1)):
+                prev = src
+                for hop in path:
+                    self._account(prev, hop, len(payload), forwarded=prev != src, tag=tag)
+                    prev = hop
+            if path[-1] != dst:  # pragma: no cover - topology contract
+                raise NetworkError("route did not terminate at destination")
+            msg_id = next(self._msg_seq)
+            for _ in range(copies):
+                self._deliver(dst, (src, tag, payload, msg_id))
+            return len(path)
 
-    def _account(self, src: int, dst: int, nbytes: int, forwarded: bool) -> None:
+    def _account(self, src: int, dst: int, nbytes: int, forwarded: bool, tag: str = "") -> None:
         stats = self.links[(src, dst)]
         stats.messages += 1
         stats.bytes += nbytes
@@ -112,8 +144,12 @@ class SimNetwork:
         self.connections[dst].add(src)
         self.total_messages += 1
         self.total_bytes += nbytes
+        q = self.tagged[tag_prefix(tag)]
+        q.messages += 1
+        q.bytes += nbytes
         if forwarded:
             self.forwarded_bytes += nbytes
+            q.forwarded_bytes += nbytes
 
     def _deliver(self, dst: int, msg: tuple[int, str, bytes, int]) -> None:
         box = self._inbox[dst]
@@ -135,34 +171,36 @@ class SimNetwork:
         induced reorderings never change downstream results.
         """
         self._check(node)
-        if self.injector is not None:
-            self.injector.on_recv(node)
-        box = self._inbox[node]
-        if tag is None:
-            out = list(box)
-            box.clear()
-        else:
-            keep: deque = deque()
-            out = []
-            while box:
-                msg = box.popleft()
-                (out if msg[1] == tag else keep).append(msg)
-            self._inbox[node] = keep
-        if self.injector is not None:
-            seen = self._seen[node]
-            fresh = []
-            for msg in out:
-                if msg[3] in seen:
-                    self.injector.record("dedup", node=node, src=msg[0], tag=msg[1])
-                    continue
-                seen.add(msg[3])
-                fresh.append(msg)
-            fresh.sort(key=lambda m: (m[0], m[3]))
-            out = fresh
-        return [(src, t, payload) for src, t, payload, _ in out]
+        with self._lock:
+            if self.injector is not None:
+                self.injector.on_recv(node)
+            box = self._inbox[node]
+            if tag is None:
+                out = list(box)
+                box.clear()
+            else:
+                keep: deque = deque()
+                out = []
+                while box:
+                    msg = box.popleft()
+                    (out if msg[1] == tag else keep).append(msg)
+                self._inbox[node] = keep
+            if self.injector is not None:
+                seen = self._seen[node]
+                fresh = []
+                for msg in out:
+                    if msg[3] in seen:
+                        self.injector.record("dedup", node=node, src=msg[0], tag=msg[1])
+                        continue
+                    seen.add(msg[3])
+                    fresh.append(msg)
+                fresh.sort(key=lambda m: (m[0], m[3]))
+                out = fresh
+            return [(src, t, payload) for src, t, payload, _ in out]
 
     def pending(self, node: int) -> int:
-        return len(self._inbox[node])
+        with self._lock:
+            return len(self._inbox[node])
 
     def _check(self, node: int) -> None:
         if node not in self.node_ids:
@@ -171,23 +209,46 @@ class SimNetwork:
     # -- accounting ---------------------------------------------------------------
     def max_connections(self) -> int:
         """Maximum distinct neighbors any node has talked to."""
-        return max((len(v) for v in self.connections.values()), default=0)
+        with self._lock:
+            return max((len(v) for v in self.connections.values()), default=0)
 
     def connections_of(self, node: int) -> int:
-        return len(self.connections.get(node, ()))
+        with self._lock:
+            return len(self.connections.get(node, ()))
 
-    def clear_inboxes(self) -> None:
-        """Drop all undelivered messages (query-restart cleanup)."""
-        for box in self._inbox.values():
-            box.clear()
-        self._seen.clear()
+    def traffic_of(self, prefix: str) -> TrafficStats:
+        """A snapshot of one query prefix's traffic totals."""
+        with self._lock:
+            t = self.tagged.get(prefix)
+            return TrafficStats(t.messages, t.bytes, t.forwarded_bytes) if t else TrafficStats()
+
+    def clear_inboxes(self, prefix: str | None = None) -> None:
+        """Drop undelivered messages (query-restart cleanup).
+
+        With ``prefix``, only messages whose tag belongs to that query
+        prefix are dropped — concurrent queries' in-flight exchanges
+        survive a neighbour's restart. Message-id dedup state is kept in
+        the prefix case (restarts send fresh ids; other queries' dedup
+        must not be forgotten).
+        """
+        with self._lock:
+            if prefix is None:
+                for box in self._inbox.values():
+                    box.clear()
+                self._seen.clear()
+                return
+            for node, box in self._inbox.items():
+                kept = deque(m for m in box if tag_prefix(m[1]) != prefix)
+                self._inbox[node] = kept
 
     def reset_stats(self) -> None:
-        self.links.clear()
-        self.connections.clear()
-        self.total_messages = 0
-        self.total_bytes = 0
-        self.forwarded_bytes = 0
+        with self._lock:
+            self.links.clear()
+            self.connections.clear()
+            self.tagged.clear()
+            self.total_messages = 0
+            self.total_bytes = 0
+            self.forwarded_bytes = 0
 
 
 @dataclass(frozen=True)

@@ -163,13 +163,20 @@ class TableStats:
 
 
 class StatsProvider:
-    """Maps table names to :class:`TableStats`."""
+    """Maps table names to :class:`TableStats`.
+
+    ``version`` bumps on every :meth:`put`, so cached plans keyed on it
+    invalidate when fresh statistics would change the optimizer's
+    choices.
+    """
 
     def __init__(self, tables: Mapping[str, TableStats] | None = None):
         self._tables = dict(tables or {})
+        self.version = 0
 
     def put(self, name: str, stats: TableStats) -> None:
         self._tables[name] = stats
+        self.version += 1
 
     def table(self, name: str) -> TableStats:
         if name in self._tables:

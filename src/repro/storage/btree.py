@@ -129,7 +129,11 @@ class BPlusTree:
             kind, keys, payload, nxt = self._read_node(page_no)
             if kind == _LEAF:
                 break
-            i = _upper_bound(keys, lo) if lo is not None else 0
+            # _lower_bound, not _upper_bound: a leaf split promotes
+            # sep=keys[mid] but keeps entries equal to sep in the left
+            # half, so the leftmost candidate leaf is left of where an
+            # insert of ``lo`` would land.
+            i = _lower_bound(keys, lo) if lo is not None else 0
             page_no = payload[i]
         while True:
             kind, keys, payload, nxt = self._read_node(page_no)
@@ -145,30 +149,36 @@ class BPlusTree:
             page_no = nxt
 
     def delete(self, key, value=None) -> int:
-        """Logical delete: null out matching entries; returns count."""
+        """Logical delete: null out matching entries; returns count.
+
+        Duplicates of ``key`` may span several leaves — a leaf split
+        promotes ``sep = keys[mid]`` while entries equal to ``sep``
+        stay in the left half — so descend to the *leftmost* candidate
+        leaf (:func:`_lower_bound`) and walk the leaf chain right until
+        a key greater than ``key`` proves there is nothing further.
+        """
         n = 0
         page_no = self.root
         while True:
             kind, keys, payload, nxt = self._read_node(page_no)
             if kind == _LEAF:
                 break
-            i = _upper_bound(keys, key)
-            page_no = payload[i]
+            page_no = payload[_lower_bound(keys, key)]
         while True:
             kind, keys, payload, nxt = self._read_node(page_no)
             changed = False
             for i, (k, v) in enumerate(zip(keys, payload)):
-                if k == key and v is not None and (value is None or v == value):
-                    payload[i] = None
-                    changed = True
-                    n += 1
                 if k > key:
                     if changed:
                         self._write_node(page_no, kind, keys, payload, nxt)
                     return n
+                if k == key and v is not None and (value is None or v == value):
+                    payload[i] = None
+                    changed = True
+                    n += 1
             if changed:
                 self._write_node(page_no, kind, keys, payload, nxt)
-            if nxt < 0 or (keys and keys[-1] > key):
+            if nxt < 0:
                 return n
             page_no = nxt
 

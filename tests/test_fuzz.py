@@ -17,9 +17,8 @@ from tests.conftest import rows_match_unordered
 N_QUERIES = 60
 
 
-@pytest.fixture(scope="module")
-def fuzz_db():
-    db = Database(ClusterConfig(n_workers=3, n_max=4, page_size=16 * 1024))
+def _build_fuzz_db(**cfg_kwargs) -> Database:
+    db = Database(ClusterConfig(n_workers=3, n_max=4, page_size=16 * 1024, **cfg_kwargs))
     rng = np.random.default_rng(99)
     n1, n2 = 400, 150
     s = np.empty(n1, dtype=object)
@@ -42,6 +41,11 @@ def fuzz_db():
         ),
     )
     return db
+
+
+@pytest.fixture(scope="module")
+def fuzz_db():
+    return _build_fuzz_db()
 
 
 def _pred(rng, cols):
@@ -120,3 +124,49 @@ def test_fuzzed_query_matches_reference(fuzz_db, seed):
         assert len(got) == len(want), sql
     else:
         assert rows_match_unordered(got, want), sql
+
+
+# -- concurrent session replay ------------------------------------------------
+#
+# The same fuzzed workload issued from K session threads at once must be
+# byte-identical to a serial replay: the distributed engine is
+# deterministic per query, so any divergence is a concurrency bug
+# (cross-delivered exchanges, shared counters, racy governors).
+
+N_REPLAY = 24
+K_THREADS = 8
+
+
+def _replay_concurrent(db, sqls, serial):
+    from concurrent.futures import ThreadPoolExecutor
+
+    def client(tid: int):
+        sess = db.session()
+        # every thread runs the full workload, rotated for overlap
+        for i in range(len(sqls)):
+            j = (tid + i) % len(sqls)
+            got = sess.sql(sqls[j]).rows()
+            assert got == serial[j], f"thread {tid}: {sqls[j]}"
+
+    with ThreadPoolExecutor(max_workers=K_THREADS) as pool:
+        for f in [pool.submit(client, t) for t in range(K_THREADS)]:
+            f.result()
+
+
+def test_concurrent_session_replay_matches_serial(fuzz_db):
+    sqls = [_gen_query(np.random.default_rng(1000 + s)) for s in range(N_REPLAY)]
+    serial = [fuzz_db.sql(sql).rows() for sql in sqls]
+    _replay_concurrent(fuzz_db, sqls, serial)
+
+
+def test_concurrent_session_replay_under_chaos():
+    """Same replay with a lossy, duplicating, reordering network: the
+    retry/dedup machinery must hold per query under concurrency."""
+    from repro.fault import FaultSchedule
+
+    db = _build_fuzz_db(max_concurrent_queries=3)
+    sqls = [_gen_query(np.random.default_rng(1000 + s)) for s in range(N_REPLAY)]
+    serial = [db.sql(sql).rows() for sql in sqls]
+    db.chaos(FaultSchedule(seed=13, drop_prob=0.002, dup_prob=0.002, delay_prob=0.01))
+    _replay_concurrent(db, sqls, serial)
+    db.close()

@@ -2,7 +2,7 @@
 
 import random
 
-from hypothesis import given, settings
+from hypothesis import example, given, settings
 from hypothesis import strategies as st
 
 from repro.storage.btree import BPlusTree
@@ -64,6 +64,26 @@ class TestBPlusTree:
         assert t.search(7) == []
         assert t.delete(7) == 0
         assert [k for k, _ in t.range_scan(5, 9)] == [5, 6, 8, 9]
+
+    def test_delete_duplicates_spanning_leaves(self):
+        """Regression (hypothesis-discovered): 9x insert(0) splits the
+        root leaf with sep=0, leaving duplicates in BOTH halves; the old
+        delete descended past the left half and removed only some."""
+        t, _, _ = _bt(order=8)
+        for _ in range(9):
+            t.insert(0, 0)
+        assert t.delete(0) == 9
+        assert t.search(0) == []
+        assert list(t.items()) == []
+
+    def test_search_duplicates_spanning_leaves(self):
+        """Same split shape as above must also be visible to range_scan
+        and search (their descent shared the delete bug)."""
+        t, _, _ = _bt(order=8)
+        for i in range(9):
+            t.insert(0, i)
+        assert sorted(t.search(0)) == list(range(9))
+        assert len(list(t.range_scan(0, 0))) == 9
 
     def test_delete_specific_value(self):
         t, _, _ = _bt()
@@ -163,6 +183,7 @@ class TestDiskSkipList:
         max_size=60,
     )
 )
+@example(ops=[("insert", 0)] * 9 + [("delete", 0)]).via("discovered failure")
 def test_btree_matches_oracle(ops):
     t, _, _ = _bt(order=8)
     oracle: list[tuple[int, int]] = []

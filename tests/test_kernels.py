@@ -114,6 +114,75 @@ class TestGroupAggregate:
         out = group_aggregate(codes, 1, "SUM", np.array([5], np.int64))
         assert out.dtype == np.int64
 
+    def test_int_sum_exact_beyond_2_53(self):
+        """float64 has 53 mantissa bits; the old bincount(weights=...)
+        path silently rounded int64 sums past 2**53."""
+        codes = np.array([0, 0, 1, 1])
+        big = 2**53
+        vals = np.array([big, 1, big, 3], np.int64)
+        out = group_aggregate(codes, 2, "SUM", vals)
+        assert out.dtype == np.int64
+        assert out.tolist() == [big + 1, big + 3]
+
+    def test_sum_distinct_int_exact(self):
+        codes = np.array([0, 0, 0])
+        vals = np.array([2**53, 2**53, 1], np.int64)
+        out = group_sum_distinct(codes, 1, vals)
+        assert out.tolist() == [2**53 + 1]
+
+    def test_avg_empty_group_is_null(self):
+        """A group with no qualifying rows yields NULL (NaN), not 0."""
+        codes = np.array([0, 0])
+        vals = np.array([1.0, 3.0])
+        valid = np.array([False, False])
+        out = group_aggregate(codes, 2, "AVG", vals, valid)
+        assert np.isnan(out).all()
+
+    def test_min_max_empty_group_is_null(self):
+        codes = np.array([0], np.int64)
+        vals = np.array([7], np.int64)
+        for func in ("MIN", "MAX"):
+            out = group_aggregate(codes, 2, func, vals)
+            assert out[0] == 7
+            assert np.isnan(out[1])  # group 1 has no rows -> NULL
+        # all groups present: integer dtype is preserved exactly
+        out = group_aggregate(codes, 1, "MAX", np.array([2**53 + 1], np.int64))
+        assert out.dtype == np.int64 and out[0] == 2**53 + 1
+
+    def test_min_max_string_empty_group_is_null(self):
+        codes = np.array([0], np.int64)
+        vals = np.array(["x"], object)
+        out = group_aggregate(codes, 2, "MIN", vals)
+        assert out[0] == "x" and out[1] is None
+
+    def test_min_max_combine_skips_null_partials(self):
+        """An empty site's NULL partial must not corrupt a real extremum."""
+        codes = np.array([0, 0], np.int64)
+        partials = np.array([np.nan, 5.0])
+        assert group_aggregate(codes, 1, "MIN", partials).tolist() == [5.0]
+        assert group_aggregate(codes, 1, "MAX", partials).tolist() == [5.0]
+
+    def test_valid_mask_applies_to_all_funcs(self):
+        codes = np.array([0, 0, 0])
+        vals = np.array([10, 2, 4], np.int64)
+        valid = np.array([False, True, True])
+        assert group_aggregate(codes, 1, "SUM", vals, valid).tolist() == [6]
+        assert group_aggregate(codes, 1, "MAX", vals, valid).tolist() == [4]
+        assert group_aggregate(codes, 1, "AVG", vals, valid).tolist() == [3.0]
+
+    def test_distinct_high_cardinality_no_overflow(self):
+        """The old ``codes * k + vcodes`` pair encoding overflowed int64
+        when n_groups * n_values exceeded 2**63."""
+        n = 1000
+        rng = np.random.default_rng(7)
+        codes = np.arange(n, dtype=np.int64)
+        # huge spread of values so the old k multiplier explodes
+        vals = rng.integers(-(2**62), 2**62, size=n, dtype=np.int64)
+        out = group_count_distinct(codes, n, vals)
+        assert out.tolist() == [1] * n
+        sums = group_sum_distinct(codes, n, vals)
+        assert sums.tolist() == vals.tolist()
+
     def test_count_distinct(self):
         codes = np.array([0, 0, 0, 1])
         vals = np.array([7, 7, 8, 7], np.int64)
@@ -185,6 +254,16 @@ class TestSort:
         )
         out = b.take(sort_indices(b, [("k", True)]))
         assert out.col("i").tolist() == [0, 1, 2]
+
+    def test_desc_large_int64_exact(self):
+        """DESC used to negate a float64 cast, which collapses int64
+        keys differing only below the 2**53 mantissa limit."""
+        vals = [2**53, 2**53 + 1, -(2**63), 2**63 - 1, 0]
+        b = RowBatch.from_pairs(("k", DataType.INT64, vals))
+        out = b.take(sort_indices(b, [("k", False)]))
+        assert out.col("k").tolist() == sorted(vals, reverse=True)
+        out = b.take(sort_indices(b, [("k", True)]))
+        assert out.col("k").tolist() == sorted(vals)
 
 
 class TestTopK:
