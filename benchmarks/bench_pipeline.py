@@ -125,7 +125,15 @@ def main() -> int:
         default=str(Path(__file__).resolve().parent.parent / "BENCH_PIPELINE.json"),
         help="output JSON path",
     )
+    ap.add_argument(
+        "--tiny", action="store_true",
+        help="CI smoke scale: sf=0.001, repeat=1, no output file",
+    )
     args = ap.parse_args()
+    if args.tiny:
+        args.sf = 0.001
+        args.repeat = 1
+        args.out = "/dev/null"
 
     print(f"loading TPC-H sf={args.sf} twice (before/after engines) ...")
     with legacy_codec():

@@ -1,0 +1,147 @@
+"""Telemetry overhead benchmark — the <3% disabled-cost gate.
+
+Disabled telemetry is designed to cost one attribute load and an
+``is not None`` test per operator (plus the same per network send).
+This benchmark measures that cost directly:
+
+* **baseline** — the instrumentation wrapper is monkeypatched out:
+  ``DistributedExecutor._eval`` evaluates the operator and records its
+  row count, exactly the pre-telemetry engine shape.
+* **disabled** — the shipped default: the wrapper runs but the tracer
+  and profiler are absent (``None``), so only the no-op checks execute.
+* **enabled** — full tracing on (reported for context, not gated).
+
+Baseline and disabled runs are *interleaved* round by round on the same
+loaded cluster and each takes its best-of-``repeat`` minimum, so slow
+outliers (GC, scheduler noise) cannot land on one side only. The gate
+fails (exit 1) when the summed disabled time exceeds the summed baseline
+time by more than ``--max-overhead`` percent.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_telemetry.py --tiny
+    PYTHONPATH=src python benchmarks/bench_telemetry.py --sf 0.01 --repeat 7
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+from repro import ClusterConfig, Database
+from repro.core.executor import DistributedExecutor
+from repro.workloads import tpch_dbgen, tpch_schema
+from repro.workloads.tpch_queries import query
+
+#: scan/agg- and join-shaped queries exercise both the fused-pipeline
+#: and exchange-heavy instrumentation points
+QUERIES = (1, 6, 3)
+
+
+def _eval_uninstrumented(self, op):
+    """The pre-telemetry _eval body: evaluate + record output rows."""
+    out = self._eval_impl(op)
+    self.op_rows[op.id] = sum(b.length for bs in out.values() for b in bs)
+    return out
+
+
+class uninstrumented:
+    """Context manager swapping the telemetry wrapper out of _eval."""
+
+    def __enter__(self):
+        self._orig = DistributedExecutor._eval
+        DistributedExecutor._eval = _eval_uninstrumented
+        return self
+
+    def __exit__(self, *exc):
+        DistributedExecutor._eval = self._orig
+
+
+def build_db(sf: float, tracing: bool = False) -> Database:
+    cfg = ClusterConfig(
+        n_workers=4, n_max=4, page_size=32 * 1024, batch_size=4096, tracing=tracing
+    )
+    db = Database(cfg)
+    data = tpch_dbgen.generate(sf=sf)
+    for name, schema in tpch_schema.SCHEMAS.items():
+        db.create_table(name, schema, tpch_schema.PARTITIONING[name])
+        db.load(name, data[name])
+    return db
+
+
+def time_once(db: Database, sqls: list[str]) -> float:
+    t0 = time.perf_counter()
+    for sql in sqls:
+        db.sql(sql)
+    return time.perf_counter() - t0
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--sf", type=float, default=0.002, help="TPC-H scale factor")
+    ap.add_argument("--repeat", type=int, default=5, help="interleaved rounds (best-of)")
+    ap.add_argument(
+        "--max-overhead", type=float, default=3.0,
+        help="gate: max disabled-over-baseline overhead, percent",
+    )
+    ap.add_argument(
+        "--out",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_TELEMETRY.json"),
+        help="output JSON path ('/dev/null' to skip)",
+    )
+    ap.add_argument("--tiny", action="store_true", help="CI smoke scale: sf=0.001")
+    args = ap.parse_args()
+    if args.tiny:
+        args.sf = 0.001
+
+    print(f"loading TPC-H sf={args.sf} ...")
+    db = build_db(args.sf, tracing=False)
+    db_traced = build_db(args.sf, tracing=True)
+    sqls = [query(q, args.sf) for q in QUERIES]
+
+    # warmup both clusters (buffer pools, plan caches, predicate caches)
+    with uninstrumented():
+        time_once(db, sqls)
+    time_once(db, sqls)
+    time_once(db_traced, sqls)
+
+    base = disabled = enabled = float("inf")
+    for _ in range(max(1, args.repeat)):
+        with uninstrumented():
+            base = min(base, time_once(db, sqls))
+        disabled = min(disabled, time_once(db, sqls))
+        enabled = min(enabled, time_once(db_traced, sqls))
+
+    overhead = (disabled - base) / base * 100.0
+    traced_overhead = (enabled - base) / base * 100.0
+    report = {
+        "sf": args.sf,
+        "repeat": args.repeat,
+        "queries": list(QUERIES),
+        "baseline_s": round(base, 5),
+        "disabled_s": round(disabled, 5),
+        "enabled_s": round(enabled, 5),
+        "disabled_overhead_pct": round(overhead, 2),
+        "enabled_overhead_pct": round(traced_overhead, 2),
+        "max_overhead_pct": args.max_overhead,
+    }
+    print(
+        f"baseline={base:.4f}s disabled={disabled:.4f}s ({overhead:+.2f}%) "
+        f"enabled={enabled:.4f}s ({traced_overhead:+.2f}%)"
+    )
+    if args.out != "/dev/null":
+        Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {args.out}")
+    if overhead > args.max_overhead:
+        print(
+            f"FAIL: telemetry-disabled overhead {overhead:.2f}% exceeds "
+            f"{args.max_overhead}%"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

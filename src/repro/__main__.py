@@ -1,17 +1,26 @@
-"""Interactive SQL shell over a fresh simulated cluster.
+"""Interactive SQL shell — and telemetry subcommands — over a fresh
+simulated cluster.
 
 Usage::
 
-    python -m repro [--workers N] [--tpch SF]
+    python -m repro [--workers N] [--tpch SF]                 # REPL
+    python -m repro [--tpch SF] trace "SELECT ..." [--out f]  # traced run
+    python -m repro [--tpch SF] metrics ["SELECT ..." ...]    # Prometheus dump
 
-Commands: any SQL statement ending in ``;``, plus
-``\\explain <select>``, ``\\analyze <select>`` (actual-vs-estimated rows),
+``trace`` runs one query with tracing on, prints the span tree, and
+writes Chrome ``trace_event`` JSON (load it in ``chrome://tracing`` or
+Perfetto). ``metrics`` runs the given queries (if any) and prints the
+cluster metrics registry in Prometheus text format (or JSON).
+
+REPL commands: any SQL statement ending in ``;``, plus
+``\\explain <select>``, ``\\analyze <select>`` (profile-grade actuals),
 ``\\tables``, ``\\quit``.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 
 from . import ClusterConfig, Database
 
@@ -81,16 +90,55 @@ def repl(db: Database) -> None:  # pragma: no cover - interactive
         )
 
 
+def cmd_trace(db: Database, args) -> None:
+    """Run one query traced; print the span tree and write Chrome JSON."""
+    result = db.sql(args.sql.rstrip(";"))
+    db.export_trace(result.qid, path=args.out)
+    root = db.tracer.root(result.qid)
+    if root is not None:
+        print(root.pretty())
+    print(
+        f"-- {len(result.rows())} rows; trace written to {args.out} "
+        f"(load in chrome://tracing or https://ui.perfetto.dev)"
+    )
+
+
+def cmd_metrics(db: Database, args) -> None:
+    """Run the given queries (if any) and dump the metrics registry."""
+    for q in args.sql:
+        db.sql(q.rstrip(";"))
+    if args.format == "json":
+        print(json.dumps(db.metrics_snapshot(), indent=2, default=str))
+    else:
+        print(db.metrics_prometheus(), end="")
+
+
 def main(argv: list[str] | None = None) -> None:  # pragma: no cover
     ap = argparse.ArgumentParser(prog="python -m repro")
     ap.add_argument("--workers", type=int, default=4)
     ap.add_argument("--nmax", type=int, default=8)
     ap.add_argument("--tpch", type=float, default=None, metavar="SF",
                     help="preload a TPC-H instance at this scale factor")
+    sub = ap.add_subparsers(dest="cmd")
+    tp = sub.add_parser("trace", help="run a query traced; write Chrome trace JSON")
+    tp.add_argument("sql", help="the SELECT to trace")
+    tp.add_argument("--out", default="trace.json", help="output path (default: trace.json)")
+    mp = sub.add_parser("metrics", help="print the cluster metrics registry")
+    mp.add_argument("sql", nargs="*", help="queries to run before the dump")
+    mp.add_argument("--format", choices=("prom", "json"), default="prom")
     args = ap.parse_args(argv)
-    db = Database(ClusterConfig(n_workers=args.workers, n_max=args.nmax))
+    cfg = ClusterConfig(
+        n_workers=args.workers, n_max=args.nmax, tracing=args.cmd == "trace"
+    )
+    db = Database(cfg)
     if args.tpch:
         _load_tpch(db, args.tpch)
+    if args.cmd == "trace":
+        cmd_trace(db, args)
+        return
+    if args.cmd == "metrics":
+        cmd_metrics(db, args)
+        return
     print(f"repro shell — {args.workers} workers, N_max={args.nmax}. \\q to quit.")
     repl(db)
 

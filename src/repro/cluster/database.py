@@ -19,7 +19,9 @@ Usage::
 from __future__ import annotations
 
 import itertools
+import json
 import threading
+import time
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
@@ -55,6 +57,7 @@ from ..storage.buffer import BufferManager
 from ..storage.external import ExternalTableType
 from ..storage.partition import Replicated, disk_of_rows
 from ..storage.table import TableStorage
+from ..telemetry import MetricsRegistry, SlowQuery, Tracer, render_analyze
 from ..txn.manager import TransactionSystem
 from ..util.fs import FileSystem, LocalFS, MemFS
 from .catalog import CatalogEntry, ClusterCatalog, scheme_from_clause
@@ -71,6 +74,11 @@ class QueryResult:
     logical: LogicalPlan | None = None
     physical: PhysOp | None = None
     rowcount: int = 0  # DML-affected rows
+    #: per-operator actuals (physical-op id -> OpProfile) when the query
+    #: ran profiled (EXPLAIN ANALYZE); None otherwise
+    profiles: dict | None = None
+    #: query id (tag namespace ``q<id>|``, trace registry key)
+    qid: int = 0
 
     def rows(self) -> list[tuple]:
         return self.batch.rows()
@@ -197,6 +205,30 @@ class Database:
         self._session_rr = itertools.count()
         self._submit_pool = None
         self._submit_mu = threading.Lock()
+        # -- telemetry (DESIGN.md §9) ---------------------------------------
+        #: query-lifecycle tracer; None when tracing is off (a positive
+        #: slow-query threshold implies tracing — the log needs the spans)
+        self.tracer: Tracer | None = None
+        if self.config.tracing or self.config.slow_query_threshold_s > 0:
+            self.tracer = Tracer(retention=self.config.trace_retention)
+            self._executor.tracer = self.tracer
+            self.net.tracer = self.tracer
+        #: cluster metrics registry (Prometheus-renderable)
+        self.metrics = MetricsRegistry()
+        self._m_query_hist = self.metrics.histogram(
+            "repro_query_duration_seconds", "end-to-end SELECT latency"
+        )
+        self._m_query_total = self.metrics.counter(
+            "repro_query_total", "SELECT queries executed"
+        )
+        self._m_query_slow = self.metrics.counter(
+            "repro_query_slow_total", "queries captured by the slow-query log"
+        )
+        self._register_collectors()
+        #: slow-query log: queries over ``slow_query_threshold_s`` (or
+        #: restarted under chaos), traces attached
+        self.slow_queries: list[SlowQuery] = []
+        self._slow_mu = threading.Lock()
 
     def chaos(self, schedule=None):
         """Attach a fault injector driven by ``schedule`` to the cluster
@@ -206,7 +238,24 @@ class Database:
 
         injector = FaultInjector(schedule)
         self.net.attach(injector)
+        if self.tracer is not None:
+            # spans carry simulated time off the fault clock, and every
+            # chaos event lands inline on the active query's span
+            self.tracer.sim_clock = lambda: injector.tick
+            injector.listener = self._chaos_to_trace
         return injector
+
+    def _chaos_to_trace(self, ev) -> None:
+        tr = self.tracer
+        if tr is not None:
+            tr.event(
+                "chaos:" + ev.kind,
+                node=ev.node,
+                src=ev.src,
+                dst=ev.dst,
+                tag=ev.tag,
+                detail=ev.detail,
+            )
 
     def _make_fs(self, worker_id: int) -> FileSystem:
         if self.config.data_dir:
@@ -253,6 +302,166 @@ class Database:
             "peak_memory": max(w.governor.peak for w in self.workers.values()),
             "memory_budget_per_node": self.config.memory_per_node,
         }
+
+    # -- telemetry ----------------------------------------------------------------
+    def _register_collectors(self) -> None:
+        """Wire every subsystem's existing counters into the registry as
+        pull collectors — sampled at snapshot time, zero hot-path cost."""
+        m = self.metrics
+        workers = self.workers
+
+        def per_worker(fn):
+            def collect():
+                for w, wk in workers.items():
+                    yield {"node": str(w)}, fn(wk)
+
+            return collect
+
+        # buffer manager
+        m.register_collector(
+            "repro_buffer_hits_total", "counter", "buffer pool page hits",
+            per_worker(lambda wk: wk.bufmgr.hits),
+        )
+        m.register_collector(
+            "repro_buffer_misses_total", "counter", "buffer pool page misses",
+            per_worker(lambda wk: wk.bufmgr.misses),
+        )
+        m.register_collector(
+            "repro_buffer_evictions_total", "counter", "buffer pool evictions",
+            per_worker(lambda wk: wk.bufmgr.evictions),
+        )
+        m.register_collector(
+            "repro_buffer_cached_pages", "gauge", "pages resident in the pool",
+            per_worker(lambda wk: wk.bufmgr.cached_pages),
+        )
+        # lock managers (per worker node)
+        nodes = self.txn_system.nodes
+        m.register_collector(
+            "repro_locks_waits_total", "counter", "lock requests that had to queue",
+            lambda: (({"node": str(w)}, n.locks.waits) for w, n in nodes.items()),
+        )
+        m.register_collector(
+            "repro_locks_wait_seconds_total", "counter",
+            "simulated seconds spent waiting for locks",
+            lambda: (({"node": str(w)}, n.locks.wait_time_s) for w, n in nodes.items()),
+        )
+        m.register_collector(
+            "repro_locks_deadlocks_total", "counter", "deadlocks detected",
+            lambda: (({"node": str(w)}, n.locks.deadlocks) for w, n in nodes.items()),
+        )
+        # write-ahead logs (worker WALs + coordinator XA logs)
+        def wal_logs():
+            for w, n in nodes.items():
+                yield str(w), n.log
+            for c, xa in self.txn_system.xa.items():
+                yield str(c), xa.xa_log
+
+        m.register_collector(
+            "repro_wal_records_total", "counter", "WAL records appended",
+            lambda: (({"node": w}, log.records_written) for w, log in wal_logs()),
+        )
+        m.register_collector(
+            "repro_wal_fsync_batches_total", "counter",
+            "force() barriers that flushed pending records (group commits)",
+            lambda: (({"node": w}, log.fsync_batches) for w, log in wal_logs()),
+        )
+        # admission controller
+        adm = self.admission
+        m.register_collector(
+            "repro_admission_queue_depth", "gauge", "queries queued for admission",
+            lambda: [({}, adm.queue_depth)],
+        )
+        m.register_collector(
+            "repro_admission_admitted_total", "counter", "queries admitted",
+            lambda: [({}, adm.admitted_total)],
+        )
+        m.register_collector(
+            "repro_admission_grant_wait_seconds_total", "counter",
+            "wall seconds queries queued before their memory grant",
+            lambda: [({}, adm.grant_wait_s)],
+        )
+        m.register_collector(
+            "repro_admission_timeouts_total", "counter", "admissions that timed out",
+            lambda: [({}, adm.timeouts)],
+        )
+        # morsel scheduler
+        sched = self.scheduler
+        m.register_collector(
+            "repro_scheduler_tasks_total", "counter", "morsel tasks submitted",
+            lambda: [({}, sched.submitted)],
+        )
+        m.register_collector(
+            "repro_scheduler_busy_seconds_total", "counter",
+            "wall seconds pool threads spent running morsel tasks",
+            lambda: [({}, sched.busy.value)],
+        )
+        # plan cache
+        pc = self.plan_cache
+        m.register_collector(
+            "repro_plancache_hits_total", "counter", "plan cache hits",
+            lambda: [({}, pc.hits)],
+        )
+        m.register_collector(
+            "repro_plancache_misses_total", "counter", "plan cache misses",
+            lambda: [({}, pc.misses)],
+        )
+        # network (per-link traffic; links is a plain dict, snapshot under
+        # the net lock via list() to stay consistent)
+        net = self.net
+
+        def link_samples(attr):
+            def collect():
+                with net._lock:
+                    items = [(k, getattr(s, attr)) for k, s in net.links.items()]
+                for (src, dst), v in items:
+                    yield {"src": str(src), "dst": str(dst)}, v
+
+            return collect
+
+        m.register_collector(
+            "repro_network_link_bytes_total", "counter", "bytes per directed link",
+            link_samples("bytes"),
+        )
+        m.register_collector(
+            "repro_network_link_messages_total", "counter", "messages per directed link",
+            link_samples("messages"),
+        )
+        m.register_collector(
+            "repro_network_bytes_total", "counter", "total bytes put on the wire",
+            lambda: [({}, net.total_bytes)],
+        )
+        m.register_collector(
+            "repro_network_forwarded_bytes_total", "counter",
+            "bytes relayed through hub nodes",
+            lambda: [({}, net.forwarded_bytes)],
+        )
+
+    def metrics_snapshot(self) -> dict:
+        """All cluster metrics as a nested dict (samples labeled by node /
+        link / query where applicable)."""
+        return self.metrics.snapshot()
+
+    def metrics_prometheus(self) -> str:
+        """The metrics snapshot in Prometheus text exposition format."""
+        return self.metrics.render_prometheus()
+
+    def export_trace(self, qid: int | None = None, path: str | None = None) -> dict:
+        """The Chrome ``trace_event`` JSON of query ``qid`` (default: the
+        most recent traced query); load the written file in
+        ``chrome://tracing`` or Perfetto. Requires tracing to be enabled
+        (``ClusterConfig.tracing`` or a slow-query threshold)."""
+        if self.tracer is None:
+            raise PlanError(
+                "tracing is disabled; construct the Database with "
+                "ClusterConfig(tracing=True)"
+            )
+        trace = self.tracer.export(qid)
+        if trace is None:
+            raise PlanError(f"no trace recorded for qid={qid!r}")
+        if path is not None:
+            with open(path, "w") as fh:
+                json.dump(trace, fh)
+        return trace
 
     # -- catalog views ------------------------------------------------------------
     @property
@@ -390,7 +599,15 @@ class Database:
             self.plan_cache.put(key, pair)
         return pair
 
-    def _run_select(self, logical, physical, txn=None, coordinator: int = 0) -> QueryResult:
+    def _run_select(
+        self,
+        logical,
+        physical,
+        txn=None,
+        coordinator: int = 0,
+        qid: int | None = None,
+        profiled: bool = False,
+    ) -> QueryResult:
         """Admission-gated distributed execution with restart-on-failure.
 
         Each run gets a shallow executor clone (fresh counters, a unique
@@ -402,52 +619,78 @@ class Database:
         replicated coordinators (paper §II: clients load-balance over
         coordinators).
         """
-        qid = next(self._qid)
+        qid = qid if qid is not None else next(self._qid)
+        tr = self.tracer
         ex = self._executor.for_query(
-            qid, self.coord_ids[coordinator % len(self.coord_ids)]
+            qid, self.coord_ids[coordinator % len(self.coord_ids)], profiled=profiled
         )
-        with self.admission.admit():
-            # fault tolerance (paper §I): a mid-query worker failure aborts
-            # the query; after the node recovers (ARIES handles its local
-            # state) the coordinator simply restarts the query, up to the
-            # configured restart budget
-            attempts = 0
-            total_retries = 0
-            total_backoff = 0.0
-            failed: set[int] = set()
-            while True:
-                attempts += 1
-                try:
-                    # solo queries keep the serial per-query peak-memory
-                    # semantics; under concurrency governors are shared, so
-                    # peak reflects aggregate cluster pressure
-                    batch, stats = ex.execute(
-                        physical, reset_governors=self.admission.active == 1
+        if tr is not None:
+            with tr.span("admit", cat="phase"):
+                admission = self.admission.admit()
+        else:
+            admission = self.admission.admit()
+        with admission:
+            esp = tr.begin("execute", cat="phase") if tr is not None else None
+            try:
+                # fault tolerance (paper §I): a mid-query worker failure
+                # aborts the query; after the node recovers (ARIES handles
+                # its local state) the coordinator simply restarts the
+                # query, up to the configured restart budget
+                attempts = 0
+                carried = ExecStats()
+                while True:
+                    attempts += 1
+                    asp = (
+                        tr.begin("attempt", cat="phase", attempt=attempts)
+                        if tr is not None
+                        else None
                     )
-                    break
-                except WorkerFailureError as e:
-                    total_retries += ex.retries
-                    total_backoff += ex.backoff_time
-                    failed |= ex.failed_workers
-                    failed.add(e.worker_id)
-                    if attempts > self.config.max_query_restarts:
-                        raise WorkerFailureError(
-                            e.worker_id,
-                            f"query restart budget exhausted after {attempts} attempts "
-                            f"(max_query_restarts={self.config.max_query_restarts}): {e}",
-                        ) from e
-                    # abandon only THIS query's in-flight exchanges
-                    self.net.clear_inboxes(ex.qtag)
-                    if self.net.injector is not None:
-                        # restarting is not free: failure detection and
-                        # requeueing consume fault-clock time, during which
-                        # crashed nodes make progress toward recovery
-                        self.net.injector.advance(8)
-        result = QueryResult(batch, stats, logical, physical)
-        result.stats.restarts = attempts - 1
-        result.stats.retries += total_retries
-        result.stats.backoff_time += total_backoff
-        result.stats.failed_workers = tuple(sorted(failed | set(stats.failed_workers)))
+                    try:
+                        # solo queries keep the serial per-query peak-memory
+                        # semantics; under concurrency governors are shared,
+                        # so peak reflects aggregate cluster pressure
+                        batch, stats = ex.execute(
+                            physical, reset_governors=self.admission.active == 1
+                        )
+                        if asp is not None:
+                            tr.end(asp, rows=stats.rows_returned)
+                        break
+                    except WorkerFailureError as e:
+                        if asp is not None:
+                            tr.end(asp, error=True, worker=e.worker_id)
+                        carried.merge(
+                            ExecStats(
+                                retries=ex.retries,
+                                backoff_time=ex.backoff_time,
+                                failed_workers=tuple(
+                                    sorted(ex.failed_workers | {e.worker_id})
+                                ),
+                            )
+                        )
+                        if attempts > self.config.max_query_restarts:
+                            raise WorkerFailureError(
+                                e.worker_id,
+                                f"query restart budget exhausted after {attempts} attempts "
+                                f"(max_query_restarts={self.config.max_query_restarts}): {e}",
+                            ) from e
+                        # abandon only THIS query's in-flight exchanges
+                        self.net.clear_inboxes(ex.qtag)
+                        if self.net.injector is not None:
+                            # restarting is not free: failure detection and
+                            # requeueing consume fault-clock time, during
+                            # which crashed nodes progress toward recovery
+                            self.net.injector.advance(8)
+            finally:
+                if esp is not None:
+                    tr.end(esp)
+        # fold the failed attempts' fault counters into the final
+        # attempt's stats (additive counters sum, rows_returned is the
+        # successful attempt's)
+        stats = carried.merge(stats)
+        stats.restarts = attempts - 1
+        result = QueryResult(batch, stats, logical, physical, qid=qid)
+        if profiled:
+            result.profiles = ex.op_prof
         return result
 
     def sql(
@@ -459,22 +702,7 @@ class Database:
     ) -> QueryResult:
         stmt = parse(text)
         if isinstance(stmt, SelectStmt):
-            logical, physical = self._plan_select_cached(
-                text, stmt, naive_dataflow, coordinator
-            )
-            if txn is not None:
-                # serializable reads: SS2PL shared locks on every scanned
-                # table, held until the transaction ends (paper §VI)
-                from ..optimizer.logical import Scan, walk
-
-                tables = {
-                    n.table
-                    for n in walk(logical)
-                    if isinstance(n, Scan) and n.table != "__dual"
-                    and not self.catalog.entry(n.table).external
-                }
-                self.txn_system.lock_read(txn, tables)
-            return self._run_select(logical, physical, txn=txn, coordinator=coordinator)
+            return self._select(text, stmt, naive_dataflow, coordinator, txn)
         if isinstance(stmt, CreateTable):
             schema = Schema.of(*((c.name, c.dtype) for c in stmt.columns))
             self.create_table(stmt.name, schema, stmt.partition, stmt.fmt, stmt.clustering)
@@ -495,6 +723,66 @@ class Database:
             return self.update_where(stmt, txn=txn)
         raise PlanError(f"unsupported statement {type(stmt).__name__}")
 
+    def _select(
+        self, text: str, stmt: SelectStmt, naive_dataflow: bool, coordinator: int, txn
+    ) -> QueryResult:
+        """The traced SELECT lifecycle: plan phase, execute phase (with
+        per-attempt spans), query metrics, and slow-query capture."""
+        qid = next(self._qid)
+        tr = self.tracer
+        t0 = time.perf_counter()
+        root = tr.start_query(qid, text) if tr is not None else None
+        try:
+            psp = tr.begin("plan", cat="phase") if tr is not None else None
+            try:
+                logical, physical = self._plan_select_cached(
+                    text, stmt, naive_dataflow, coordinator
+                )
+            finally:
+                if psp is not None:
+                    tr.end(psp)
+            if txn is not None:
+                # serializable reads: SS2PL shared locks on every scanned
+                # table, held until the transaction ends (paper §VI)
+                from ..optimizer.logical import Scan, walk
+
+                tables = {
+                    n.table
+                    for n in walk(logical)
+                    if isinstance(n, Scan) and n.table != "__dual"
+                    and not self.catalog.entry(n.table).external
+                }
+                self.txn_system.lock_read(txn, tables)
+            result = self._run_select(
+                logical, physical, txn=txn, coordinator=coordinator, qid=qid
+            )
+        finally:
+            if root is not None:
+                tr.end(root)
+        self._finish_query(qid, text, time.perf_counter() - t0, result.stats)
+        return result
+
+    def _finish_query(self, qid: int, text: str, duration: float, stats) -> None:
+        """Query-level metrics + the slow-query log (queries over the
+        threshold, and any query that restarted under chaos)."""
+        self._m_query_total.inc()
+        self._m_query_hist.observe(duration)
+        thr = self.config.slow_query_threshold_s
+        if thr <= 0 or (duration < thr and stats.restarts == 0):
+            return
+        entry = SlowQuery(
+            qid=qid,
+            sql=text,
+            duration_s=duration,
+            restarts=stats.restarts,
+            failed_workers=stats.failed_workers,
+            reason="slow" if duration >= thr else "restarted",
+            trace=self.tracer.export(qid) if self.tracer is not None else None,
+        )
+        with self._slow_mu:
+            self.slow_queries.append(entry)
+        self._m_query_slow.inc()
+
     def explain(self, text: str, naive_dataflow: bool = False) -> str:
         stmt = parse(text)
         if not isinstance(stmt, SelectStmt):
@@ -503,32 +791,40 @@ class Database:
         return f"-- logical --\n{logical.pretty()}\n-- dataflow --\n{physical.pretty()}"
 
     def explain_analyze(self, text: str) -> str:
-        """Execute the query and render the dataflow annotated with actual
-        vs estimated row counts per operator."""
+        """Execute the query profiled and render the dataflow annotated
+        with per-operator actuals: rows vs estimates, batches, inclusive
+        and self time, data skipping, pages, network bytes, and spill —
+        plus footers reconciling pipeline, scan, restart, and per-prefix
+        network totals (untagged traffic attributed explicitly)."""
+        result = self._explain_analyze_run(text)
+        return render_analyze(
+            result.physical,
+            result.profiles or {},
+            result.stats,
+            network=self.net.traffic_by_prefix(),
+        )
+
+    def _explain_analyze_run(self, text: str) -> QueryResult:
         stmt = parse(text)
         if not isinstance(stmt, SelectStmt):
             raise PlanError("EXPLAIN ANALYZE supports SELECT only")
-        logical, physical = self.plan_select(stmt)
-        _, stats = self._executor.execute(physical)
-        rows = self._executor.op_rows
-
-        def render(op, indent=0):
-            pad = "  " * indent
-            actual = rows.get(op.id, "?")
-            est = op.attrs.get("est_rows")
-            est_s = f" est={est:.0f}" if isinstance(est, float) else ""
-            head = op.pretty(0).splitlines()[0]
-            lines = [f"{pad}{head}  [rows={actual}{est_s}]"]
-            for c in op.children:
-                lines.append(render(c, indent + 1))
-            return "\n".join(lines)
-
-        footer = (
-            f"-- pipelines={stats.pipelines} fused_ops={stats.fused_ops} "
-            f"morsels={stats.morsels} "
-            f"peak_inflight_batches={stats.peak_inflight_batches}"
-        )
-        return render(physical) + "\n" + footer
+        qid = next(self._qid)
+        tr = self.tracer
+        t0 = time.perf_counter()
+        root = tr.start_query(qid, text) if tr is not None else None
+        try:
+            psp = tr.begin("plan", cat="phase") if tr is not None else None
+            try:
+                logical, physical = self.plan_select(stmt)
+            finally:
+                if psp is not None:
+                    tr.end(psp)
+            result = self._run_select(logical, physical, qid=qid, profiled=True)
+        finally:
+            if root is not None:
+                tr.end(root)
+        self._finish_query(qid, text, time.perf_counter() - t0, result.stats)
+        return result
 
     def execute_reference(self, text: str) -> RowBatch:
         """Run via the single-node reference executor (oracle for tests)."""

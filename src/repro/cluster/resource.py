@@ -112,6 +112,10 @@ class AdmissionController:
         self.waited_total = 0
         self.peak_active = 0
         self.peak_granted = 0
+        #: wall seconds queries spent queued before their grant
+        self.grant_wait_s = 0.0
+        #: admissions that gave up after ``timeout`` seconds
+        self.timeouts = 0
 
     def _may_admit(self, ticket: int, grant: int) -> bool:
         return (
@@ -131,12 +135,15 @@ class AdmissionController:
             ticket = self._ticket
             self._queue.append(ticket)
             waited = False
-            deadline = time.monotonic() + self.timeout
+            t0 = time.monotonic()
+            deadline = t0 + self.timeout
             while not self._may_admit(ticket, grant):
                 waited = True
                 remaining = deadline - time.monotonic()
                 if remaining <= 0:
                     self._queue.remove(ticket)
+                    self.timeouts += 1
+                    self.grant_wait_s += time.monotonic() - t0
                     self._cv.notify_all()
                     raise AdmissionTimeout(
                         f"query not admitted within {self.timeout}s "
@@ -149,6 +156,7 @@ class AdmissionController:
             self.admitted_total += 1
             if waited:
                 self.waited_total += 1
+                self.grant_wait_s += time.monotonic() - t0
             self.peak_active = max(self.peak_active, self.active)
             self.peak_granted = max(self.peak_granted, self.granted)
             self._cv.notify_all()
@@ -160,11 +168,19 @@ class AdmissionController:
             self.granted -= grant
             self._cv.notify_all()
 
+    @property
+    def queue_depth(self) -> int:
+        """Queries currently queued awaiting admission."""
+        return len(self._queue)
+
     def stats(self) -> dict:
         with self._cv:
             return {
                 "admitted": self.admitted_total,
                 "waited": self.waited_total,
+                "queue_depth": len(self._queue),
+                "grant_wait_s": self.grant_wait_s,
+                "timeouts": self.timeouts,
                 "peak_active": self.peak_active,
                 "peak_granted_bytes": self.peak_granted,
                 "max_concurrent": self.max_concurrent,

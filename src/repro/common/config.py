@@ -87,6 +87,16 @@ class ClusterConfig:
     #: threads in the shared morsel scheduler multiplexed across
     #: concurrent queries; 0 = auto (cpu count, capped at 32)
     morsel_threads: int = 0
+    #: record query-lifecycle traces (spans exportable as Chrome
+    #: trace_event JSON); off by default — disabled telemetry costs one
+    #: attribute test per operator
+    tracing: bool = False
+    #: queries slower than this (seconds) land in ``Database.slow_queries``
+    #: with their full trace attached; 0 disables the slow-query log.
+    #: A positive threshold implies tracing (the log needs the spans).
+    slow_query_threshold_s: float = 0.0
+    #: completed query traces retained for export (oldest evicted first)
+    trace_retention: int = 16
 
     def __post_init__(self):
         if self.n_workers < 1:
@@ -121,6 +131,10 @@ class ClusterConfig:
             raise ConfigError("plan_cache_size must be >= 0 (0 disables)")
         if self.morsel_threads < 0:
             raise ConfigError("morsel_threads must be >= 0 (0 = auto)")
+        if self.slow_query_threshold_s < 0:
+            raise ConfigError("slow_query_threshold_s must be >= 0 (0 disables)")
+        if self.trace_retention < 1:
+            raise ConfigError("trace_retention must be >= 1")
 
     def with_(self, **kwargs) -> "ClusterConfig":
         """Functional update."""

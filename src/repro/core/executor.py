@@ -67,6 +67,8 @@ from .reference import (
     project_batch,
 )
 from .spill import MemoryGovernor, SpillableList
+from ..telemetry.profile import OpProfile
+from ..telemetry.trace import Tracer
 from ..util.fs import FileSystem
 
 
@@ -125,6 +127,46 @@ class ExecStats:
     #: exposes worker busy-time skew)
     site_busy_s: dict = field(default_factory=dict)
 
+    def merge(self, other: "ExecStats") -> "ExecStats":
+        """Fold another attempt's (or fragment's) stats into this one.
+
+        Every place that combines stats across query restarts goes
+        through here instead of ad-hoc field twiddling: additive
+        counters sum, high-water marks take the max, ``failed_workers``
+        is the sorted union, and result-shaped fields
+        (``rows_returned``) take ``other``'s value — the later attempt
+        is the one that produced the answer. Returns ``self``.
+        """
+        self.rows_scanned += other.rows_scanned
+        self.pages_read += other.pages_read
+        self.sets_skipped += other.sets_skipped
+        self.sets_total += other.sets_total
+        self.shuffle_bytes += other.shuffle_bytes
+        self.network_bytes += other.network_bytes
+        self.network_messages += other.network_messages
+        self.forwarded_bytes += other.forwarded_bytes
+        self.spilled_bytes += other.spilled_bytes
+        self.restarts += other.restarts
+        self.retries += other.retries
+        self.backoff_time += other.backoff_time
+        self.pipelines += other.pipelines
+        self.fused_ops += other.fused_ops
+        self.morsels += other.morsels
+        self.max_connections = max(self.max_connections, other.max_connections)
+        self.peak_memory = max(self.peak_memory, other.peak_memory)
+        self.peak_inflight_batches = max(
+            self.peak_inflight_batches, other.peak_inflight_batches
+        )
+        self.rows_returned = other.rows_returned
+        self.failed_workers = tuple(
+            sorted(set(self.failed_workers) | set(other.failed_workers))
+        )
+        merged = dict(self.site_busy_s)
+        for site, s in other.site_busy_s.items():
+            merged[site] = merged.get(site, 0.0) + s
+        self.site_busy_s = merged
+        return self
+
 
 SiteData = dict[int, list[RowBatch]]
 
@@ -171,8 +213,16 @@ class DistributedExecutor:
         #: per-execute() morsel busy time per serving worker, seconds
         self.site_busy_s: dict[int, float] = {}
         self._busy_mu = threading.Lock()
+        #: query-lifecycle tracer (None = tracing disabled: the only cost
+        #: at every instrumentation point is this attribute test)
+        self.tracer: Tracer | None = None
+        #: per-operator profiles for EXPLAIN ANALYZE ({} when profiling,
+        #: None otherwise)
+        self.op_prof: dict[int, OpProfile] | None = None
 
-    def for_query(self, qid: int, coord_id: int | None = None) -> "DistributedExecutor":
+    def for_query(
+        self, qid: int, coord_id: int | None = None, profiled: bool = False
+    ) -> "DistributedExecutor":
         """A shallow per-query clone with isolated mutable state.
 
         Shared (by reference): workers (and their governors — aggregate
@@ -203,6 +253,7 @@ class DistributedExecutor:
         clone.inflight = InflightTracker()
         clone.site_busy_s = {}
         clone._busy_mu = threading.Lock()
+        clone.op_prof = {} if profiled else None
         return clone
 
     def _note_busy(self, site: int, seconds: float) -> None:
@@ -216,6 +267,8 @@ class DistributedExecutor:
         base = self.net.traffic_of(self.qtag)
         self._scan_stats = ScanStats()
         self.op_rows = {}
+        if self.op_prof is not None:
+            self.op_prof = {}  # a restarted attempt profiles afresh
         self.retries = 0
         self.backoff_time = 0.0
         self.failed_workers = set()
@@ -265,19 +318,81 @@ class DistributedExecutor:
 
     # -- dispatch ------------------------------------------------------------------
     def _eval(self, op: PhysOp) -> SiteData:
+        return self._traced(op, lambda: self._eval_impl(op))
+
+    def _eval_impl(self, op: PhysOp) -> SiteData:
         if op.op in ("filter", "project"):
             chain = self._chain_for(op, allow_bare_scan=False)
             if chain is not None:
-                out = self._run_chain_collect(chain)
-                self.op_rows[op.id] = sum(b.length for bs in out.values() for b in bs)
-                return out
+                return self._run_chain_collect(chain)
         fn = getattr(self, f"_eval_{op.op}", None)
         if fn is None:
             raise ExecutionError(f"no evaluator for physical op {op.op!r}")
-        out = fn(op)
-        # per-operator observability (EXPLAIN ANALYZE)
-        self.op_rows[op.id] = sum(b.length for bs in out.values() for b in bs)
+        return fn(op)
+
+    #: exchange ops and their tag stems (span correlation across legs)
+    _EXCHANGE_STEMS = {"shuffle": "shuf", "broadcast": "bcast", "gather": "gather"}
+
+    def _traced(self, op: PhysOp, thunk: Callable[[], SiteData]) -> SiteData:
+        """Run one operator with per-operator observability.
+
+        Fast path (no tracer, no profiling): evaluate and record the row
+        count, exactly the pre-telemetry behaviour. Otherwise wrap the
+        evaluation in an ``operator`` span and/or fill an
+        :class:`OpProfile` from before/after snapshots of the scan,
+        traffic, and spill counters (inclusive of children, like every
+        EXPLAIN ANALYZE).
+        """
+        tr = self.tracer
+        prof = self.op_prof
+        if tr is None and prof is None:
+            out = thunk()
+            self.op_rows[op.id] = sum(b.length for bs in out.values() for b in bs)
+            return out
+        sp = None
+        if tr is not None:
+            stem = self._EXCHANGE_STEMS.get(op.op)
+            tag = f"{self.qtag}{stem}{op.id}" if stem else ""
+            sp = tr.begin(op.op, cat="operator", tag=tag, op_id=op.id)
+        t0 = time.perf_counter()
+        base = self._prof_snapshot() if prof is not None else None
+        try:
+            out = thunk()
+        except BaseException:
+            if sp is not None:
+                tr.end(sp, error=True)
+            raise
+        rows = sum(b.length for bs in out.values() for b in bs)
+        self.op_rows[op.id] = rows
+        if prof is not None:
+            p = OpProfile(
+                op_id=op.id,
+                rows=rows,
+                batches=sum(len(bs) for bs in out.values()),
+                time_s=time.perf_counter() - t0,
+            )
+            self._prof_fill(p, base)
+            prof[op.id] = p
+        if sp is not None:
+            tr.end(sp, rows=rows)
         return out
+
+    def _prof_snapshot(self) -> tuple:
+        """Counter snapshot for delta-attribution of one operator."""
+        st = self._scan_stats
+        traffic = self.net.traffic_of(self.qtag)
+        spill = sum(w.governor.spilled_bytes for w in self.workers.values())
+        skipped = st.sets_skipped_cache + st.sets_skipped_minmax + st.sets_skipped_index
+        return (st.rows_out, st.pages_read, skipped, st.sets_total, traffic.bytes, spill)
+
+    def _prof_fill(self, p: OpProfile, base: tuple) -> None:
+        after = self._prof_snapshot()
+        p.scan_rows = after[0] - base[0]
+        p.pages = after[1] - base[1]
+        p.sets_skipped = after[2] - base[2]
+        p.sets_total = after[3] - base[3]
+        p.net_bytes = after[4] - base[4]
+        p.spilled_bytes = after[5] - base[5]
 
     # -- fused pipelines ------------------------------------------------------------
     def _chain_for(self, op: PhysOp, allow_bare_scan: bool) -> FusedChain | None:
@@ -310,6 +425,10 @@ class DistributedExecutor:
         """Publish fused per-op actuals for EXPLAIN ANALYZE."""
         for op_id, n in counts.items():
             self.op_rows[op_id] = n
+            if self.op_prof is not None and op_id not in self.op_prof:
+                # operators folded into a pipeline have no standalone
+                # timing; their rows still show, flagged as fused
+                self.op_prof[op_id] = OpProfile(op_id=op_id, rows=n, fused=True)
 
     def _coalesce(self, batches, schema: Schema):
         """Regroup streamed batches to full width (4x batch_size rows) so
@@ -327,7 +446,33 @@ class DistributedExecutor:
         self._close_chain(counts)
         return out
 
-    def _chain_site_batches(
+    def _chain_site_batches(self, chain: FusedChain, w: int, counts: dict[int, int]):
+        """Stream one site's batches through the fused chain, wrapped in a
+        per-site ``pipeline`` span when tracing.
+
+        The span opens when the first batch is pulled and closes when the
+        site's stream is exhausted; because sites are consumed one after
+        another on the query's driver thread, pipeline spans of the same
+        site never overlap — the invariant the trace tests assert. Any
+        network send issued while a batch is being consumed (streaming
+        shuffle/broadcast/gather) nests inside the producing site's span.
+        """
+        tr = self.tracer
+        if tr is None:
+            yield from self._chain_site_batches_impl(chain, w, counts)
+            return
+        sp = tr.begin(
+            "pipeline", cat="pipeline", node=w, table=chain.scan.attrs["table"]
+        )
+        rows = 0
+        try:
+            for b in self._chain_site_batches_impl(chain, w, counts):
+                rows += b.length
+                yield b
+        finally:
+            tr.end(sp, rows=rows)
+
+    def _chain_site_batches_impl(
         self, chain: FusedChain, w: int, counts: dict[int, int]
     ):
         """Stream one site's batches through the fused chain.
@@ -423,7 +568,11 @@ class DistributedExecutor:
     def _record_chaos(self, kind: str, **kw) -> None:
         inj = getattr(self.net, "injector", None)
         if inj is not None:
+            # the injector's listener (Database wiring) forwards the
+            # event into the active trace, so don't emit twice here
             inj.record(kind, **kw)
+        elif self.tracer is not None:
+            self.tracer.event("chaos:" + kind, **kw)
 
     def _probe_worker(self, w: int, op: PhysOp) -> None:
         """Raise WorkerFailureError if worker ``w`` cannot serve the op."""
@@ -492,20 +641,31 @@ class DistributedExecutor:
 
     def _eval_scan(self, op: PhysOp) -> SiteData:
         table = op.attrs["table"]
-        pred_expr: Expr | None = op.attrs.get("predicate")
         replicated = op.partitioning.kind == "replicated"
+        tr = self.tracer
         out: SiteData = {}
         for w in self.worker_ids:
-            serving = self._serving_for(op, w, table, replicated)
-            rt = self.workers[serving]
-            if table in rt.external:
-                out[w] = self._scan_external(rt, table, op)
+            if tr is None:
+                out[w] = self._scan_site(op, w, table, replicated)
                 continue
-            storage = rt.storage.get(table)
-            if storage is None:
-                raise ExecutionError(f"worker {serving} has no table {table!r}")
-            out[w] = self._scan_storage(storage, op, pred_expr, serving)
+            # operator-at-a-time scans still get a per-site span so
+            # traces look the same whichever engine shape runs
+            sp = tr.begin("pipeline", cat="pipeline", node=w, table=table)
+            try:
+                out[w] = self._scan_site(op, w, table, replicated)
+            finally:
+                tr.end(sp, rows=sum(b.length for b in out.get(w, ())))
         return out
+
+    def _scan_site(self, op: PhysOp, w: int, table: str, replicated: bool) -> list[RowBatch]:
+        serving = self._serving_for(op, w, table, replicated)
+        rt = self.workers[serving]
+        if table in rt.external:
+            return self._scan_external(rt, table, op)
+        storage = rt.storage.get(table)
+        if storage is None:
+            raise ExecutionError(f"worker {serving} has no table {table!r}")
+        return self._scan_storage(storage, op, op.attrs.get("predicate"), serving)
 
     def _scan_plan(self, storage: TableStorage, op: PhysOp):
         """Compile a scan op against a table: (needed columns, batch
@@ -828,8 +988,9 @@ class DistributedExecutor:
         ):
             prefilter = self._build_bloom_prefilter(op, right, right_op, pairs)
         if left_op.op == "shuffle":
-            left = self._eval_shuffle(left_op, prefilter=prefilter)
-            self.op_rows[left_op.id] = sum(b.length for bs in left.values() for b in bs)
+            left = self._traced(
+                left_op, lambda: self._eval_shuffle(left_op, prefilter=prefilter)
+            )
         else:
             left = self._eval(left_op)
 
@@ -1099,8 +1260,7 @@ class DistributedExecutor:
                 ]
                 return {self.coord_id: received}
         if child_op.op == "shuffle":
-            child = self._eval_shuffle(child_op)
-            self.op_rows[child_op.id] = sum(b.length for bs in child.values() for b in bs)
+            child = self._traced(child_op, lambda: self._eval_shuffle(child_op))
         else:
             child = self._eval(child_op)
         if child_op.site == COORD:

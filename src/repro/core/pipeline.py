@@ -25,12 +25,14 @@ owns the network and failover machinery the sends must thread through.
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Iterator, Optional
 
 from ..common.batch import RowBatch
 from ..optimizer.physical import WORKERS, PhysOp
 from ..sql.compiler import compile_predicate
+from ..telemetry.metrics import Counter as TelemetryCounter
 from .reference import project_batch
 
 
@@ -204,6 +206,9 @@ class MorselScheduler:
         self._mu = threading.Lock()
         #: tasks ever submitted (observability)
         self.submitted = 0
+        #: wall seconds pool threads spent running tasks; per-thread
+        #: sharded, so worker threads record without a lock
+        self.busy = TelemetryCounter()
 
     def _ensure_pool(self):
         with self._mu:
@@ -226,7 +231,7 @@ class MorselScheduler:
         it = iter(tasks)
         try:
             for t in it:
-                inflight.append(pool.submit(t))
+                inflight.append(pool.submit(self._timed, t))
                 self.submitted += 1
                 if len(inflight) >= window:
                     yield inflight.popleft().result()
@@ -236,6 +241,13 @@ class MorselScheduler:
             # a consumer bailing early must not leak queued futures
             for f in inflight:
                 f.cancel()
+
+    def _timed(self, task: Callable[[], object]) -> object:
+        t0 = time.perf_counter()
+        try:
+            return task()
+        finally:
+            self.busy.inc(time.perf_counter() - t0)
 
     def shutdown(self) -> None:
         with self._mu:

@@ -58,6 +58,9 @@ class FaultInjector:
         self._down: dict[int, int | None] = {}
         self._fired: set[int] = set()  # indices of crash windows already fired
         self._mu = threading.RLock()
+        #: optional callback(ChaosEvent); Database wires the tracer in
+        #: here so chaos events land inline on the active query's spans
+        self.listener = None
 
     # -- the fault clock ---------------------------------------------------------
     def advance(self, n: int = 1) -> None:
@@ -163,7 +166,11 @@ class FaultInjector:
     # -- the chaos event log -----------------------------------------------------
     def record(self, kind: str, **kw) -> None:
         with self._mu:
-            self.events.append(ChaosEvent(tick=self.tick, kind=kind, **kw))
+            ev = ChaosEvent(tick=self.tick, kind=kind, **kw)
+            self.events.append(ev)
+            listener = self.listener
+        if listener is not None:
+            listener(ev)
 
     def summary(self) -> dict[str, int]:
         return dict(Counter(e.kind for e in self.events))

@@ -73,6 +73,9 @@ class SimNetwork:
         self.tagged: dict[str, TrafficStats] = defaultdict(TrafficStats)
         #: chaos substrate; every send/recv consults it when attached
         self.injector: "FaultInjector | None" = None
+        #: telemetry tracer; when set, sends/receives leave point spans
+        #: on the calling query's active span (None == zero overhead)
+        self.tracer = None
         self._msg_seq = itertools.count(1)
         #: per-node delivered message ids (duplicate suppression)
         self._seen: dict[int, set[int]] = defaultdict(set)
@@ -103,6 +106,13 @@ class SimNetwork:
                 self._account(src, dst, len(payload), forwarded=False, tag=tag)
             for _ in range(copies):
                 self._deliver(dst, (src, tag, payload, msg_id))
+            if self.tracer is not None:
+                sp = self.tracer.point(
+                    "net.send", cat="net", node=src, tag=tag,
+                    dst=dst, hops=1, payload=len(payload),
+                )
+                # wire bytes == what _account charged (per hop, per copy)
+                sp.bytes = len(payload) * max(copies, 1)
 
     def route_send(
         self, topology: Topology, src: int, dst: int, payload: bytes, tag: str = ""
@@ -134,6 +144,12 @@ class SimNetwork:
             msg_id = next(self._msg_seq)
             for _ in range(copies):
                 self._deliver(dst, (src, tag, payload, msg_id))
+            if self.tracer is not None:
+                sp = self.tracer.point(
+                    "net.send", cat="net", node=src, tag=tag,
+                    dst=dst, hops=len(path), payload=len(payload),
+                )
+                sp.bytes = len(payload) * len(path) * max(copies, 1)
             return len(path)
 
     def _account(self, src: int, dst: int, nbytes: int, forwarded: bool, tag: str = "") -> None:
@@ -196,6 +212,12 @@ class SimNetwork:
                     fresh.append(msg)
                 fresh.sort(key=lambda m: (m[0], m[3]))
                 out = fresh
+            if self.tracer is not None and out:
+                sp = self.tracer.point(
+                    "net.recv", cat="net", node=node,
+                    tag=tag or "", msgs=len(out),
+                )
+                sp.bytes = sum(len(m[2]) for m in out)
             return [(src, t, payload) for src, t, payload, _ in out]
 
     def pending(self, node: int) -> int:
@@ -221,6 +243,14 @@ class SimNetwork:
         with self._lock:
             t = self.tagged.get(prefix)
             return TrafficStats(t.messages, t.bytes, t.forwarded_bytes) if t else TrafficStats()
+
+    def traffic_by_prefix(self) -> dict[str, TrafficStats]:
+        """Snapshot of every prefix's traffic (incl. untagged ``""``)."""
+        with self._lock:
+            return {
+                p: TrafficStats(t.messages, t.bytes, t.forwarded_bytes)
+                for p, t in self.tagged.items()
+            }
 
     def clear_inboxes(self, prefix: str | None = None) -> None:
         """Drop undelivered messages (query-restart cleanup).

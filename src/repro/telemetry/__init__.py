@@ -1,0 +1,31 @@
+"""Telemetry: query-lifecycle tracing, cluster metrics, query profiles.
+
+Three integrated layers (DESIGN.md §9):
+
+* :mod:`repro.telemetry.trace` — hierarchical spans (query → plan phase
+  → operator/exchange → per-site pipeline → network leg) exported as
+  Chrome ``trace_event`` JSON, loadable in ``chrome://tracing`` or
+  Perfetto.
+* :mod:`repro.telemetry.metrics` — process-wide Counter / Gauge /
+  Histogram primitives (per-thread shards, no locks on the hot path)
+  plus a pull-model registry that samples every cluster subsystem and
+  renders Prometheus text format.
+* :mod:`repro.telemetry.profile` — per-operator profiles behind
+  profile-grade ``EXPLAIN ANALYZE`` and the slow-query log.
+"""
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .profile import OpProfile, SlowQuery, render_analyze
+from .trace import Span, Tracer, validate_trace
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "OpProfile",
+    "SlowQuery",
+    "Span",
+    "Tracer",
+    "validate_trace",
+]

@@ -43,6 +43,13 @@ class LockManager:
         self._waiting: dict[int, tuple[object, LockMode]] = {}
         #: simulated wait durations per txn (for timeout tests)
         self._wait_time: dict[int, float] = {}
+        # observability (sampled by the cluster metrics registry)
+        #: requests that had to enqueue behind a conflicting holder
+        self.waits = 0
+        #: total simulated seconds spent waiting for locks
+        self.wait_time_s = 0.0
+        #: deadlocks detected (immediate local cycles + periodic victims)
+        self.deadlocks = 0
 
     # -- acquisition ----------------------------------------------------------------
     def acquire(self, txn: int, resource: object, mode: LockMode) -> bool:
@@ -66,11 +73,13 @@ class LockManager:
         # must wait: deadlock check first
         blockers = {t for t in state.holders if t != txn}
         if self._would_deadlock(txn, blockers):
+            self.deadlocks += 1
             raise DeadlockError(
                 f"txn {txn} waiting on {sorted(blockers)} closes a wait-for cycle"
             )
         if (txn, mode) not in state.waiters:
             state.waiters.append((txn, mode))
+            self.waits += 1
         self._waiting[txn] = (resource, mode)
         return False
 
@@ -191,12 +200,14 @@ class LockManager:
             v = dfs(start)
             if v is not None:
                 victims.append(v)
+        self.deadlocks += len(victims)
         return victims
 
     def advance_time(self, txn: int, seconds: float) -> None:
         """Simulated waiting; raises on timeout (distributed-deadlock escape)."""
         if txn not in self._waiting:
             return
+        self.wait_time_s += seconds
         self._wait_time[txn] = self._wait_time.get(txn, 0.0) + seconds
         if self._wait_time[txn] > self.timeout:
             raise LockTimeoutError(f"txn {txn} exceeded lock timeout on {self._waiting[txn][0]!r}")

@@ -56,6 +56,13 @@ class LogManager:
         self._next_lsn = 1
         self._tail = self._fh.size()
         self._unforced = 0
+        # observability (sampled by the cluster metrics registry)
+        #: records appended over the manager's lifetime
+        self.records_written = 0
+        #: force() calls that actually had unforced records (fsync batches)
+        self.fsync_batches = 0
+        #: records covered by those batches (group-commit amortization)
+        self.fsynced_records = 0
         if self._tail:
             for rec in self.scan():
                 self._next_lsn = rec.lsn + 1
@@ -69,11 +76,15 @@ class LogManager:
         self._fh.pwrite(self._tail, struct.pack("<I", len(blob)) + blob)
         self._tail += 4 + len(blob)
         self._unforced += 1
+        self.records_written += 1
         return lsn
 
     def force(self) -> None:
         """Flush to stable storage (WAL protocol barrier)."""
         self._fh.sync()
+        if self._unforced:
+            self.fsync_batches += 1
+            self.fsynced_records += self._unforced
         self._unforced = 0
 
     # -- reading ------------------------------------------------------------------

@@ -1,0 +1,383 @@
+"""Telemetry: tracing, metrics registry, profiles, slow-query log.
+
+Covers the observability acceptance criteria:
+
+* trace correctness on a deterministic TPC-H Q3 — span-tree shape,
+  per-site nesting that never overlaps, and network-byte reconciliation
+  against SimNetwork's per-link accounting;
+* Chrome trace_event schema validity, including a concurrent 4-query
+  run (one pid per query, one tid per cluster node);
+* ExecStats.merge as the single restart-combination path;
+* untagged-traffic attribution in EXPLAIN ANALYZE;
+* metrics registry coverage (>= 7 subsystems) and Prometheus rendering;
+* the slow-query log, with and without chaos restarts.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import defaultdict
+
+import pytest
+
+from tests.conftest import TPCH_SF, simple_db
+from repro import ClusterConfig, Database
+from repro.core.executor import ExecStats
+from repro.telemetry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Tracer,
+    validate_trace,
+)
+from repro.workloads import tpch_schema
+from repro.workloads.tpch_queries import query
+
+Q3 = query(3, TPCH_SF)
+
+
+@pytest.fixture(scope="module")
+def traced_db(tpch_data):
+    """A 4-worker TPC-H cluster with tracing + slow-query log enabled."""
+    cfg = ClusterConfig(
+        n_workers=4,
+        n_max=4,
+        page_size=32 * 1024,
+        batch_size=4096,
+        tracing=True,
+        slow_query_threshold_s=30.0,
+    )
+    db = Database(cfg)
+    for name, schema in tpch_schema.SCHEMAS.items():
+        db.create_table(name, schema, tpch_schema.PARTITIONING[name])
+        db.load(name, tpch_data[name])
+    return db
+
+
+def _x_events(trace):
+    return [e for e in trace["traceEvents"] if e.get("ph") == "X"]
+
+
+def _assert_no_overlap_per_track(trace):
+    """Within one (pid, tid) track, complete events must nest or be
+    disjoint — Perfetto renders overlap as a broken track."""
+    tracks = defaultdict(list)
+    for ev in _x_events(trace):
+        tracks[(ev["pid"], ev["tid"])].append((ev["ts"], ev["ts"] + ev["dur"]))
+    eps = 1e-3  # export rounds to 3 decimals of a microsecond
+    for track, spans in tracks.items():
+        spans.sort()
+        stack: list[float] = []
+        for start, end in spans:
+            while stack and start >= stack[-1] - eps:
+                stack.pop()
+            if stack:
+                assert end <= stack[-1] + eps, f"overlapping spans on track {track}"
+            stack.append(end)
+
+
+# -- primitives ---------------------------------------------------------------------
+
+
+def test_counter_shards_across_threads():
+    c = Counter()
+    threads = [
+        threading.Thread(target=lambda: [c.inc() for _ in range(1000)])
+        for _ in range(8)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert c.value == 8000
+
+
+def test_gauge_and_histogram():
+    g = Gauge()
+    g.set(5)
+    g.inc(2)
+    g.dec()
+    assert g.value == 6
+    h = Histogram(buckets=(0.1, 1.0))
+    for v in (0.05, 0.5, 0.7, 5.0):
+        h.observe(v)
+    cumulative, count, total = h.merged()
+    assert cumulative == [1, 3]  # <=0.1: 1, <=1.0: 3
+    assert count == 4
+    assert total == pytest.approx(6.25)
+
+
+def test_registry_snapshot_and_prometheus():
+    reg = MetricsRegistry()
+    c = reg.counter("repro_foo_total", "help text", labelnames=("node",))
+    c.labels(node=1).inc(3)
+    reg.register_collector(
+        "repro_bar_depth", "gauge", "a pull source", lambda: [({}, 7.0)]
+    )
+    snap = reg.snapshot()
+    assert snap["repro_foo_total"]["samples"][0] == {"labels": {"node": "1"}, "value": 3}
+    assert snap["repro_bar_depth"]["samples"][0]["value"] == 7.0
+    text = reg.render_prometheus()
+    assert '# TYPE repro_foo_total counter' in text
+    assert 'repro_foo_total{node="1"} 3' in text
+    assert "repro_bar_depth 7" in text
+    assert reg.subsystems() == {"foo", "bar"}
+
+
+def test_histogram_prometheus_buckets():
+    reg = MetricsRegistry()
+    h = reg.histogram("repro_q_seconds", "latency", buckets=(0.1, 1.0))
+    h.observe(0.05)
+    h.observe(0.5)
+    text = reg.render_prometheus()
+    assert 'repro_q_seconds_bucket{le="0.1"} 1' in text
+    assert 'repro_q_seconds_bucket{le="1.0"} 2' in text
+    assert 'repro_q_seconds_bucket{le="+Inf"} 2' in text
+    assert "repro_q_seconds_count 2" in text
+
+
+# -- ExecStats.merge (the single restart-combination path) --------------------------
+
+
+def test_execstats_merge():
+    a = ExecStats(
+        rows_scanned=10, retries=2, backoff_time=0.5, failed_workers=(1,),
+        peak_memory=100, rows_returned=0, site_busy_s={0: 1.0},
+    )
+    b = ExecStats(
+        rows_scanned=5, retries=1, backoff_time=0.25, failed_workers=(2, 1),
+        peak_memory=50, rows_returned=42, restarts=1, site_busy_s={0: 0.5, 1: 2.0},
+    )
+    merged = a.merge(b)
+    assert merged is a
+    assert a.rows_scanned == 15
+    assert a.retries == 3
+    assert a.backoff_time == pytest.approx(0.75)
+    assert a.failed_workers == (1, 2)
+    assert a.peak_memory == 100  # high-water mark: max, not sum
+    assert a.rows_returned == 42  # result-shaped: the later attempt's
+    assert a.restarts == 1
+    assert a.site_busy_s == {0: 1.5, 1: 2.0}
+
+
+# -- tracer unit behavior -----------------------------------------------------------
+
+
+def test_tracer_span_nesting_and_orphans():
+    tr = Tracer()
+    root = tr.start_query(1, "select 1")
+    with tr.span("plan", cat="phase"):
+        tr.event("note", detail="x")
+    sp = tr.begin("execute", cat="phase")
+    child = tr.begin("scan", cat="operator", node=0)
+    tr.end(child, rows=10)
+    tr.end(sp)
+    tr.end(root)
+    assert [c.name for c in root.children] == ["plan", "execute"]
+    assert root.children[1].children[0].rows == 10
+    assert root.children[0].events[0][0] == "note"
+    # an orphan span (no registered root on this thread) traces nothing
+    orphan = tr.begin("stray")
+    tr.end(orphan)
+    assert all("stray" not in [s.name for s in r.walk()] for r in [tr.root(1)])
+
+
+def test_tracer_retention_evicts_oldest():
+    tr = Tracer(retention=2)
+    for qid in (1, 2, 3):
+        root = tr.start_query(qid, "q")
+        tr.end(root)
+    assert tr.qids() == [2, 3]
+    assert tr.root(1) is None
+
+
+def test_validate_trace_catches_malformed():
+    assert validate_trace([]) != []
+    assert validate_trace({"traceEvents": []}) != []
+    bad = {"traceEvents": [{"name": "x", "ph": "X", "ts": -1, "pid": 1, "tid": 1}]}
+    errs = validate_trace(bad)
+    assert any("ts" in e for e in errs)
+    assert any("dur" in e for e in errs)
+
+
+# -- trace correctness on TPC-H Q3 (deterministic) ----------------------------------
+
+
+def test_q3_span_tree_shape(traced_db):
+    result = traced_db.sql(Q3)
+    root = traced_db.tracer.root(result.qid)
+    assert root is not None and root.name == "query"
+    phases = [c.name for c in root.children if c.cat == "phase"]
+    assert phases[0] == "plan" and "execute" in phases
+    execute = next(c for c in root.children if c.name == "execute")
+    attempts = [c for c in execute.children if c.name == "attempt"]
+    assert len(attempts) == 1  # no chaos: exactly one attempt
+    # per-site pipelines: the fused lineitem scan runs SPMD on all 4 sites
+    pipelines = root.find("pipeline")
+    assert {p.node for p in pipelines} >= set(range(4))
+    assert all(p.rows is not None for p in pipelines)
+    # operator spans cover the plan's exchanges, tagged for correlation
+    ops = [s for s in root.walk() if s.cat == "operator"]
+    tags = {s.tag for s in ops if s.tag}
+    prefix = f"q{result.qid}|"
+    assert tags and all(t.startswith(prefix) for t in tags)
+
+
+def test_q3_trace_bytes_reconcile_with_network(traced_db):
+    result = traced_db.sql(Q3)
+    root = traced_db.tracer.root(result.qid)
+    prefix = f"q{result.qid}|"
+    sends = root.find("net.send")
+    assert sends, "expected network sends in the Q3 trace"
+    assert all(s.tag.startswith(prefix) for s in sends)
+    # per-hop wire bytes recorded on spans == SimNetwork link accounting
+    assert sum(s.bytes for s in sends) == traced_db.net.traffic_of(prefix).bytes
+
+
+def test_q3_export_is_valid_and_nested(traced_db, tmp_path):
+    result = traced_db.sql(Q3)
+    path = tmp_path / "q3.json"
+    trace = traced_db.export_trace(result.qid, path=str(path))
+    assert validate_trace(trace) == []
+    _assert_no_overlap_per_track(trace)
+    on_disk = json.loads(path.read_text())
+    assert validate_trace(on_disk) == []
+    # pid identifies the query; node tids carry thread_name metadata
+    assert {e["pid"] for e in _x_events(trace)} == {result.qid}
+    names = {
+        e["tid"]: e["args"]["name"]
+        for e in trace["traceEvents"]
+        if e.get("ph") == "M" and e["name"] == "thread_name"
+    }
+    assert any(n.startswith("node ") for n in names.values())
+
+
+def test_concurrent_queries_trace_independently(traced_db):
+    sqls = [Q3, query(1, TPCH_SF), query(6, TPCH_SF), query(12, TPCH_SF)]
+    futures = [traced_db.submit(s) for s in sqls]
+    results = [f.result() for f in futures]
+    qids = [r.qid for r in results]
+    assert len(set(qids)) == 4
+    for qid in qids:
+        trace = traced_db.export_trace(qid)
+        assert validate_trace(trace) == []
+        _assert_no_overlap_per_track(trace)
+        assert {e["pid"] for e in _x_events(trace)} == {qid}
+
+
+# -- EXPLAIN ANALYZE ----------------------------------------------------------------
+
+
+def test_explain_analyze_profiles(traced_db):
+    text = traced_db.explain_analyze(Q3)
+    assert "rows=" in text and "time=" in text and "est=" in text
+    assert "fused" in text  # the lineitem chain runs pipelined
+    assert "-- network" in text and "cluster_total=" in text
+    # every query prefix is attributed in the reconciliation footer
+    for prefix in traced_db.net.traffic_by_prefix():
+        assert (prefix if prefix else "(untagged)") in text
+
+
+def test_untagged_traffic_attributed():
+    db = simple_db(n_workers=2)
+    db.sql("create table t (a int, b int) partition by hash(a)")
+    db.sql("insert into t values (1, 2), (3, 4)")  # 2PC traffic is untagged
+    db.sql("select sum(a) from t")
+    by_prefix = db.net.traffic_by_prefix()
+    assert "" in by_prefix and by_prefix[""].bytes > 0
+    # per-prefix sums reconcile exactly with the cluster-wide totals
+    assert sum(t.bytes for t in by_prefix.values()) == db.net.total_bytes
+    assert sum(t.messages for t in by_prefix.values()) == db.net.total_messages
+    text = db.explain_analyze("select sum(a) from t")
+    assert "(untagged)" in text
+
+
+# -- metrics over a live cluster ----------------------------------------------------
+
+
+def test_metrics_cover_subsystems(traced_db):
+    traced_db.sql(Q3)
+    subs = traced_db.metrics.subsystems()
+    assert {
+        "buffer", "locks", "wal", "admission", "scheduler", "plancache",
+        "network", "query",
+    } <= subs
+    assert len(subs) >= 7
+    snap = traced_db.metrics_snapshot()
+    hits = {
+        s["labels"]["node"]: s["value"]
+        for s in snap["repro_buffer_hits_total"]["samples"]
+    }
+    assert len(hits) == 4
+    prom = traced_db.metrics_prometheus()
+    assert "# TYPE repro_buffer_hits_total counter" in prom
+    assert "repro_query_duration_seconds_bucket" in prom
+    assert "repro_network_link_bytes_total{" in prom
+
+
+def test_wal_and_lock_metrics_move():
+    db = simple_db(n_workers=2)
+    db.sql("create table t (a int, b int) partition by hash(a)")
+    db.sql("insert into t values (1, 2), (3, 4)")
+    snap = db.metrics_snapshot()
+    wal = sum(s["value"] for s in snap["repro_wal_records_total"]["samples"])
+    fsyncs = sum(s["value"] for s in snap["repro_wal_fsync_batches_total"]["samples"])
+    assert wal > 0 and fsyncs > 0
+
+
+# -- slow-query log -----------------------------------------------------------------
+
+
+def test_slow_query_log_captures_trace():
+    db = simple_db(n_workers=2, slow_query_threshold_s=1e-9)
+    assert db.tracer is not None  # threshold implies tracing
+    db.sql("create table t (a int) partition by hash(a)")
+    db.sql("insert into t values (1), (2), (3)")
+    db.sql("select sum(a) from t")
+    assert db.slow_queries, "every query beats a 1ns threshold"
+    entry = db.slow_queries[-1]
+    assert entry.reason == "slow" and entry.sql.startswith("select")
+    assert entry.trace is not None and validate_trace(entry.trace) == []
+
+
+def test_disabled_telemetry_has_no_tracer():
+    db = simple_db(n_workers=2)
+    assert db.tracer is None
+    db.sql("create table t (a int) partition by hash(a)")
+    db.sql("insert into t values (1), (2)")
+    assert db.sql("select sum(a) from t").rows() == [(3,)]
+    with pytest.raises(Exception):
+        db.export_trace()
+
+
+# -- chaos integration --------------------------------------------------------------
+
+
+def test_restarted_query_lands_in_slow_log_with_chaos_events():
+    from repro.fault import CrashWindow, FaultSchedule
+
+    db = simple_db(n_workers=2, slow_query_threshold_s=30.0)
+    db.sql("create table t (a int, b int) partition by hash(a)")
+    rows = ", ".join(f"({i}, {i % 5})" for i in range(200))
+    db.sql(f"insert into t values {rows}")
+    injector = db.chaos(
+        FaultSchedule(crashes=(CrashWindow(node=1, at=4, duration=25),))
+    )
+    result = db.sql("select b, sum(a) from t group by b order by b")
+    assert result.stats.restarts > 0
+    entry = db.slow_queries[-1]
+    assert entry.reason == "restarted" and entry.restarts == result.stats.restarts
+    root = db.tracer.root(result.qid)
+    execute = next(c for c in root.children if c.name == "execute")
+    assert len([c for c in execute.children if c.name == "attempt"]) >= 2
+    # injector events surfaced as span events inline on the trace
+    chaos_events = [
+        name for s in root.walk() for name, _, _ in s.events
+        if name.startswith("chaos:")
+    ]
+    assert chaos_events, "chaos events should land on the query's spans"
+    assert injector.events, "the injector log itself still records"
+    # spans carry simulated (fault-clock) time alongside wall time
+    assert root.sim_dur > 0
