@@ -1,0 +1,225 @@
+"""Elasticity benchmark: throughput timeline across live scale events.
+
+A TPC-H cluster serves a constant session load from K client threads
+while the membership changes under it: scale-out 4 -> 6 (two
+``add_worker`` calls), a steady phase, then drain 6 -> 4 (two
+``drain_worker`` calls). The script reports:
+
+* a **throughput timeline** — completed queries per second in each
+  phase (steady at 4, during scale-out, steady at 6, during drain,
+  steady at 4 again), so the serving dip a rebalance causes is visible
+  next to the steady-state rates;
+* **rebalance cost** — fragment bytes moved, streams, retries, and the
+  wall duration of every membership change (``RebalanceReport``);
+* **queries disrupted** — failed (raised) and mismatched results. The
+  target is zero of both: in-flight queries finish against the
+  placement epoch they planned under, so a scale event must never
+  surface in results.
+
+Correctness is checked two ways: every result is byte-compared against
+the first result observed for the same (query, placement epoch) — the
+engine is deterministic, so any divergence within an epoch is a bug —
+and the first and final epochs are additionally checked against
+directly computed references. (Results may legitimately differ in
+float last-ulps *across* epochs: a rebalance changes the partition
+layout, and float aggregation is not associative.)
+
+The script exits non-zero only on failed or mismatched queries — never
+on timings — so CI runs it at tiny scale (``--tiny``) as a smoke test.
+Results land in ``BENCH_ELASTIC.json`` at the repo root.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_elastic.py          # default scale
+    PYTHONPATH=src python benchmarks/bench_elastic.py --tiny   # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import threading
+import time
+from pathlib import Path
+
+from repro import ClusterConfig, Database
+from repro.workloads import tpch_dbgen, tpch_schema
+from repro.workloads.tpch_queries import query
+
+QUERIES = [1, 3, 6, 12]
+
+
+def build_db(sf: float, seed: int, threads: int) -> Database:
+    cfg = ClusterConfig(
+        n_workers=4,
+        n_coordinators=2,
+        n_max=8,  # the grown cluster (6 workers + coordinators) must fit
+        page_size=32 * 1024,
+        batch_size=4096,
+        parallel_scans=True,
+        max_concurrent_queries=max(2, threads // 2),
+    )
+    db = Database(cfg)
+    data = tpch_dbgen.generate(sf=sf, seed=seed)
+    for name, schema in tpch_schema.SCHEMAS.items():
+        db.create_table(name, schema, tpch_schema.PARTITIONING[name])
+        db.load(name, data[name])
+    return db
+
+
+def client_loop(db: Database, sqls: dict[int, str], stop, records, errors, tid):
+    sess = db.session()
+    i = tid  # stagger the starting query per client
+    while not stop.is_set():
+        q = QUERIES[i % len(QUERIES)]
+        try:
+            res = sess.sql(sqls[q])
+            records.append((q, res.epoch, res.batch.to_bytes(), time.perf_counter()))
+        except Exception as exc:  # noqa: BLE001 - disruption is the metric
+            errors.append((q, repr(exc)))
+        i += 1
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--sf", type=float, default=0.01)
+    ap.add_argument("--seed", type=int, default=19940401)
+    ap.add_argument("--threads", type=int, default=6)
+    ap.add_argument("--phase-s", type=float, default=2.0,
+                    help="steady-load seconds between membership changes")
+    ap.add_argument("--tiny", action="store_true", help="CI smoke scale")
+    ap.add_argument("--out", default=str(
+        Path(__file__).resolve().parent.parent / "BENCH_ELASTIC.json"))
+    args = ap.parse_args()
+    if args.tiny:
+        args.sf, args.threads, args.phase_s = 0.002, 3, 0.5
+
+    db = build_db(args.sf, args.seed, args.threads)
+    sqls = {q: query(q, args.sf) for q in QUERIES}
+
+    # epoch-0 reference, computed before any load or membership change
+    reference = {0: {q: db.sql(sqls[q]).batch.to_bytes() for q in QUERIES}}
+
+    records: list[tuple] = []
+    errors: list[tuple] = []
+    stop = threading.Event()
+    clients = [
+        threading.Thread(
+            target=client_loop, args=(db, sqls, stop, records, errors, t)
+        )
+        for t in range(args.threads)
+    ]
+    t_start = time.perf_counter()
+    for c in clients:
+        c.start()
+
+    # the membership schedule, bracketed by steady phases
+    phases: list[tuple[str, float, float]] = []
+
+    def steady(name):
+        t0 = time.perf_counter()
+        time.sleep(args.phase_s)
+        phases.append((name, t0, time.perf_counter()))
+
+    def change(name, *actions):
+        t0 = time.perf_counter()
+        for act in actions:
+            act()
+        phases.append((name, t0, time.perf_counter()))
+
+    steady("steady_4")
+    change("scale_out_4_to_6", db.add_worker, db.add_worker)
+    steady("steady_6")
+    new_ids = [w for w in db.worker_ids if w > 3]
+    change(
+        "drain_6_to_4",
+        lambda: db.drain_worker(new_ids[0]),
+        lambda: db.drain_worker(new_ids[1]),
+    )
+    steady("steady_4_again")
+
+    stop.set()
+    for c in clients:
+        c.join()
+    t_total = time.perf_counter() - t_start
+
+    # final-epoch reference, computed after the load stopped
+    final_epoch = db.catalog.placement_epoch
+    reference[final_epoch] = {q: db.sql(sqls[q]).batch.to_bytes() for q in QUERIES}
+
+    # verify: first-result-wins consensus per (query, epoch), plus the
+    # directly computed references for the first and final epochs
+    seen: dict[tuple[int, int], bytes] = {
+        (q, e): blob for e, per_q in reference.items() for q, blob in per_q.items()
+    }
+    mismatched = 0
+    for q, epoch, blob, _ in records:
+        want = seen.setdefault((q, epoch), blob)
+        if blob != want:
+            mismatched += 1
+
+    timeline = []
+    for name, t0, t1 in phases:
+        done = sum(1 for _, _, _, t in records if t0 <= t <= t1)
+        dur = max(t1 - t0, 1e-9)
+        timeline.append(
+            {"phase": name, "duration_s": round(dur, 3),
+             "queries_done": done, "qps": round(done / dur, 2)}
+        )
+
+    events = [
+        {
+            "kind": r.kind,
+            "epoch": r.epoch,
+            "workers_after": list(r.workers),
+            "bytes_moved": r.bytes_moved,
+            "streams": r.streams,
+            "retries": r.retries,
+            "reroutes": r.reroutes,
+            "tables_moved": r.tables_moved,
+            "duration_s": round(r.duration_s, 4),
+        }
+        for r in db.rebalances
+    ]
+    stats = db.elasticity_stats()
+    entry = {
+        "sf": args.sf,
+        "threads": args.threads,
+        "phase_s": args.phase_s,
+        "queries": QUERIES,
+        "total_s": round(t_total, 3),
+        "queries_completed": len(records),
+        "disrupted": {"failed": len(errors), "mismatched": mismatched},
+        "timeline": timeline,
+        "rebalances": events,
+        "bytes_moved_total": stats["bytes_moved"],
+        "epochs_served": sorted({e for _, e, _, _ in records}),
+        "final_epoch": final_epoch,
+        "elasticity": stats,
+        "admission": db.admission.stats(),
+        "errors_sample": [e for _, e in errors[:5]],
+    }
+    db.close()
+
+    for row in timeline:
+        print(f"{row['phase']:>18}: {row['qps']:7.1f} q/s over {row['duration_s']}s")
+    print(
+        f"rebalances: {len(events)}, bytes moved {stats['bytes_moved']}, "
+        f"streams {stats['streams']}, retries {stats['retries']}"
+    )
+    print(
+        f"queries: {len(records)} completed, {len(errors)} failed, "
+        f"{mismatched} mismatched (target: 0/0)"
+    )
+    if args.out != "/dev/null":
+        Path(args.out).write_text(json.dumps(entry, indent=2) + "\n")
+        print(f"wrote {args.out}")
+    if errors or mismatched:
+        print("FAIL: scale events disrupted queries", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,7 +1,15 @@
 """Cluster orchestration: workers, coordinators, catalog, Database façade."""
 
-from .catalog import CatalogEntry, ClusterCatalog
-from .database import Coordinator, Database, QueryResult, Session, Worker
+from .catalog import CatalogEntry, ClusterCatalog, PlacementMap
+from .database import (
+    Coordinator,
+    Database,
+    QueryResult,
+    RebalanceReport,
+    Session,
+    Worker,
+)
+from .elastic import ElasticController, ElasticityThresholds
 from .plancache import PlanCache
 from .resource import AdmissionController, AdmissionTimeout, ResourceMonitor
 
@@ -13,6 +21,10 @@ __all__ = [
     "Coordinator",
     "ClusterCatalog",
     "CatalogEntry",
+    "PlacementMap",
+    "RebalanceReport",
+    "ElasticController",
+    "ElasticityThresholds",
     "PlanCache",
     "AdmissionController",
     "AdmissionTimeout",

@@ -26,6 +26,23 @@ from ..storage.partition import (
 )
 
 
+@dataclass(frozen=True)
+class PlacementMap:
+    """One epoch of the cluster's data placement.
+
+    The placement map is versioned: every membership change (scale-out,
+    drain, re-replication) re-shards fragments and publishes a new epoch.
+    In-flight queries finish against the epoch they planned under (their
+    executor clone pins the epoch's worker set and storages); new queries
+    plan and execute against the current epoch. ``draining`` lists
+    workers that are leaving but still hold old-epoch fragments.
+    """
+
+    epoch: int = 0
+    workers: tuple[int, ...] = ()
+    draining: tuple[int, ...] = ()
+
+
 @dataclass
 class CatalogEntry:
     name: str
@@ -52,6 +69,11 @@ class ClusterCatalog(BinderCatalog):
     def __init__(self):
         self.tables: dict[str, CatalogEntry] = {}
         self.version = 0
+        #: current placement epoch (membership + fragment assignment)
+        self.placement = PlacementMap()
+        #: every epoch ever published (epoch -> worker set), so in-flight
+        #: queries' pinned epochs stay explicable after the fact
+        self.placement_history: dict[int, PlacementMap] = {0: self.placement}
 
     def table_schema(self, name: str) -> Schema:
         return self.entry(name).schema
@@ -77,12 +99,44 @@ class ClusterCatalog(BinderCatalog):
         del self.tables[name]
         self.version += 1
 
+    @property
+    def placement_epoch(self) -> int:
+        return self.placement.epoch
+
+    def set_placement(
+        self, workers: tuple[int, ...], draining: tuple[int, ...] = ()
+    ) -> PlacementMap:
+        """Publish the next placement epoch.
+
+        Bumps ``version`` too: plan-cache keys carry the catalog version,
+        so every cached plan from the old epoch is invalidated the moment
+        the new placement lands.
+        """
+        pm = PlacementMap(
+            epoch=self.placement.epoch + 1,
+            workers=tuple(workers),
+            draining=tuple(draining),
+        )
+        self.placement = pm
+        self.placement_history[pm.epoch] = pm
+        self.version += 1
+        return pm
+
     def snapshot(self) -> dict:
-        return {"tables": dict(self.tables), "version": self.version}
+        return {
+            "tables": dict(self.tables),
+            "version": self.version,
+            "placement": self.placement,
+            "placement_history": dict(self.placement_history),
+        }
 
     def restore(self, snap: dict) -> None:
         self.tables = dict(snap["tables"])
         self.version = snap["version"]
+        self.placement = snap.get("placement", PlacementMap())
+        self.placement_history = dict(
+            snap.get("placement_history", {self.placement.epoch: self.placement})
+        )
 
 
 def scheme_from_clause(

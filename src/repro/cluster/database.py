@@ -29,13 +29,14 @@ import numpy as np
 
 from ..common.batch import RowBatch
 from ..common.config import ClusterConfig
-from ..common.errors import PlanError, WorkerFailureError
+from ..common.errors import CatalogError, NetworkError, PlanError, WorkerFailureError
 from ..common.schema import Schema
 from ..core.executor import DistributedExecutor, ExecStats, WorkerRuntime
 from ..core.pipeline import MorselScheduler
 from ..core.reference import execute_logical
 from ..core.spill import MemoryGovernor
 from ..network.simnet import SimNetwork
+from ..network.topology import BinomialGraphTopology, TreeTopology
 from ..optimizer.binder import Binder
 from ..optimizer.dataflow import DataflowPlanner, convert_naive
 from ..optimizer.derive import StatsDeriver
@@ -60,7 +61,7 @@ from ..storage.table import TableStorage
 from ..telemetry import MetricsRegistry, SlowQuery, Tracer, render_analyze
 from ..txn.manager import TransactionSystem
 from ..util.fs import FileSystem, LocalFS, MemFS
-from .catalog import CatalogEntry, ClusterCatalog, scheme_from_clause
+from .catalog import CatalogEntry, ClusterCatalog, PlacementMap, scheme_from_clause
 from .plancache import PlanCache
 from .resource import AdmissionController
 
@@ -79,6 +80,9 @@ class QueryResult:
     profiles: dict | None = None
     #: query id (tag namespace ``q<id>|``, trace registry key)
     qid: int = 0
+    #: placement epoch the query executed under (elastic membership:
+    #: in-flight queries finish against the epoch they planned under)
+    epoch: int = 0
 
     def rows(self) -> list[tuple]:
         return self.batch.rows()
@@ -86,6 +90,30 @@ class QueryResult:
     @property
     def columns(self) -> list[str]:
         return self.batch.schema.names()
+
+
+@dataclass
+class RebalanceReport:
+    """What one membership/placement change did (scale-out, drain, or
+    re-replication). Returned by the elastic APIs and retained in
+    ``Database.rebalances`` for observability."""
+
+    kind: str  # "add" | "drain" | "replicate"
+    workers: tuple[int, ...]  # placement after the change
+    epoch: int = 0  # placement epoch published by the change
+    added: tuple[int, ...] = ()
+    removed: tuple[int, ...] = ()
+    #: fragment bytes that actually crossed the wire ("rebalance|" streams)
+    bytes_moved: int = 0
+    #: fragment streams delivered
+    streams: int = 0
+    #: stream sends retried after a chaos fault
+    retries: int = 0
+    #: streams that fell back to the coordinator-mediated route
+    reroutes: int = 0
+    #: tables whose fragments moved (re-sharded or re-replicated)
+    tables_moved: int = 0
+    duration_s: float = 0.0
 
 
 class Worker:
@@ -177,6 +205,10 @@ class Database:
             w: Worker(w, self.config, self._make_fs(w)) for w in self.worker_ids
         }
         self.coordinators = [Coordinator(c) for c in self.coord_ids]
+        # epoch 0 of the versioned placement map (elastic membership)
+        for c in self.coordinators:
+            c.catalog.placement = PlacementMap(0, tuple(self.worker_ids))
+            c.catalog.placement_history = {0: c.catalog.placement}
         self.txn_system = TransactionSystem(self)
         self._executor = DistributedExecutor(
             {w: wk.runtime() for w, wk in self.workers.items()},
@@ -224,6 +256,8 @@ class Database:
         self._m_query_slow = self.metrics.counter(
             "repro_query_slow_total", "queries captured by the slow-query log"
         )
+        #: every membership/placement change applied, in order
+        self.rebalances: list[RebalanceReport] = []
         self._register_collectors()
         #: slow-query log: queries over ``slow_query_threshold_s`` (or
         #: restarted under chaos), traces attached
@@ -435,6 +469,34 @@ class Database:
             "bytes relayed through hub nodes",
             lambda: [({}, net.forwarded_bytes)],
         )
+        # elastic membership (DESIGN.md §10)
+        m.register_collector(
+            "repro_cluster_workers", "gauge", "workers in the current placement",
+            lambda: [({}, len(self.worker_ids))],
+        )
+        m.register_collector(
+            "repro_placement_epoch", "gauge", "current placement-map epoch",
+            lambda: [({}, self.catalog.placement_epoch)],
+        )
+        m.register_collector(
+            "repro_admission_budget_bytes", "gauge",
+            "admission memory budget (follows live membership)",
+            lambda: [({}, adm.total_budget)],
+        )
+        m.register_collector(
+            "repro_rebalance_total", "counter", "membership/placement changes applied",
+            lambda: [({}, len(self.rebalances))],
+        )
+        m.register_collector(
+            "repro_rebalance_bytes_total", "counter",
+            "fragment bytes moved by rebalance streams",
+            lambda: [({}, sum(r.bytes_moved for r in self.rebalances))],
+        )
+        m.register_collector(
+            "repro_rebalance_retries_total", "counter",
+            "rebalance stream sends retried after chaos faults",
+            lambda: [({}, sum(r.retries for r in self.rebalances))],
+        )
 
     def metrics_snapshot(self) -> dict:
         """All cluster metrics as a nested dict (samples labeled by node /
@@ -490,7 +552,7 @@ class Database:
         fmt: str = "column",
         clustering: Sequence[str] = (),
     ) -> None:
-        scheme = scheme_from_clause(partition, self.config.n_workers)
+        scheme = scheme_from_clause(partition, len(self.worker_ids))
         entry = CatalogEntry(name, schema, scheme, fmt, tuple(clustering))
         with self._write_lock:
             self._replicate_metadata(lambda c: c.catalog.add(entry))
@@ -516,17 +578,421 @@ class Database:
 
         entry = CatalogEntry(name, uet.schema(), RoundRobin(), external=True)
         self._replicate_metadata(lambda c: c.catalog.add(entry))
-        frags = uet.fragments(self.config.n_workers)
+        frags = uet.fragments(len(self.worker_ids))
         for w, wk in self.workers.items():
             mine = [f for f in frags if (f.preferred_node is None or f.preferred_node == w)]
             wk.external[name] = (uet, mine)
+
+    # -- elastic membership (DESIGN.md §10) ----------------------------------------------
+    def add_worker(self) -> RebalanceReport:
+        """Scale out by one worker while concurrent sessions keep serving.
+
+        Allocates a fresh worker id (ids are never reused), registers it
+        with the network and transaction system, re-shards every table's
+        fragments across the grown membership, and publishes the next
+        placement epoch. In-flight queries finish against the epoch they
+        planned under — their executor clones pin the old worker set and
+        the old (never-mutated) storages; queries that start after the
+        publish plan and execute against the new epoch.
+        """
+        with self._write_lock:
+            # high-water mark over every epoch ever published, so the id
+            # of a drained worker is never handed to a new one
+            new_id = 1 + max(
+                w
+                for pm in self.catalog.placement_history.values()
+                for w in pm.workers
+            )
+            wk = Worker(new_id, self.config, self._make_fs(new_id))
+            self.net.add_node(new_id)
+            return self._rebalance(
+                "add", sorted(self.worker_ids) + [new_id], joining={new_id: wk}
+            )
+
+    def drain_worker(self, worker_id: int) -> RebalanceReport:
+        """Gracefully remove a worker: drain first, then re-shard.
+
+        The worker is marked draining in the shared health tracker the
+        moment the drain starts, so replicated reads route around it
+        immediately; partitioned reads keep hitting it until its
+        fragments have moved (the data lives nowhere else yet). A
+        draining placement epoch is published before the move and the
+        final epoch (without the worker) after, so the transition is
+        visible in ``placement_history``.
+        """
+        with self._write_lock:
+            if worker_id not in self.worker_ids:
+                raise PlanError(f"worker {worker_id} is not in the placement map")
+            if len(self.worker_ids) < 2:
+                raise PlanError("cannot drain the last worker")
+            return self._rebalance(
+                "drain",
+                [w for w in self.worker_ids if w != worker_id],
+                leaving=(worker_id,),
+            )
+
+    def replicate_table(self, name: str) -> RebalanceReport:
+        """Re-replicate a hot partitioned table to every worker.
+
+        The elasticity policy's answer to broadcast/forwarding-heavy
+        traffic on a small dimension table: convert it to ``Replicated``
+        so joins against it stop shuffling. Publishes a new placement
+        epoch (same membership, new fragment placement)."""
+        with self._write_lock:
+            entry = self.catalog.entry(name)
+            if entry.external:
+                raise PlanError(f"external table {name!r} cannot be re-replicated")
+            if isinstance(entry.scheme, Replicated):
+                raise PlanError(f"table {name!r} is already replicated")
+            target = CatalogEntry(
+                name, entry.schema, Replicated(), entry.fmt, entry.clustering
+            )
+            return self._rebalance(
+                "replicate", list(self.worker_ids), retable={name: target}
+            )
+
+    def _rebalance(
+        self,
+        kind: str,
+        new_ids: list[int],
+        joining: dict[int, Worker] | None = None,
+        leaving: tuple[int, ...] = (),
+        retable: dict[str, CatalogEntry] | None = None,
+    ) -> RebalanceReport:
+        """Move fragments to the new placement, then publish the epoch.
+
+        Correctness under concurrency comes from publish-by-replacement:
+        the move builds *new* ``TableStorage`` objects (on epoch-versioned
+        file paths) and new per-worker storage dicts, never mutating
+        anything the current epoch's executor — or any in-flight query's
+        pinned clone of it — references. The publish step then atomically
+        swaps in a new executor, placement map, and worker set. Data moves
+        as real ``rebalance|<table>``-tagged network streams so chaos
+        faults hit the rebalance itself; a failed stream retries while
+        advancing the fault clock (crash windows heal), then falls back to
+        a coordinator-mediated route.
+        """
+        joining = dict(joining or {})
+        retable = dict(retable or {})
+        old_ids = list(self.worker_ids)
+        health = self._executor.health
+        t0 = time.perf_counter()
+        for w in leaving:
+            health.mark_draining(w)
+        if leaving:
+            # announce the drain: new plans see the transitional epoch
+            self._replicate_metadata(
+                lambda c: c.catalog.set_placement(tuple(old_ids), draining=tuple(leaving))
+            )
+        report = RebalanceReport(
+            kind=kind,
+            workers=tuple(sorted(new_ids)),
+            added=tuple(sorted(set(new_ids) - set(old_ids))),
+            removed=tuple(sorted(leaving)),
+        )
+        tr = self.tracer
+        qid = next(self._qid)
+        root = (
+            tr.start_query(qid, f"-- rebalance:{kind} -> {sorted(new_ids)}")
+            if tr is not None
+            else None
+        )
+        try:
+            coord = self.coord_ids[0]
+            all_ids = sorted(set(old_ids) | set(new_ids))
+            topo = BinomialGraphTopology(all_ids, self.config.n_max)
+            tree = TreeTopology([coord] + all_ids, self.config.n_max, root=coord)
+            new_storage = self._move_fragments(
+                old_ids, sorted(new_ids), joining, leaving, retable, topo, tree, report
+            )
+            self._publish_epoch(sorted(new_ids), joining, leaving, retable, new_storage, report)
+        finally:
+            if root is not None:
+                tr.end(root, error=report.epoch == 0)
+        report.duration_s = time.perf_counter() - t0
+        self.rebalances.append(report)
+        return report
+
+    def _move_fragments(
+        self, old_ids, new_ids, joining, leaving, retable, topo, tree, report
+    ) -> dict[int, dict[str, TableStorage]]:
+        """Build each new-epoch worker's storage dict, streaming moved
+        fragments over the network as tagged rebalance traffic."""
+        epoch = self.catalog.placement_epoch + 1
+        survivors = [w for w in old_ids if w not in leaving]
+        workers_of = dict(self.workers)
+        workers_of.update(joining)
+        new_storage: dict[int, dict[str, TableStorage]] = {w: {} for w in new_ids}
+        tr = self.tracer
+        for name in sorted(self.catalog.tables):
+            entry = self.catalog.tables[name]
+            if entry.external:
+                continue
+            target = retable.get(name, entry)
+            sp = (
+                tr.begin("rebalance.table", cat="rebalance", table=name)
+                if tr is not None
+                else None
+            )
+            base_bytes = report.bytes_moved
+            try:
+                self._reshard_table(
+                    name, entry, target, old_ids, new_ids, survivors,
+                    workers_of, new_storage, topo, tree, report, epoch,
+                )
+            finally:
+                if sp is not None:
+                    tr.end(sp, nbytes=report.bytes_moved - base_bytes)
+        self._reassign_external(joining, leaving, survivors)
+        return new_storage
+
+    def _reshard_table(
+        self, name, entry, target, old_ids, new_ids, survivors,
+        workers_of, new_storage, topo, tree, report, epoch,
+    ) -> None:
+        scheme = target.scheme
+        if isinstance(entry.scheme, Replicated) and isinstance(scheme, Replicated):
+            # replicated table across a membership change: survivors keep
+            # their (immutable) copy; joining workers stream one from a donor
+            donor = survivors[0]
+            src_ts = self.workers[donor].storage[name]
+            moved = False
+            for w in new_ids:
+                if w in old_ids:
+                    new_storage[w][name] = self.workers[w].storage[name]
+                    continue
+                full = _all_of(src_ts)
+                if full.length:
+                    self._move_stream(topo, tree, donor, w, full.to_bytes(), name, report)
+                ts = self._fresh_storage(workers_of[w], target, epoch)
+                if full.length:
+                    ts.load(full)
+                self._copy_indexes(src_ts, ts)
+                new_storage[w][name] = ts
+                moved = True
+            if moved:
+                report.tables_moved += 1
+            return
+        if isinstance(scheme, Replicated):
+            # re-replication of a partitioned table: every worker ends up
+            # with the full row set; each foreign part crosses the wire
+            parts = {src: _all_of(self.workers[src].storage[name]) for src in old_ids}
+            full = RowBatch.concat(entry.schema, [p for p in parts.values()])
+            sample_old = self.workers[old_ids[0]].storage[name]
+            for dst in new_ids:
+                for src in old_ids:
+                    p = parts[src]
+                    if src != dst and p.length:
+                        self._move_stream(topo, tree, src, dst, p.to_bytes(), name, report)
+                ts = self._fresh_storage(workers_of[dst], target, epoch)
+                if full.length:
+                    ts.load(full)
+                self._copy_indexes(sample_old, ts)
+                new_storage[dst][name] = ts
+            report.tables_moved += 1
+            return
+        # partitioned re-shard: re-run the table's node assignment over
+        # the new membership; rows whose worker changes cross the wire
+        from ..storage.partition import RangePartition
+
+        n_new = len(new_ids)
+        if isinstance(scheme, RangePartition) and len(scheme.bounds) != n_new - 1:
+            raise CatalogError(
+                f"range-partitioned table {name!r} has {len(scheme.bounds)} split "
+                f"points and cannot be re-sharded to {n_new} workers"
+            )
+        parts_for: dict[int, list[RowBatch]] = {w: [] for w in new_ids}
+        for src in old_ids:
+            batch = _all_of(self.workers[src].storage[name])
+            if batch.length == 0:
+                continue
+            targets = scheme.assign_nodes(batch, n_new)
+            for i, dst in enumerate(new_ids):
+                part = batch.filter(targets == i)
+                if part.length == 0:
+                    continue
+                if dst != src:
+                    self._move_stream(topo, tree, src, dst, part.to_bytes(), name, report)
+                parts_for[dst].append(part)
+        sample_old = self.workers[old_ids[0]].storage[name]
+        for dst in new_ids:
+            ts = self._fresh_storage(workers_of[dst], target, epoch)
+            for part in parts_for[dst]:
+                ts.load(part, disk_of_rows(part, scheme, self.config.disks_per_node))
+            self._copy_indexes(sample_old, ts)
+            new_storage[dst][name] = ts
+        report.tables_moved += 1
+
+    def _reassign_external(self, joining, leaving, survivors) -> None:
+        """External tables: a leaving worker's fragments move to the
+        survivors; joining workers start with none. Worker ``external``
+        dicts are replaced, never mutated — in-flight queries captured
+        the old dict by reference."""
+        ext = [n for n, e in self.catalog.tables.items() if e.external]
+        for name in ext:
+            donor = next(
+                (w for w in survivors if name in self.workers[w].external), None
+            )
+            if donor is None:
+                continue
+            uet = self.workers[donor].external[name][0]
+            for wk in joining.values():
+                wk.external = {**wk.external, name: (uet, [])}
+            orphans = []
+            for w in leaving:
+                orphans.extend(self.workers[w].external.get(name, (None, []))[1])
+            for i, frag in enumerate(orphans):
+                w = survivors[i % len(survivors)]
+                wk = self.workers[w]
+                cur_uet, cur_frags = wk.external[name]
+                wk.external = {
+                    **wk.external, name: (cur_uet, list(cur_frags) + [frag])
+                }
+
+    def _move_stream(self, topo, tree, src: int, dst: int, payload: bytes,
+                     table: str, report: RebalanceReport) -> None:
+        """Deliver one fragment stream ``src -> dst`` as tagged rebalance
+        traffic, surviving chaos faults injected mid-rebalance.
+
+        Sends retry up to ``rebalance_send_retries`` times, advancing the
+        fault clock between attempts so crash windows heal; failed
+        attempts' partial deliveries are dropped (streams are processed
+        one at a time, so only this stream's messages are in flight).
+        When the direct binomial-graph route stays broken, the stream is
+        rerouted through the coordinator's tree — a different path that
+        avoids the failed hub."""
+        tag = f"rebalance|{table}"
+        inj = self.net.injector
+        budget = self.config.rebalance_send_retries
+        coord = self.coord_ids[0]
+
+        def direct() -> bool:
+            self.net.route_send(topo, src, dst, payload, tag=tag)
+            return bool(self.net.recv_all(dst, tag=tag))
+
+        def via_coordinator() -> bool:
+            self.net.route_send(tree, src, coord, payload, tag=tag)
+            self.net.recv_all(coord, tag=tag)
+            self.net.route_send(tree, coord, dst, payload, tag=tag)
+            return bool(self.net.recv_all(dst, tag=tag))
+
+        for hop, attempt in (("direct", direct), ("reroute", via_coordinator)):
+            for _ in range(budget):
+                try:
+                    if attempt():
+                        report.streams += 1
+                        report.bytes_moved += len(payload)
+                        if hop == "reroute":
+                            report.reroutes += 1
+                        return
+                except (NetworkError, WorkerFailureError):
+                    pass
+                report.retries += 1
+                self.net.clear_inboxes("rebalance|")
+                if inj is not None:
+                    inj.record(
+                        "rebalance_retry", node=dst, tag=tag,
+                        detail=f"{hop} {src}->{dst} retrying",
+                    )
+                    inj.advance(4)  # crash windows heal on the fault clock
+        raise WorkerFailureError(
+            dst,
+            f"rebalance stream for {table!r} ({src}->{dst}) undeliverable "
+            f"after {2 * budget} attempts",
+        )
+
+    def _fresh_storage(self, worker: Worker, entry: CatalogEntry, epoch: int) -> TableStorage:
+        """A new-epoch TableStorage on epoch-versioned file paths, so the
+        old epoch's files — still being scanned by in-flight queries —
+        are never touched."""
+        return TableStorage(
+            worker.fs,
+            worker.bufmgr,
+            f"{entry.name}@e{epoch}",
+            entry.schema,
+            fmt=entry.fmt,
+            n_disks=self.config.disks_per_node,
+            page_size=self.config.page_size,
+            codec=self.config.compression,
+            clustering=entry.clustering,
+        )
+
+    def _copy_indexes(self, old_ts: TableStorage, new_ts: TableStorage) -> None:
+        for col in sorted(old_ts.indexed_columns):
+            new_ts.create_index(col)
+
+    def _publish_epoch(
+        self, new_ids, joining, leaving, retable, new_storage, report
+    ) -> None:
+        """Atomically switch the cluster to the new placement.
+
+        New queries pick everything up from here; in-flight queries keep
+        their pinned clones of the previous executor (old worker set,
+        old topologies, old storage dicts) and finish unperturbed."""
+        old_exec = self._executor
+        for w, wk in joining.items():
+            self.workers[w] = wk
+            self.txn_system.register_worker(wk)
+        # copy-on-rebalance: rebind each worker's storage dict; the old
+        # dict (and its TableStorage objects) stays alive for old epochs
+        for w in new_ids:
+            self.workers[w].storage = new_storage[w]
+        for w in leaving:
+            self.workers.pop(w, None)
+            # the drain is over: the worker left the placement entirely
+            old_exec.health.clear_draining(w)
+        for tname, tentry in retable.items():
+            self._replicate_metadata(
+                lambda c, tname=tname, tentry=tentry: c.catalog.tables.update(
+                    {tname: tentry}
+                )
+            )
+        self.worker_ids = sorted(new_ids)
+        published: list[PlacementMap] = []
+        self._replicate_metadata(
+            lambda c: published.append(c.catalog.set_placement(tuple(self.worker_ids)))
+        )
+        report.epoch = published[0].epoch
+        ex = DistributedExecutor(
+            {w: self.workers[w].runtime() for w in self.worker_ids},
+            self.coord_ids[0],
+            self.net,
+            self.config,
+        )
+        ex.scheduler = self.scheduler
+        ex.health = old_exec.health  # failure history survives epochs
+        ex.tracer = old_exec.tracer
+        ex.fault_injector = old_exec.fault_injector
+        ex.epoch = report.epoch
+        self._executor = ex
+        # membership-aware resource management: the admission budget
+        # follows the live aggregate memory; worker DOP scales back when
+        # the cluster is degraded below its baseline size
+        self.admission.resize(self.config.memory_per_node * len(self.worker_ids))
+        for w in self.worker_ids:
+            self.workers[w].monitor.set_membership(
+                len(self.worker_ids), self.config.n_workers
+            )
+
+    def elasticity_stats(self) -> dict:
+        """Membership + rebalance observability for benches and tests."""
+        return {
+            "workers": len(self.worker_ids),
+            "placement_epoch": self.catalog.placement_epoch,
+            "rebalances": len(self.rebalances),
+            "bytes_moved": sum(r.bytes_moved for r in self.rebalances),
+            "streams": sum(r.streams for r in self.rebalances),
+            "retries": sum(r.retries for r in self.rebalances),
+            "reroutes": sum(r.reroutes for r in self.rebalances),
+            "draining": sorted(self._executor.health.draining()),
+        }
 
     # -- loading & statistics ---------------------------------------------------------
     def load(self, name: str, batch: RowBatch) -> None:
         """Bulk-load rows, partitioning across workers per the table scheme."""
         entry = self.catalog.entry(name)
-        n = self.config.n_workers
         with self._write_lock:
+            n = len(self.worker_ids)
             if isinstance(entry.scheme, Replicated):
                 for w in self.workers.values():
                     w.storage[name].load(batch)
@@ -688,7 +1154,7 @@ class Database:
         # successful attempt's)
         stats = carried.merge(stats)
         stats.restarts = attempts - 1
-        result = QueryResult(batch, stats, logical, physical, qid=qid)
+        result = QueryResult(batch, stats, logical, physical, qid=qid, epoch=ex.epoch)
         if profiled:
             result.profiles = ex.op_prof
         return result

@@ -1,0 +1,162 @@
+"""Autonomic elasticity policy (DESIGN.md §10).
+
+HRDBMS manages its own resources instead of delegating to a cluster
+manager (paper §I-A); this module extends that decentralized stance to
+*membership*: a small policy loop watches the serving-layer signals the
+metrics registry already collects — admission queue depth, morsel-pool
+busy time, per-link forwarded bytes, worker health — and decides when
+the cluster should grow, drain a worker, or re-replicate a hot table.
+
+The controller is deliberately split into three testable stages:
+
+* :meth:`ElasticController.observe` samples the database's live counters
+  into a plain dict (deltas since the previous observation for the
+  rate-shaped signals);
+* :meth:`ElasticController.decide` is a pure function from that dict to
+  a decision string — ``"grow"``, ``"drain:<worker>"``,
+  ``"replicate:<table>"``, or ``"hold"`` — so policy thresholds are unit
+  testable without a cluster;
+* :meth:`ElasticController.step` executes the decision through the
+  elastic membership APIs (:meth:`Database.add_worker`,
+  :meth:`Database.drain_worker`, :meth:`Database.replicate_table`),
+  subject to a cooldown so one burst never triggers a rebalance storm.
+
+Priorities mirror operations reality: route *failure* out first (a
+blacklisted worker is drained so the placement stops depending on it),
+then relieve admission pressure by growing, then attack communication
+hot spots by re-replicating small dimension tables, and only then
+consider shrinking an idle cluster.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from ..storage.partition import Replicated
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .database import Database
+
+
+@dataclass(frozen=True)
+class ElasticityThresholds:
+    """Knobs for the policy loop; defaults favor stability over speed."""
+
+    #: admission queue depth at (or above) which the cluster grows
+    grow_queue_depth: int = 2
+    #: queue depth at (or below) which shrinking may be considered
+    shrink_queue_depth: int = 0
+    #: cluster-wide morsel busy fraction below which shrinking is allowed
+    shrink_busy_fraction: float = 0.10
+    #: forwarded-bytes fraction of total traffic that marks a
+    #: communication hot spot worth re-replicating a table over
+    replicate_forward_fraction: float = 0.35
+    #: only tables at most this many rows are re-replication candidates
+    replicate_max_rows: int = 100_000
+    min_workers: int = 2
+    max_workers: int = 16
+    #: evaluations that must pass between two actions (anti-flap)
+    cooldown: int = 2
+
+
+class ElasticController:
+    """The autonomic grow/drain/replicate loop over one Database."""
+
+    def __init__(self, db: "Database", thresholds: ElasticityThresholds | None = None):
+        self.db = db
+        self.thresholds = thresholds or ElasticityThresholds()
+        #: every decision step() has taken, in order
+        self.history: list[str] = []
+        self._last: tuple[float, float, int, int] | None = None
+        self._since_action = 10**9  # no cooldown on the first action
+
+    # -- observe ---------------------------------------------------------------
+    def observe(self) -> dict:
+        """Sample the cluster's elasticity signals into a plain dict."""
+        db = self.db
+        now = time.perf_counter()
+        busy = db.scheduler.busy.value
+        total_b = db.net.total_bytes
+        fwd_b = db.net.forwarded_bytes
+        if self._last is None:
+            # no rate window yet: report full-busy so the first
+            # observation can never trigger a shrink
+            busy_fraction, fwd_fraction = 1.0, 0.0
+        else:
+            t0, busy0, total0, fwd0 = self._last
+            d_wall = max(now - t0, 1e-9)
+            busy_fraction = (busy - busy0) / (d_wall * max(len(db.worker_ids), 1))
+            d_total = total_b - total0
+            fwd_fraction = (fwd_b - fwd0) / d_total if d_total > 0 else 0.0
+        self._last = (now, busy, total_b, fwd_b)
+        live = set(db.worker_ids)
+        return {
+            "workers": len(live),
+            "newest_worker": max(live),
+            "queue_depth": db.admission.queue_depth,
+            "blacklisted": sorted(db._executor.health.blacklisted() & live),
+            "busy_fraction": busy_fraction,
+            "forward_fraction": fwd_fraction,
+            "small_partitioned_table": self._replication_candidate(),
+        }
+
+    def _replication_candidate(self) -> str | None:
+        """The smallest partitioned (non-external) table under the
+        re-replication size cap, or None."""
+        best, best_rows = None, self.thresholds.replicate_max_rows + 1
+        for name, entry in self.db.catalog.tables.items():
+            if entry.external or isinstance(entry.scheme, Replicated):
+                continue
+            rows = self.db.table_rows(name)
+            if rows < best_rows:
+                best, best_rows = name, rows
+        return best
+
+    # -- decide ----------------------------------------------------------------
+    def decide(self, obs: dict) -> str:
+        """Pure policy: observation dict -> decision string."""
+        t = self.thresholds
+        if obs["blacklisted"] and obs["workers"] > t.min_workers:
+            # route failure out of the placement before anything else
+            return f"drain:{obs['blacklisted'][0]}"
+        if obs["queue_depth"] >= t.grow_queue_depth and obs["workers"] < t.max_workers:
+            return "grow"
+        if (
+            obs.get("forward_fraction", 0.0) >= t.replicate_forward_fraction
+            and obs.get("small_partitioned_table")
+        ):
+            return f"replicate:{obs['small_partitioned_table']}"
+        if (
+            obs["queue_depth"] <= t.shrink_queue_depth
+            and obs.get("busy_fraction", 1.0) < t.shrink_busy_fraction
+            and obs["workers"] > t.min_workers
+        ):
+            return f"drain:{obs['newest_worker']}"
+        return "hold"
+
+    # -- act -------------------------------------------------------------------
+    def evaluate(self) -> str:
+        """Observe and decide, without acting."""
+        return self.decide(self.observe())
+
+    def step(self) -> str:
+        """One loop iteration: observe, decide, act (cooldown-gated).
+
+        Returns the decision actually applied (``"hold"`` when the
+        cooldown suppressed an action)."""
+        self._since_action += 1
+        decision = self.evaluate()
+        if decision != "hold" and self._since_action <= self.thresholds.cooldown:
+            decision = "hold"
+        if decision == "grow":
+            self.db.add_worker()
+        elif decision.startswith("drain:"):
+            self.db.drain_worker(int(decision.split(":", 1)[1]))
+        elif decision.startswith("replicate:"):
+            self.db.replicate_table(decision.split(":", 1)[1])
+        if decision != "hold":
+            self._since_action = 0
+        self.history.append(decision)
+        return decision

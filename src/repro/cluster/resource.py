@@ -48,6 +48,12 @@ class ResourceMonitor:
     soft_threshold: float = 0.6
     #: run single-threaded above this utilization
     hard_threshold: float = 0.95
+    #: live/baseline worker counts (elastic membership). When workers
+    #: drain, the survivors absorb their load, so each one scales its
+    #: per-operator DOP back to keep the aggregate morsel-thread
+    #: pressure bounded; scale-out restores (never exceeds) ``base_dop``.
+    live_workers: int = 0
+    baseline_workers: int = 0
 
     @property
     def utilization(self) -> float:
@@ -55,16 +61,24 @@ class ResourceMonitor:
             return 1.0
         return min(self.governor.used / self.governor.budget, 1.5)
 
+    def set_membership(self, live: int, baseline: int) -> None:
+        self.live_workers = max(0, live)
+        self.baseline_workers = max(0, baseline)
+
     def effective_dop(self) -> int:
         u = self.utilization
         if u <= self.soft_threshold:
-            return self.base_dop
-        if u >= self.hard_threshold:
-            return 1
-        # linear scale-back between the thresholds
-        span = self.hard_threshold - self.soft_threshold
-        frac = 1.0 - (u - self.soft_threshold) / span
-        return max(1, round(1 + frac * (self.base_dop - 1)))
+            dop = self.base_dop
+        elif u >= self.hard_threshold:
+            dop = 1
+        else:
+            # linear scale-back between the thresholds
+            span = self.hard_threshold - self.soft_threshold
+            frac = 1.0 - (u - self.soft_threshold) / span
+            dop = max(1, round(1 + frac * (self.base_dop - 1)))
+        if 0 < self.live_workers < self.baseline_workers:
+            dop = max(1, round(dop * self.live_workers / self.baseline_workers))
+        return dop
 
     def should_throttle(self) -> bool:
         return self.effective_dop() < self.base_dop
@@ -97,7 +111,9 @@ class AdmissionController:
     ):
         self.total_budget = max(1, total_budget)
         self.max_concurrent = max(1, max_concurrent)
-        #: grant used when a query does not size itself (0 = even split)
+        #: grant used when a query does not size itself (0 = even split);
+        #: auto grants are recomputed when the budget resizes
+        self._auto_grant = default_grant <= 0
         self.default_grant = default_grant if default_grant > 0 else max(
             1, self.total_budget // self.max_concurrent
         )
@@ -116,6 +132,8 @@ class AdmissionController:
         self.grant_wait_s = 0.0
         #: admissions that gave up after ``timeout`` seconds
         self.timeouts = 0
+        #: membership-driven budget changes applied (elasticity)
+        self.resizes = 0
 
     def _may_admit(self, ticket: int, grant: int) -> bool:
         return (
@@ -168,6 +186,19 @@ class AdmissionController:
             self.granted -= grant
             self._cv.notify_all()
 
+    def resize(self, total_budget: int) -> None:
+        """Track live membership: the admission budget follows the
+        aggregate memory of the *current* worker set, so grants shrink
+        when workers drain and grow on scale-out. Already-held grants
+        are unaffected (shrinking only gates new admissions); queued
+        waiters re-check against the new budget immediately."""
+        with self._cv:
+            self.total_budget = max(1, total_budget)
+            if self._auto_grant:
+                self.default_grant = max(1, self.total_budget // self.max_concurrent)
+            self.resizes += 1
+            self._cv.notify_all()
+
     @property
     def queue_depth(self) -> int:
         """Queries currently queued awaiting admission."""
@@ -185,6 +216,7 @@ class AdmissionController:
                 "peak_granted_bytes": self.peak_granted,
                 "max_concurrent": self.max_concurrent,
                 "total_budget_bytes": self.total_budget,
+                "resizes": self.resizes,
             }
 
 

@@ -66,6 +66,15 @@ class ClusterConfig:
     #: consecutive scan failures before a worker is blacklisted and
     #: replicated reads fail over to a healthy replica
     blacklist_threshold: int = 3
+    #: consecutive successful probes a blacklisted worker needs to
+    #: re-earn live traffic (the probation/half-open circuit breaker)
+    probe_after: int = 2
+    #: avoided replicated reads between half-open probes of a
+    #: blacklisted worker
+    probe_interval: int = 8
+    #: retry budget per fragment move during a rebalance before the
+    #: coordinator reroutes the stream around the failed endpoint
+    rebalance_send_retries: int = 64
     #: execute fused scan→filter→project→partial-agg chains as
     #: morsel-driven streaming pipelines (paper §III-B: the engine never
     #: materializes full intermediates); False falls back to
@@ -119,6 +128,12 @@ class ClusterConfig:
             raise ConfigError("backoff_base must be positive")
         if self.blacklist_threshold < 1:
             raise ConfigError("blacklist_threshold must be >= 1")
+        if self.probe_after < 1:
+            raise ConfigError("probe_after must be >= 1")
+        if self.probe_interval < 1:
+            raise ConfigError("probe_interval must be >= 1")
+        if self.rebalance_send_retries < 1:
+            raise ConfigError("rebalance_send_retries must be >= 1")
         if self.morsel_dop < 0:
             raise ConfigError("morsel_dop must be >= 0 (0 = auto)")
         if self.max_concurrent_queries < 1:

@@ -194,8 +194,16 @@ class DistributedExecutor:
         #: actual output rows per physical-op id, from the last execute()
         self.op_rows: dict[int, int] = {}
         #: per-worker health (blacklist-and-failover for replicated reads);
-        #: persists across queries so repeated failures accumulate
-        self.health = WorkerHealthTracker(config.blacklist_threshold)
+        #: persists across queries so repeated failures accumulate, and
+        #: across membership epochs (the Database re-installs it when it
+        #: rebuilds the executor for a new placement)
+        self.health = WorkerHealthTracker(
+            config.blacklist_threshold, config.probe_after, config.probe_interval
+        )
+        #: placement epoch this executor serves; queries pin it via
+        #: :meth:`for_query` so in-flight work finishes against the
+        #: worker set and storages it planned under
+        self.epoch = 0
         #: per-execute() fault counters (the database façade accumulates
         #: these across restart attempts)
         self.retries = 0
@@ -585,7 +593,7 @@ class DistributedExecutor:
     def _healthy_peer(self, op: PhysOp, table: str, exclude: int) -> int | None:
         """A live worker holding a replica of ``table`` (failover target)."""
         for p in self.worker_ids:
-            if p == exclude or self.health.is_blacklisted(p):
+            if p == exclude or self.health.is_blacklisted(p) or self.health.is_draining(p):
                 continue
             if table not in self.workers[p].storage:
                 continue
@@ -607,15 +615,23 @@ class DistributedExecutor:
         ``w`` itself when healthy, otherwise (replicated tables only) a
         live replica after the blacklist/failover dance."""
         serving = w
-        if replicated and self.health.is_blacklisted(w):
-            # degrade gracefully: skip the known-bad worker entirely
+        if replicated and (
+            self.health.is_draining(w)
+            or (self.health.is_blacklisted(w) and not self.health.allow_probe(w))
+        ):
+            # degrade gracefully: skip the draining/known-bad worker.
+            # Blacklisted workers get a half-open probe every
+            # ``probe_interval`` avoided reads (and every read while in
+            # probation) so a recovered node re-earns traffic; draining
+            # workers are leaving the placement, never probed back in.
             peer = self._healthy_peer(op, table, exclude=w)
             if peer is not None:
                 serving = peer
                 self.failed_workers.add(w)
+                why = "draining" if self.health.is_draining(w) else "blacklisted"
                 self._record_chaos(
                     "failover", node=w,
-                    detail=f"blacklisted; replicated {table!r} served by worker {peer}",
+                    detail=f"{why}; replicated {table!r} served by worker {peer}",
                 )
         if serving == w:
             try:

@@ -81,6 +81,15 @@ class SimNetwork:
         self._seen: dict[int, set[int]] = defaultdict(set)
         self._lock = threading.RLock()
 
+    def add_node(self, node_id: int) -> None:
+        """Register a new node (elastic scale-out): it gets an inbox and
+        may immediately send/receive. Idempotent."""
+        with self._lock:
+            if node_id in self.node_ids:
+                return
+            self.node_ids.add(node_id)
+            self._inbox[node_id] = deque()
+
     def attach(self, injector: "FaultInjector | None") -> None:
         """Install (or remove, with None) the fault injector.
 

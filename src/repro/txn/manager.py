@@ -93,6 +93,19 @@ class TransactionSystem:
             self.xa[coord.coord_id] = XAManager(coord.coord_id, db.net, db.config.n_max, log)
         self._active: dict[int, Txn] = {}
 
+    def register_worker(self, worker) -> None:
+        """Elastic scale-out: give a joining worker its lock/txn/log node.
+
+        Mutates ``nodes`` in place so metric collectors holding the dict
+        pick the new worker up. Drained workers keep their node (their
+        WAL history stays queryable); DML never touches them again
+        because every DML path iterates the live ``db.worker_ids``."""
+        if worker.worker_id in self.nodes:
+            return
+        node = WorkerTxnNode(worker, self.db.config.lock_timeout)
+        node._system = self
+        self.nodes[worker.worker_id] = node
+
     # -- lifecycle ---------------------------------------------------------------------
     def begin(self, coordinator: int = 0) -> Txn:
         txn = Txn(next(_txn_ids), self.db.coord_ids[coordinator])
@@ -170,7 +183,7 @@ class TransactionSystem:
     def _insert(self, txn: Txn, entry, batch: RowBatch) -> int:
         from ..storage.partition import Replicated
 
-        n_workers = self.db.config.n_workers
+        n_workers = len(self.db.worker_ids)  # live membership, not the seed size
         if isinstance(entry.scheme, Replicated):
             parts = {w: batch for w in self.db.worker_ids}
         else:
@@ -264,7 +277,8 @@ class TransactionSystem:
         for w, op, table, payload in reversed(txn.undo):
             if w != worker_id:
                 continue
-            storage = self.db.workers[w].storage.get(table)
+            worker = self.db.workers.get(w)  # may have drained mid-txn
+            storage = worker.storage.get(table) if worker is not None else None
             if storage is None:
                 continue
             if op == "insert":

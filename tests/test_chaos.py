@@ -183,13 +183,17 @@ class TestScheduleAndInjector:
         assert run(5) != run(6)  # different stream
 
     def test_health_tracker_blacklist(self):
-        h = WorkerHealthTracker(blacklist_after=2)
+        h = WorkerHealthTracker(blacklist_after=2, probe_after=2)
         h.record_failure(3)
         assert not h.is_blacklisted(3)
         h.record_failure(3)
         assert h.is_blacklisted(3) and h.blacklisted() == {3}
+        # re-earning traffic takes probe_after consecutive successes
+        # (probation / half-open circuit breaker), not just one
         h.record_success(3)
-        assert not h.is_blacklisted(3)
+        assert h.is_blacklisted(3) and h.state(3) == "probation"
+        h.record_success(3)
+        assert not h.is_blacklisted(3) and h.state(3) == "healthy"
 
 
 # ---------------------------------------------------------------------------
