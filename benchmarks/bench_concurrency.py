@@ -93,7 +93,11 @@ def run_serial(
             wall = time.perf_counter() - q0
             results[q] = res.batch.to_bytes()
             if r == 0:
-                profile[q] = {"wall_s": wall, "busy_s": dict(res.stats.site_busy_s)}
+                profile[q] = {
+                    "wall_s": wall,
+                    "busy_s": dict(res.stats.site_busy_s),
+                    "coord_busy_s": res.stats.coord_busy_s,
+                }
     return time.perf_counter() - t0, results, profile
 
 
@@ -150,6 +154,9 @@ def modeled_throughput(db: Database, profile: dict[int, dict]) -> dict:
         per_query[q] = {
             "wall_ms": round(p["wall_s"] * 1e3, 2),
             "coord_ms": round(coord * 1e3, 2),
+            # directly measured coordinator-only work (final combines,
+            # result decode) — the part the reduce tree moves to workers
+            "coord_measured_ms": round(p.get("coord_busy_s", 0.0) * 1e3, 2),
             "max_worker_ms": round(max(busy.values(), default=0.0) * 1e3, 2),
         }
     n_mix = len(profile)
@@ -207,6 +214,11 @@ def main() -> int:
     ap.add_argument("--threads", type=int, default=8)
     ap.add_argument("--rounds", type=int, default=3)
     ap.add_argument("--tiny", action="store_true", help="CI smoke scale")
+    ap.add_argument(
+        "--assert-not-coordinators", action="store_true",
+        help="fail if the modeled binding resource is the coordinator pool "
+        "(CI guard that final merges stay off the coordinator)",
+    )
     ap.add_argument("--out", default=str(Path(__file__).resolve().parent.parent / "BENCH_CONCURRENCY.json"))
     args = ap.parse_args()
     if args.tiny:
@@ -271,6 +283,12 @@ def main() -> int:
         print(f"wrote {args.out}")
     if mismatches:
         print("FAIL: concurrent results diverged from serial", file=sys.stderr)
+        return 1
+    if args.assert_not_coordinators and modeled["binding_resource"] == "coordinators":
+        print(
+            "FAIL: modeled binding resource is still the coordinator pool",
+            file=sys.stderr,
+        )
         return 1
     return 0
 

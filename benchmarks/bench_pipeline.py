@@ -56,10 +56,12 @@ def legacy_codec():
     """Disable the vectorized wire/storage codecs (pre-PR behavior)."""
     vec, dic = batch_mod.VECTORIZED_STRINGS, batch_mod.DICT_ENCODE_STRINGS
     huf, pages = comp_mod.VECTORIZED_HUFFMAN, colpage_mod.DICT_PAGES
+    cache = colpage_mod.CACHE_DECODED
     batch_mod.VECTORIZED_STRINGS = False
     batch_mod.DICT_ENCODE_STRINGS = False
     comp_mod.VECTORIZED_HUFFMAN = False
     colpage_mod.DICT_PAGES = False
+    colpage_mod.CACHE_DECODED = False
     try:
         yield
     finally:
@@ -67,6 +69,7 @@ def legacy_codec():
         batch_mod.DICT_ENCODE_STRINGS = dic
         comp_mod.VECTORIZED_HUFFMAN = huf
         colpage_mod.DICT_PAGES = pages
+        colpage_mod.CACHE_DECODED = cache
 
 
 def rows_match(a, b, rel=1e-9) -> bool:
@@ -129,6 +132,11 @@ def main() -> int:
         "--tiny", action="store_true",
         help="CI smoke scale: sf=0.001, repeat=1, no output file",
     )
+    ap.add_argument(
+        "--assert-pipelines", type=int, nargs="*", default=None, metavar="QNO",
+        help="fail unless each listed query reports pipelines >= 1 "
+        "(CI guard that join queries actually fuse)",
+    )
     args = ap.parse_args()
     if args.tiny:
         args.sf = 0.001
@@ -176,6 +184,13 @@ def main() -> int:
             f"->{entry['after_peak_memory']}  pipelines={entry['pipelines']} "
             f"morsels={entry['morsels']}"
         )
+
+    for qno in args.assert_pipelines or ():
+        entry = report["queries"].get(str(qno))
+        if entry is None or entry["pipelines"] < 1:
+            got = entry["pipelines"] if entry else "missing"
+            print(f"Q{qno} ASSERTION FAILED: pipelines={got}, expected >= 1")
+            failures += 1
 
     if args.out != "/dev/null":
         Path(args.out).write_text(json.dumps(report, indent=2) + "\n")

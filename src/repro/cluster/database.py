@@ -18,6 +18,7 @@ Usage::
 
 from __future__ import annotations
 
+import functools
 import itertools
 import json
 import threading
@@ -66,6 +67,14 @@ from .plancache import PlanCache
 from .resource import AdmissionController
 
 COORD_BASE = 10_000
+
+
+@functools.lru_cache(maxsize=512)
+def _parse_cached(text: str):
+    """Statement ASTs are frozen dataclasses and parsing is a pure
+    function of the text, so repeat statements (the warm path the plan
+    cache serves) skip the lexer entirely."""
+    return parse(text)
 
 
 @dataclass
@@ -1166,7 +1175,7 @@ class Database:
         coordinator: int = 0,
         txn=None,
     ) -> QueryResult:
-        stmt = parse(text)
+        stmt = _parse_cached(text)
         if isinstance(stmt, SelectStmt):
             return self._select(text, stmt, naive_dataflow, coordinator, txn)
         if isinstance(stmt, CreateTable):

@@ -44,7 +44,7 @@ _DICT_MIN_ROWS = 64
 
 
 class RowBatch:
-    __slots__ = ("schema", "columns", "length")
+    __slots__ = ("schema", "columns", "length", "_nbytes")
 
     def __init__(self, schema: Schema, columns: Mapping[str, np.ndarray]):
         self.schema = schema
@@ -66,6 +66,17 @@ class RowBatch:
 
     # -- construction ----------------------------------------------------------
     @classmethod
+    def _trusted(cls, schema: Schema, columns: dict, length: int) -> "RowBatch":
+        """Skip per-column validation for internal row-preserving
+        transforms whose outputs align by construction (filter/take/
+        slice/project). External inputs must go through ``__init__``."""
+        b = cls.__new__(cls)
+        b.schema = schema
+        b.columns = columns
+        b.length = length
+        return b
+
+    @classmethod
     def from_pairs(cls, *pairs: tuple[str, DataType, Sequence]) -> "RowBatch":
         schema = Schema(Column(n, t) for n, t, _ in pairs)
         cols = {n: coerce_column(v, t) for n, t, v in pairs}
@@ -86,7 +97,9 @@ class RowBatch:
             c.name: np.concatenate([b.columns[c.name] for b in batches])
             for c in schema
         }
-        return cls(schema, cols)
+        return cls._trusted(
+            schema, cols, sum(b.length for b in batches) if cols else 0
+        )
 
     # -- basic ops ---------------------------------------------------------------
     def __len__(self) -> int:
@@ -99,18 +112,25 @@ class RowBatch:
         """Keep rows where ``mask`` is True."""
         if mask.all():
             return self
-        return RowBatch(self.schema, {k: v[mask] for k, v in self.columns.items()})
+        cols = {k: v[mask] for k, v in self.columns.items()}
+        n = len(next(iter(cols.values()))) if cols else 0
+        return RowBatch._trusted(self.schema, cols, n)
 
     def take(self, indices: np.ndarray) -> "RowBatch":
         """Gather rows by position (used by joins and sorts)."""
-        return RowBatch(self.schema, {k: v[indices] for k, v in self.columns.items()})
+        cols = {k: v[indices] for k, v in self.columns.items()}
+        return RowBatch._trusted(self.schema, cols, len(indices))
 
     def slice(self, start: int, stop: int) -> "RowBatch":
-        return RowBatch(self.schema, {k: v[start:stop] for k, v in self.columns.items()})
+        cols = {k: v[start:stop] for k, v in self.columns.items()}
+        n = len(next(iter(cols.values()))) if cols else 0
+        return RowBatch._trusted(self.schema, cols, n)
 
     def project(self, names: Sequence[str]) -> "RowBatch":
         schema = self.schema.project(names)
-        return RowBatch(schema, {n: self.columns[n] for n in names})
+        return RowBatch._trusted(
+            schema, {n: self.columns[n] for n in names}, self.length
+        )
 
     def rename(self, mapping: Mapping[str, str]) -> "RowBatch":
         """Rename columns; unmentioned columns keep their names."""
@@ -229,7 +249,14 @@ class RowBatch:
 
     @property
     def nbytes(self) -> int:
-        """In-memory footprint estimate (drives spill decisions)."""
+        """In-memory footprint estimate (drives spill decisions).
+
+        Memoized: batches are immutable once built, and the string-column
+        estimate walks every row."""
+        try:
+            return self._nbytes
+        except AttributeError:
+            pass
         total = 0
         for c in self.schema:
             arr = self.columns[c.name]
@@ -237,6 +264,7 @@ class RowBatch:
                 total += sum(len(s) for s in arr if s is not None) + 8 * len(arr)
             else:
                 total += arr.nbytes
+        self._nbytes = total
         return total
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -83,6 +83,16 @@ class ClusterConfig:
     #: worker threads per morsel-driven pipeline; 0 = auto (number of
     #: disks, throttled by the worker's resource monitor like scan DOP)
     morsel_dop: int = 0
+    #: sites whose table fragment holds fewer rows than this run their
+    #: fused chain inline as a single morsel (no per-fragment split, no
+    #: pool dispatch) — tiny selective scans stop paying scheduling
+    #: overhead; 0 disables the fast path
+    morsel_min_rows: int = 32768
+    #: fold final aggregate/top-k/merge gathers hierarchically across
+    #: the workers' binomial graph before one pre-merged stream reaches
+    #: the coordinator (paper §IV generalized to reduction); False
+    #: falls back to the coordinator-rooted gather tree
+    reduce_tree: bool = True
     #: queries allowed to execute simultaneously; extras queue FIFO in
     #: the coordinator's admission controller (resource-mgmt level 1)
     max_concurrent_queries: int = 4
@@ -136,6 +146,8 @@ class ClusterConfig:
             raise ConfigError("rebalance_send_retries must be >= 1")
         if self.morsel_dop < 0:
             raise ConfigError("morsel_dop must be >= 0 (0 = auto)")
+        if self.morsel_min_rows < 0:
+            raise ConfigError("morsel_min_rows must be >= 0 (0 disables)")
         if self.max_concurrent_queries < 1:
             raise ConfigError("max_concurrent_queries must be >= 1")
         if self.query_memory_grant < 0:

@@ -126,6 +126,10 @@ class ExecStats:
     #: (feeds the concurrency bench's modeled-throughput computation and
     #: exposes worker busy-time skew)
     site_busy_s: dict = field(default_factory=dict)
+    #: measured wall-seconds of work only the coordinator can do (final
+    #: combines, result decode); the counterpart of ``site_busy_s`` that
+    #: the reduce tree is meant to shrink
+    coord_busy_s: float = 0.0
 
     def merge(self, other: "ExecStats") -> "ExecStats":
         """Fold another attempt's (or fragment's) stats into this one.
@@ -165,10 +169,21 @@ class ExecStats:
         for site, s in other.site_busy_s.items():
             merged[site] = merged.get(site, 0.0) + s
         self.site_busy_s = merged
+        self.coord_busy_s += other.coord_busy_s
         return self
 
 
 SiteData = dict[int, list[RowBatch]]
+
+
+@dataclass
+class _ChainRun:
+    """Per-execution state of one fused chain: the per-op row accumulator
+    and, for chains with fused hash joins, each site's probe closures
+    (op id → batch transformer over that site's build-once hash table)."""
+
+    counts: dict[int, int]
+    probes: dict[int, dict[int, Callable[[RowBatch], RowBatch]]]
 
 
 class DistributedExecutor:
@@ -220,6 +235,8 @@ class DistributedExecutor:
         self.scheduler: MorselScheduler | None = None
         #: per-execute() morsel busy time per serving worker, seconds
         self.site_busy_s: dict[int, float] = {}
+        #: per-execute() coordinator-only busy time, seconds
+        self.coord_busy_s = 0.0
         self._busy_mu = threading.Lock()
         #: query-lifecycle tracer (None = tracing disabled: the only cost
         #: at every instrumentation point is this attribute test)
@@ -260,15 +277,21 @@ class DistributedExecutor:
         clone.pipe = PipelineMetrics()
         clone.inflight = InflightTracker()
         clone.site_busy_s = {}
+        clone.coord_busy_s = 0.0
         clone._busy_mu = threading.Lock()
         clone.op_prof = {} if profiled else None
         return clone
 
     def _note_busy(self, site: int, seconds: float) -> None:
-        """Attribute morsel-task wall time to the worker it served (morsel
-        threads may race under ``morsel_dop > 1``, hence the lock)."""
+        """Attribute wall time to the node that did the work: worker ids
+        accrue to ``site_busy_s``, anything else (the coordinator) to
+        ``coord_busy_s`` (morsel threads may race under ``morsel_dop >
+        1``, hence the lock)."""
         with self._busy_mu:
-            self.site_busy_s[site] = self.site_busy_s.get(site, 0.0) + seconds
+            if site in self.workers:
+                self.site_busy_s[site] = self.site_busy_s.get(site, 0.0) + seconds
+            else:
+                self.coord_busy_s += seconds
 
     # -- entry ---------------------------------------------------------------------
     def execute(self, plan: PhysOp, reset_governors: bool = True) -> tuple[RowBatch, ExecStats]:
@@ -283,6 +306,7 @@ class DistributedExecutor:
         self.pipe = PipelineMetrics()
         self.inflight = InflightTracker()
         self.site_busy_s = {}
+        self.coord_busy_s = 0.0
         # spill is attributed by delta, never by reset — the counters are
         # shared with concurrent queries and must stay monotonic
         base_spill = sum(w.governor.spilled_bytes for w in self.workers.values())
@@ -321,6 +345,7 @@ class DistributedExecutor:
             morsels=self.pipe.morsels,
             peak_inflight_batches=self.inflight.peak,
             site_busy_s=dict(self.site_busy_s),
+            coord_busy_s=self.coord_busy_s,
         )
         return result, stats
 
@@ -329,7 +354,7 @@ class DistributedExecutor:
         return self._traced(op, lambda: self._eval_impl(op))
 
     def _eval_impl(self, op: PhysOp) -> SiteData:
-        if op.op in ("filter", "project"):
+        if op.op in ("filter", "project", "hashjoin"):
             chain = self._chain_for(op, allow_bare_scan=False)
             if chain is not None:
                 return self._run_chain_collect(chain)
@@ -420,18 +445,53 @@ class DistributedExecutor:
             return None
         return chain
 
-    def _open_chain(self, chain: FusedChain) -> dict[int, int]:
-        """Account a chain execution and return its row-count accumulator."""
+    def _open_chain(self, chain: FusedChain) -> "_ChainRun":
+        """Account a chain execution and prepare its per-run state.
+
+        For every hash join fused into the chain, the *build* subtree is
+        evaluated here (once per chain run, before any morsel starts),
+        materialized per site, and turned into a per-site probe closure
+        over a build-once :class:`JoinHashTable` — the morsel tasks then
+        stream probe batches through those closures with no per-batch
+        build or key-compile cost.
+        """
         self.pipe.pipelines += 1
         self.pipe.fused_ops += chain.n_ops
         counts = {chain.scan.id: 0}
         for t in chain.transforms:
             counts[t.id] = 0
-        return counts
+        probes: dict[int, dict[int, Callable[[RowBatch], RowBatch]]] = {
+            w: {} for w in self.worker_ids
+        }
+        for jop in chain.probe_ops:
+            right_op = jop.children[1]
+            right = self._eval(right_op)
+            kind = jop.attrs["kind"]
+            pairs = jop.attrs["pairs"]
+            residual = jop.attrs["residual"]
+            lschema = jop.children[0].schema
+            rschema = right_op.schema
+            lkey_fns = [compile_expr(le, lschema).fn for le, _ in pairs]
+            for w in self.worker_ids:
+                t0 = time.perf_counter()
+                rb = self._materialize(w, rschema, right.get(w, []))
+                jht = JoinHashTable(
+                    [np.asarray(compile_expr(re, rschema).fn(rb)) for _, re in pairs]
+                )
+                self._note_busy(w, time.perf_counter() - t0)
+                probes[w][jop.id] = (
+                    lambda lb, jop=jop, jht=jht, rb=rb, kind=kind, pairs=pairs,
+                    residual=residual, lschema=lschema, rschema=rschema,
+                    lkey_fns=lkey_fns: self._probe_batch(
+                        jop, jht, lb, rb, kind, pairs, residual,
+                        lschema, rschema, lkey_fns=lkey_fns,
+                    )
+                )
+        return _ChainRun(counts=counts, probes=probes)
 
-    def _close_chain(self, counts: dict[int, int]) -> None:
+    def _close_chain(self, run: "_ChainRun") -> None:
         """Publish fused per-op actuals for EXPLAIN ANALYZE."""
-        for op_id, n in counts.items():
+        for op_id, n in run.counts.items():
             self.op_rows[op_id] = n
             if self.op_prof is not None and op_id not in self.op_prof:
                 # operators folded into a pipeline have no standalone
@@ -447,14 +507,14 @@ class DistributedExecutor:
     def _run_chain_collect(self, chain: FusedChain) -> SiteData:
         """Evaluate a fused chain to materialized SiteData (used when the
         parent operator has no streaming path)."""
-        counts = self._open_chain(chain)
+        run = self._open_chain(chain)
         out: SiteData = {}
         for w in self.worker_ids:
-            out[w] = list(self._chain_site_batches(chain, w, counts))
-        self._close_chain(counts)
+            out[w] = list(self._chain_site_batches(chain, w, run))
+        self._close_chain(run)
         return out
 
-    def _chain_site_batches(self, chain: FusedChain, w: int, counts: dict[int, int]):
+    def _chain_site_batches(self, chain: FusedChain, w: int, run: _ChainRun):
         """Stream one site's batches through the fused chain, wrapped in a
         per-site ``pipeline`` span when tracing.
 
@@ -467,29 +527,30 @@ class DistributedExecutor:
         """
         tr = self.tracer
         if tr is None:
-            yield from self._chain_site_batches_impl(chain, w, counts)
+            yield from self._chain_site_batches_impl(chain, w, run)
             return
         sp = tr.begin(
             "pipeline", cat="pipeline", node=w, table=chain.scan.attrs["table"]
         )
         rows = 0
         try:
-            for b in self._chain_site_batches_impl(chain, w, counts):
+            for b in self._chain_site_batches_impl(chain, w, run):
                 rows += b.length
                 yield b
         finally:
             tr.end(sp, rows=rows)
 
-    def _chain_site_batches_impl(
-        self, chain: FusedChain, w: int, counts: dict[int, int]
-    ):
+    def _chain_site_batches_impl(self, chain: FusedChain, w: int, run: _ChainRun):
         """Stream one site's batches through the fused chain.
 
         Each table fragment becomes one morsel task that scans and runs
         the full transform chain in its worker thread; the driver thread
         consumes task results in submission order, so every downstream
         send sequence (and the fault injector's clock) stays
-        deterministic no matter how threads interleave.
+        deterministic no matter how threads interleave. Fragments of a
+        table smaller than ``morsel_min_rows`` run as one inline morsel
+        instead — tiny selective scans don't pay per-fragment scheduling
+        overhead.
         """
         op = chain.scan
         table = op.attrs["table"]
@@ -501,36 +562,85 @@ class DistributedExecutor:
             raise ExecutionError(f"worker {serving} has no table {table!r}")
         needed, pred_fn, scan_pred, finish = self._scan_plan(storage, op)
         steps = chain.steps()
+        probes = run.probes.get(w)
+        counts = run.counts
         scan_id = op.id
         n_disks = len(storage.fragments)
+        min_rows = self.config.morsel_min_rows
+        inline = min_rows > 0 and storage.row_count < min_rows
         dop = self.config.morsel_dop or rt.current_dop()
         dop = max(1, min(dop, n_disks))
         threaded = (
-            (self.config.parallel_scans or self.config.morsel_dop > 1)
+            not inline
+            and (self.config.parallel_scans or self.config.morsel_dop > 1)
             and dop > 1
             and n_disks > 1
         )
 
-        def morsel(d: int) -> tuple[list[RowBatch], dict[int, int], ScanStats]:
+        # a probe has fixed NumPy setup cost per call, so probing each
+        # page-set-sized scan batch wastes most of the kernel's width.
+        # Run the cheap pre-probe steps per batch, then concatenate the
+        # survivors and probe once per morsel — the classic one-probe-
+        # per-morsel shape. Probe output is probe-major, so probing the
+        # concatenation is bit-identical to concatenating per-batch
+        # probes; grouping depends only on deterministic batch sizes.
+        probe_at = next(
+            (i for i, (_i, kind, _p) in enumerate(steps) if kind == "probe"), None
+        )
+        pre = steps if probe_at is None else steps[:probe_at]
+        post = None if probe_at is None else steps[probe_at:]
+
+        # page sets are sized by the table's widest column, so a scan of
+        # narrow columns yields batches far below batch_size; coalescing
+        # the raw stream first lets finish/filter/probe run at full
+        # batch width (grouping depends only on deterministic sizes)
+        target = max(1, self.config.batch_size)
+
+        def morsel(ds: list[int] | None) -> tuple[list[RowBatch], dict[int, int], ScanStats]:
             t0 = time.perf_counter()
             st = ScanStats()
             local: dict[int, int] = {}
             outs: list[RowBatch] = []
-            for raw in storage.scan(
-                needed, pred_fn, scan_pred,
-                skipping=self.config.data_skipping, stats=st, disks=[d],
-            ):
+            staged: list[RowBatch] = []
+            buf: list[RowBatch] = []
+            held = 0
+
+            def step(raws: list[RowBatch]) -> None:
+                raw = raws[0] if len(raws) == 1 else RowBatch.concat(raws[0].schema, raws)
                 b = finish(raw)
                 local[scan_id] = local.get(scan_id, 0) + b.length
-                b = apply_steps(b, steps, local)
+                b = apply_steps(b, pre, local, probes)
+                if b is not None and b.length:
+                    (outs if post is None else staged).append(b)
+
+            for raw in storage.scan(
+                needed, pred_fn, scan_pred,
+                skipping=self.config.data_skipping, stats=st, disks=ds,
+            ):
+                buf.append(raw)
+                held += raw.length
+                if held >= target:
+                    step(buf)
+                    buf, held = [], 0
+            if buf:
+                step(buf)
+            if post is not None and staged:
+                merged = (
+                    staged[0] if len(staged) == 1
+                    else RowBatch.concat(staged[0].schema, staged)
+                )
+                b = apply_steps(merged, post, local, probes)
                 if b is not None and b.length:
                     outs.append(b)
             self.inflight.produced(len(outs))
             self._note_busy(serving, time.perf_counter() - t0)
             return outs, local, st
 
-        self.pipe.morsels += n_disks
-        tasks = [lambda d=d: morsel(d) for d in range(n_disks)]
+        if inline:
+            tasks = [lambda: morsel(None)]
+        else:
+            tasks = [lambda d=d: morsel([d]) for d in range(n_disks)]
+        self.pipe.morsels += len(tasks)
         for outs, local, st in run_tasks_ordered(tasks, dop, threaded, self.scheduler):
             self._scan_stats.merge(st)
             for op_id, n in local.items():
@@ -785,16 +895,20 @@ class DistributedExecutor:
     def _eval_filter(self, op: PhysOp) -> SiteData:
         child = self._eval(op.children[0])
         pred = compile_predicate(op.attrs["predicate"], op.children[0].schema)
-        return {
-            site: [b.filter(pred(b)) for b in batches if b.length]
-            for site, batches in child.items()
-        }
+        out: SiteData = {}
+        for site, batches in child.items():
+            t0 = time.perf_counter()
+            out[site] = [b.filter(pred(b)) for b in batches if b.length]
+            self._note_busy(site, time.perf_counter() - t0)
+        return out
 
     def _eval_project(self, op: PhysOp) -> SiteData:
         child = self._eval(op.children[0])
         out: SiteData = {}
         for site, batches in child.items():
+            t0 = time.perf_counter()
             out[site] = [project_batch(b, op.attrs["exprs"], op.schema) for b in batches]
+            self._note_busy(site, time.perf_counter() - t0)
         return out
 
     def _eval_limit(self, op: PhysOp) -> SiteData:
@@ -816,10 +930,12 @@ class DistributedExecutor:
         child = self._eval(op.children[0])
         out: SiteData = {}
         for site, batches in child.items():
+            t0 = time.perf_counter()
             merged = self._materialize(site, op.schema, batches)
             if merged.length:
                 merged = merged.take(sort_indices(merged, op.attrs["keys"]))
             out[site] = [merged]
+            self._note_busy(site, time.perf_counter() - t0)
         return out
 
     def _eval_topk(self, op: PhysOp) -> SiteData:
@@ -827,33 +943,42 @@ class DistributedExecutor:
         chain = self._chain_for(op.children[0], allow_bare_scan=True)
         if chain is not None:
             # fused: fold the bounded heap directly over chain output
-            counts = self._open_chain(chain)
+            run = self._open_chain(chain)
             out: SiteData = {}
             for site in self.worker_ids:
                 acc = RowBatch.empty(op.schema)
+                fold_s = 0.0
                 for b in self._coalesce(
-                    self._chain_site_batches(chain, site, counts), op.schema
+                    self._chain_site_batches(chain, site, run), op.schema
                 ):
+                    t0 = time.perf_counter()
                     acc = top_k(RowBatch.concat(op.schema, [acc, b]), keys, k)
+                    fold_s += time.perf_counter() - t0
                 out[site] = [acc]
-            self._close_chain(counts)
+                if fold_s:
+                    self._note_busy(site, fold_s)
+            self._close_chain(run)
             return out
         child = self._eval(op.children[0])
         out: SiteData = {}
         for site, batches in child.items():
             # streaming bounded heap: fold batches through top_k
+            t0 = time.perf_counter()
             acc = RowBatch.empty(op.schema)
             for b in batches:
                 acc = top_k(RowBatch.concat(op.schema, [acc, b]), keys, k)
             out[site] = [acc]
+            self._note_busy(site, time.perf_counter() - t0)
         return out
 
     def _eval_distinct(self, op: PhysOp) -> SiteData:
         child = self._eval(op.children[0])
         out: SiteData = {}
         for site, batches in child.items():
+            t0 = time.perf_counter()
             merged = self._materialize(site, op.schema, batches)
             out[site] = [distinct_batch(merged)]
+            self._note_busy(site, time.perf_counter() - t0)
         return out
 
     def _eval_union(self, op: PhysOp) -> SiteData:
@@ -886,6 +1011,7 @@ class DistributedExecutor:
         child = self._eval(op.children[0])
         out: SiteData = {}
         for site, batches in child.items():
+            t0 = time.perf_counter()
             if mode == "complete":
                 res = self._complete_aggregate(site, op, keys, batches)
             else:
@@ -897,6 +1023,7 @@ class DistributedExecutor:
                 else:
                     raise ExecutionError(f"unknown agg mode {mode}")
             out[site] = [res]
+            self._note_busy(site, time.perf_counter() - t0)
         return out
 
     def _eval_agg_fused(self, op: PhysOp, chain: FusedChain, keys, mode: str) -> SiteData:
@@ -920,19 +1047,23 @@ class DistributedExecutor:
 
             node = SimpleNamespace(group_keys=keys, aggs=op.attrs["aggs"])
             partial_schema, partial_specs, final_specs = _split_aggs(node, child_schema)
-        counts = self._open_chain(chain)
+        run = self._open_chain(chain)
         out: SiteData = {}
         for site in self.worker_ids:
             acc: RowBatch | None = None
+            fold_s = 0.0
             for b in self._coalesce(
-                self._chain_site_batches(chain, site, counts), child_schema
+                self._chain_site_batches(chain, site, run), child_schema
             ):
+                t0 = time.perf_counter()
                 part = _partial_aggregate(b, keys, partial_specs, partial_schema)
                 if acc is None:
                     acc = part
                 else:
                     both = RowBatch.concat(partial_schema, [acc, part])
                     acc = _combine_partials(both, keys, partial_specs, partial_schema)
+                fold_s += time.perf_counter() - t0
+            t0 = time.perf_counter()
             if acc is None:
                 # empty site: aggregate the empty input once (keeps the
                 # engine's empty-input semantics — COUNT/SUM partials of
@@ -944,7 +1075,8 @@ class DistributedExecutor:
             if mode == "complete":
                 acc = _final_aggregate(acc, keys, final_specs, op.schema)
             out[site] = [acc]
-        self._close_chain(counts)
+            self._note_busy(site, fold_s + (time.perf_counter() - t0))
+        self._close_chain(run)
         return out
 
     def _complete_aggregate(self, site, op: PhysOp, keys, batches) -> RowBatch:
@@ -1016,8 +1148,12 @@ class DistributedExecutor:
         streaming = (
             self.config.pipelined_execution and pairs and kind in ("inner", "semi", "anti")
         )
+        lkey_fns = (
+            [compile_expr(le, left_op.schema).fn for le, _ in pairs] if streaming else None
+        )
         out: SiteData = {}
         for site in self._instances(op):
+            t0 = time.perf_counter()
             rb = self._materialize(site, right_op.schema, right.get(site, []))
             if streaming:
                 # build once, probe every left batch as it streams by —
@@ -1030,7 +1166,7 @@ class DistributedExecutor:
                 )
                 parts = [
                     self._probe_batch(op, jht, lb, rb, kind, pairs, residual,
-                                      left_op.schema, right_op.schema)
+                                      left_op.schema, right_op.schema, lkey_fns=lkey_fns)
                     for lb in self._coalesce(left.get(site, []), left_op.schema)
                 ]
                 parts = [p for p in parts if p.length]
@@ -1041,14 +1177,18 @@ class DistributedExecutor:
                     hash_join(lb, rb, kind, pairs, residual, op.schema, match_col,
                               left_op.schema, right_op.schema)
                 ]
+            self._note_busy(site, time.perf_counter() - t0)
         return out
 
     def _probe_batch(
         self, op: PhysOp, jht: JoinHashTable, lb: RowBatch, rb: RowBatch,
         kind: str, pairs, residual, lschema: Schema, rschema: Schema,
+        lkey_fns=None,
     ) -> RowBatch:
         """Probe one left batch against a prebuilt join hash table."""
-        lkeys = [np.asarray(compile_expr(le, lschema).fn(lb)) for le, _ in pairs]
+        if lkey_fns is None:
+            lkey_fns = [compile_expr(le, lschema).fn for le, _ in pairs]
+        lkeys = [np.asarray(fn(lb)) for fn in lkey_fns]
         li, ri = jht.match_indices(lkeys)
         if residual and len(li):
             combined = _combine(lb.take(li), rb.take(ri))
@@ -1118,10 +1258,12 @@ class DistributedExecutor:
     # -- exchanges ----------------------------------------------------------------------
     def _shuffle_batch(self, src: int, batch: RowBatch, compiled, buffers, tag: str, prefilter) -> None:
         """Partition one batch by key hash and send/buffer each slice."""
+        t0 = time.perf_counter()
         n = len(self.worker_ids)
         if prefilter is not None:
             batch = prefilter(batch)
         if batch.length == 0:
+            self._note_busy(src, time.perf_counter() - t0)
             return
         arrays = [np.asarray(c.fn(batch)) for c in compiled]
         codes = _value_hash(arrays)
@@ -1143,6 +1285,7 @@ class DistributedExecutor:
                     lambda: self.net.route_send(self.ntm, src, dest, payload, tag),
                     dest,
                 )
+        self._note_busy(src, time.perf_counter() - t0)
 
     def _eval_shuffle(self, op: PhysOp, prefilter=None) -> SiteData:
         child_op = op.children[0]
@@ -1158,13 +1301,13 @@ class DistributedExecutor:
             # streaming exchange: each batch is partitioned and routed the
             # moment its morsel completes — the producer side never
             # materializes its output
-            counts = self._open_chain(chain)
+            run = self._open_chain(chain)
             for src in self.worker_ids:
                 for batch in self._coalesce(
-                    self._chain_site_batches(chain, src, counts), child_op.schema
+                    self._chain_site_batches(chain, src, run), child_op.schema
                 ):
                     self._shuffle_batch(src, batch, compiled, buffers, tag, prefilter)
-            self._close_chain(counts)
+            self._close_chain(run)
         else:
             child = self._eval(child_op)
             for src, batches in child.items():
@@ -1172,10 +1315,12 @@ class DistributedExecutor:
                     self._shuffle_batch(src, batch, compiled, buffers, tag, prefilter)
         out: SiteData = {}
         for w in self.worker_ids:
+            t0 = time.perf_counter()
             for _, _, payload in self.net.recv_all(w, tag):
                 buffers[w].append(RowBatch.from_bytes(payload))
             out[w] = list(buffers[w])
             buffers[w].close()
+            self._note_busy(w, time.perf_counter() - t0)
         return out
 
     def _eval_broadcast(self, op: PhysOp) -> SiteData:
@@ -1185,14 +1330,16 @@ class DistributedExecutor:
             chain = self._chain_for(child_op, allow_bare_scan=True)
             if chain is not None:
                 # streaming broadcast: replicate each batch as it is produced
-                counts = self._open_chain(chain)
+                run = self._open_chain(chain)
                 local: SiteData = {w: [] for w in self.worker_ids}
                 for src in self.worker_ids:
                     for b in self._coalesce(
-                        self._chain_site_batches(chain, src, counts), child_op.schema
+                        self._chain_site_batches(chain, src, run), child_op.schema
                     ):
                         local[src].append(b)
+                        t0 = time.perf_counter()
                         payload = b.to_bytes()
+                        self._note_busy(src, time.perf_counter() - t0)
                         for dest in self.worker_ids:
                             if dest != src:
                                 self._retrying(
@@ -1201,13 +1348,15 @@ class DistributedExecutor:
                                     ),
                                     dest,
                                 )
-                self._close_chain(counts)
+                self._close_chain(run)
                 out: SiteData = {}
                 for w in self.worker_ids:
+                    t0 = time.perf_counter()
                     received = [
                         RowBatch.from_bytes(p) for _, _, p in self.net.recv_all(w, tag)
                     ]
                     out[w] = local[w] + received
+                    self._note_busy(w, time.perf_counter() - t0)
                 return out
         child = self._eval(child_op)
         if child_op.site == COORD:
@@ -1224,7 +1373,9 @@ class DistributedExecutor:
                 return child  # already everywhere
             for src, batches in sources:
                 for b in batches:
+                    t0 = time.perf_counter()
                     payload = b.to_bytes()
+                    self._note_busy(src, time.perf_counter() - t0)
                     for dest in self.worker_ids:
                         if dest != src:
                             self._retrying(
@@ -1235,9 +1386,11 @@ class DistributedExecutor:
                             )
         out: SiteData = {}
         for w in self.worker_ids:
+            t0 = time.perf_counter()
             received = [RowBatch.from_bytes(p) for _, _, p in self.net.recv_all(w, tag)]
             local = child.get(w, []) if child_op.site == WORKERS else []
             out[w] = local + received
+            self._note_busy(w, time.perf_counter() - t0)
         return out
 
     def _eval_gather(self, op: PhysOp) -> SiteData:
@@ -1255,25 +1408,29 @@ class DistributedExecutor:
                 sources = self.worker_ids
                 if op.attrs.get("replicated_child"):
                     sources = self.worker_ids[:1]
-                counts = self._open_chain(chain)
+                run = self._open_chain(chain)
                 for w in self.worker_ids:
                     forward = w in sources
                     for b in self._coalesce(
-                        self._chain_site_batches(chain, w, counts), child_op.schema
+                        self._chain_site_batches(chain, w, run), child_op.schema
                     ):
                         if forward:
+                            t0 = time.perf_counter()
                             payload = b.to_bytes()
+                            self._note_busy(w, time.perf_counter() - t0)
                             self._retrying(
                                 lambda w=w: self.net.route_send(
                                     self.tree, w, self.coord_id, payload, tag
                                 ),
                                 self.coord_id,
                             )
-                self._close_chain(counts)
+                self._close_chain(run)
+                t0 = time.perf_counter()
                 received = [
                     RowBatch.from_bytes(p)
                     for _, _, p in self.net.recv_all(self.coord_id, tag)
                 ]
+                self._note_busy(self.coord_id, time.perf_counter() - t0)
                 return {self.coord_id: received}
         if child_op.op == "shuffle":
             child = self._traced(child_op, lambda: self._eval_shuffle(child_op))
@@ -1286,19 +1443,33 @@ class DistributedExecutor:
             sources = self.worker_ids[:1]
 
         if mode in ("combine", "topk", "merge"):
+            # baseline engines swap in degenerate topologies without a
+            # reduce schedule — they keep their flat coordinator merge
+            if (
+                self.config.reduce_tree
+                and len(self.worker_ids) > 1
+                and hasattr(self.ntm, "reduce_schedule")
+            ):
+                return {
+                    self.coord_id: self._reduce_tree_gather(op, child, sources, tag, mode)
+                }
             return {self.coord_id: self._tree_gather(op, child, sources, tag, mode)}
 
         # concat: route worker batches up the tree to the coordinator
         for w in sources:
             for b in child.get(w, []):
+                t0 = time.perf_counter()
                 payload = b.to_bytes()
+                self._note_busy(w, time.perf_counter() - t0)
                 self._retrying(
                     lambda w=w: self.net.route_send(self.tree, w, self.coord_id, payload, tag),
                     self.coord_id,
                 )
+        t0 = time.perf_counter()
         received = [
             RowBatch.from_bytes(p) for _, _, p in self.net.recv_all(self.coord_id, tag)
         ]
+        self._note_busy(self.coord_id, time.perf_counter() - t0)
         return {self.coord_id: received}
 
     def _tree_gather(
@@ -1312,12 +1483,14 @@ class DistributedExecutor:
         levels = self.tree.levels()
         for level in reversed(levels[1:]):  # deepest level first
             for node in level:
+                t0 = time.perf_counter()
                 combined = self._combine_level(op, buffers[node], mode)
                 parent = self.tree.parent(node)
                 # nodes holding nothing stay silent: an idle (possibly down)
                 # node must not force a send on the reduction path
                 if combined is not None and combined.length > 0:
                     payload = combined.to_bytes()
+                    self._note_busy(node, time.perf_counter() - t0)
                     self._retrying(
                         lambda node=node, parent=parent: self.net.send(
                             node, parent, payload, tag
@@ -1327,9 +1500,90 @@ class DistributedExecutor:
                 buffers[node] = []
             # parents pick up what their children pushed
             for node in {self.tree.parent(n) for n in level}:
+                t0 = time.perf_counter()
                 for _, _, payload in self.net.recv_all(node, tag):
                     buffers[node].append(RowBatch.from_bytes(payload))
+                self._note_busy(node, time.perf_counter() - t0)
+        t0 = time.perf_counter()
         final = self._combine_level(op, buffers[self.coord_id], mode)
+        self._note_busy(self.coord_id, time.perf_counter() - t0)
+        return [final] if final is not None else []
+
+    def _reduce_tree_gather(
+        self, op: PhysOp, child: SiteData, sources: Sequence[int], tag: str, mode: str
+    ) -> list[RowBatch]:
+        """Hierarchical reduce over the workers' binomial graph.
+
+        Workers fold partial states pairwise along
+        :meth:`BinomialGraphTopology.reduce_schedule` rounds — every
+        combine (``_combine_partials`` fold, top-k heap fold, or sorted
+        merge) runs on a *worker*, and the coordinator receives a single
+        pre-merged stream from the reduction root instead of one stream
+        per worker. This is the paper's generalized binomial graph used
+        for reduction rather than shuffle routing; with the serial
+        driver it moves the O(n) merge work off the coordinator's
+        ledger, and on a real cluster off its CPU.
+
+        Nodes whose state is empty stay silent (idle nodes must not
+        force sends), matching :meth:`_tree_gather`. The schedule and
+        per-round ``recv_all`` order are deterministic functions of the
+        worker list, so results stay byte-identical across fault seeds
+        and rebalances for a fixed placement.
+        """
+        states: dict[int, RowBatch | None] = {}
+        for w in self.worker_ids:
+            batches = child.get(w, []) if w in sources else []
+            t0 = time.perf_counter()
+            combined = self._combine_level(op, batches, mode) if batches else None
+            if combined is not None:
+                self._note_busy(w, time.perf_counter() - t0)
+            states[w] = combined if combined is not None and combined.length else None
+        root = self.worker_ids[0]
+        for rnd in self.ntm.reduce_schedule(root):
+            receivers: list[int] = []
+            for src, dst in rnd:
+                st = states.get(src)
+                states[src] = None
+                if st is None:
+                    continue
+                t0 = time.perf_counter()
+                payload = st.to_bytes()
+                self._note_busy(src, time.perf_counter() - t0)
+                self._retrying(
+                    lambda src=src, dst=dst, payload=payload: self.net.route_send(
+                        self.ntm, src, dst, payload, tag
+                    ),
+                    dst,
+                )
+                receivers.append(dst)
+            for dst in receivers:
+                t0 = time.perf_counter()
+                received = [
+                    RowBatch.from_bytes(p) for _, _, p in self.net.recv_all(dst, tag)
+                ]
+                if received:
+                    have = states.get(dst)
+                    parts = ([have] if have is not None else []) + received
+                    states[dst] = self._combine_level(op, parts, mode)
+                self._note_busy(dst, time.perf_counter() - t0)
+        final_state = states.get(root)
+        if final_state is not None and final_state.length:
+            t0 = time.perf_counter()
+            payload = final_state.to_bytes()
+            self._note_busy(root, time.perf_counter() - t0)
+            self._retrying(
+                lambda: self.net.route_send(
+                    self.tree, root, self.coord_id, payload, tag
+                ),
+                self.coord_id,
+            )
+        t0 = time.perf_counter()
+        received = [
+            RowBatch.from_bytes(p)
+            for _, _, p in self.net.recv_all(self.coord_id, tag)
+        ]
+        final = self._combine_level(op, received, mode)
+        self._note_busy(self.coord_id, time.perf_counter() - t0)
         return [final] if final is not None else []
 
     def _combine_level(self, op: PhysOp, batches: list[RowBatch], mode: str) -> RowBatch | None:

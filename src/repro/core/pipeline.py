@@ -71,9 +71,14 @@ class InflightTracker:
 class FusedChain:
     """A fusable linear operator chain rooted at a worker-site scan.
 
-    ``transforms`` holds the filter/project ops bottom-up (nearest the
-    scan first). :meth:`steps` compiles them once; :func:`apply_steps`
-    then runs a batch through the whole chain in one pass.
+    ``transforms`` holds the filter/project/hash-join ops bottom-up
+    (nearest the scan first). A ``hashjoin`` transform is a *probe* step:
+    the chain runs down the join's probe side, while the build side is a
+    separate subtree the executor evaluates once per chain run (a
+    build-once :class:`~repro.core.kernels.JoinHashTable` per site) and
+    binds as a per-site probe closure. :meth:`steps` compiles the
+    site-independent pieces once; :func:`apply_steps` then runs a batch
+    through the whole chain in one pass.
     """
 
     scan: PhysOp
@@ -88,11 +93,19 @@ class FusedChain:
     def n_ops(self) -> int:
         return 1 + len(self.transforms)
 
+    @property
+    def probe_ops(self) -> list[PhysOp]:
+        """Hash-join probes folded into the chain, bottom-up."""
+        return [t for t in self.transforms if t.op == "hashjoin"]
+
     def steps(self) -> list[tuple[int, str, object]]:
         """Compiled (op_id, kind, payload) list; compiled lazily once.
 
         Call from the driver thread before spawning morsel tasks — the
         compiled closures are pure and safe to share across threads.
+        Probe steps carry no payload here: their per-site closures (the
+        hash table is per site) are passed to :func:`apply_steps`
+        separately.
         """
         if self._steps is None:
             steps: list[tuple[int, str, object]] = []
@@ -100,15 +113,33 @@ class FusedChain:
                 child_schema = t.children[0].schema
                 if t.op == "filter":
                     steps.append((t.id, "filter", compile_predicate(t.attrs["predicate"], child_schema)))
+                elif t.op == "hashjoin":
+                    steps.append((t.id, "probe", None))
                 else:
                     steps.append((t.id, "project", (t.attrs["exprs"], t.schema)))
             self._steps = steps
         return self._steps
 
 
-def fuse_chain(op: PhysOp) -> FusedChain | None:
-    """Detect a linear filter/project chain over a WORKERS-site scan.
+def streamable_join(op: PhysOp) -> bool:
+    """Probe-order-preserving joins stream: inner/semi/anti with equi
+    pairs. Left/single/cross joins need the whole probe side (unmatched
+    padding order, scalar cardinality checks) and never fuse."""
+    return bool(op.attrs.get("pairs")) and op.attrs.get("kind") in (
+        "inner",
+        "semi",
+        "anti",
+    )
 
+
+def fuse_chain(op: PhysOp) -> FusedChain | None:
+    """Detect a linear chain of filter/project/hash-join-probe operators
+    over a WORKERS-site scan.
+
+    A hash join continues the chain down its *probe* (left) side when the
+    join kind preserves probe order; the build side is recorded on the
+    transform for the executor to evaluate separately — so join-on-join
+    plans (e.g. TPC-H Q10's two joins) fold into one single-pass task.
     Returns None when ``op`` is not fusable (wrong site, a non-linear
     shape, or a leaf other than a table scan); callers then fall back to
     operator-at-a-time evaluation.
@@ -117,9 +148,15 @@ def fuse_chain(op: PhysOp) -> FusedChain | None:
         return None
     transforms: list[PhysOp] = []
     cur = op
-    while cur.op in ("filter", "project"):
-        if len(cur.children) != 1:
-            return None
+    while True:
+        if cur.op in ("filter", "project"):
+            if len(cur.children) != 1:
+                return None
+        elif cur.op == "hashjoin" and streamable_join(cur):
+            if len(cur.children) != 2:
+                return None
+        else:
+            break
         transforms.append(cur)
         cur = cur.children[0]
         if cur.site != WORKERS:
@@ -130,18 +167,28 @@ def fuse_chain(op: PhysOp) -> FusedChain | None:
 
 
 def apply_steps(
-    batch: RowBatch, steps: list[tuple[int, str, object]], counts: dict[int, int]
+    batch: RowBatch,
+    steps: list[tuple[int, str, object]],
+    counts: dict[int, int],
+    probes: Optional[dict[int, Callable[[RowBatch], RowBatch]]] = None,
 ) -> RowBatch | None:
     """Run one batch through a chain's compiled transforms, single pass.
 
+    ``probes`` maps a fused hash join's op id to the current site's probe
+    closure (built once per chain run over that site's build data).
     Accumulates each fused operator's output row count into ``counts``
-    (EXPLAIN ANALYZE accounting). Returns None as soon as a filter
-    leaves zero rows — the rest of the chain is skipped, matching the
-    operator-at-a-time engine's empty-batch dropping.
+    (EXPLAIN ANALYZE accounting). Returns None as soon as a filter or
+    probe leaves zero rows — the rest of the chain is skipped, matching
+    the operator-at-a-time engine's empty-batch dropping.
     """
     for op_id, kind, payload in steps:
         if kind == "filter":
             batch = batch.filter(payload(batch))
+            counts[op_id] = counts.get(op_id, 0) + batch.length
+            if batch.length == 0:
+                return None
+        elif kind == "probe":
+            batch = probes[op_id](batch)
             counts[op_id] = counts.get(op_id, 0) + batch.length
             if batch.length == 0:
                 return None

@@ -179,6 +179,39 @@ class BinomialGraphTopology(Topology):
         out.discard(node)
         return out
 
+    def reduce_schedule(self, root: int) -> list[list[tuple[int, int]]]:
+        """Rounds of ``(src, dst)`` transfers folding every node's state
+        into ``root`` — the binomial graph used for *reduction*, not just
+        shuffle routing (paper §IV generalized).
+
+        Round ``r`` pairs survivors ``2^r`` ring positions apart: a node
+        whose offset from the root has lowest set bit ``2^r`` sends its
+        (already locally reduced) state to the survivor ``2^r`` below it.
+        Every non-root node sends exactly once, the root never sends, no
+        node receives more than one stream per round, and the schedule is
+        ``ceil(log2 n)`` rounds deep. Transfers follow ring offsets, so
+        hop-by-hop delivery stays inside the graph's jump distances (the
+        ``N_max`` connection bound holds; non-edge offsets are forwarded
+        greedily like any other n-to-m traffic).
+        """
+        if root not in self._pos:
+            raise TopologyError("node not in topology")
+        n = len(self.nodes)
+        ri = self._pos[root]
+
+        def at(offset: int) -> int:
+            return self.nodes[(ri + offset) % n]
+
+        rounds: list[list[tuple[int, int]]] = []
+        step = 1
+        while step < n:
+            pairs = [
+                (at(off), at(off - step)) for off in range(step, n, 2 * step)
+            ]
+            rounds.append(pairs)
+            step *= 2
+        return rounds
+
     def route(self, src: int, dst: int) -> list[int]:
         if src not in self._pos or dst not in self._pos:
             raise TopologyError("node not in topology")

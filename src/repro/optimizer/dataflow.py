@@ -160,7 +160,7 @@ class DataflowPlanner:
         p = self._plan(logical)
         if p.site != COORD:
             p = _gather_concat(p)
-        return fuse_scans(p)
+        return prune_exchange_columns(fuse_scans(p))
 
     # -- dispatch -----------------------------------------------------------------
     def _plan(self, node: LogicalPlan) -> PhysOp:
@@ -619,4 +619,151 @@ def fuse_scans(plan: PhysOp) -> PhysOp:
             scan.attrs["est_rows"] = plan.attrs["est_rows"]
             scan.attrs["est_bytes"] = plan.attrs["est_bytes"]
         return scan
+    return plan
+
+
+# ---------------------------------------------------------------------------
+# dead-column elimination at exchange boundaries
+# ---------------------------------------------------------------------------
+
+#: ops whose output columns are exactly their (first) child's columns
+_PASS_THROUGH = ("filter", "sort", "topk", "limit")
+
+
+def _colbase(name: str) -> str:
+    return name.rsplit(".", 1)[-1]
+
+
+def _expr_refs(exprs) -> set[str]:
+    from ..sql.ast import column_refs
+
+    out: set[str] = set()
+    for e in exprs:
+        if e is None:
+            continue
+        if isinstance(e, str):  # bare column name (e.g. sort key)
+            out.add(_colbase(e))
+            continue
+        for r in column_refs(e):
+            out.add(r.name)
+    return out
+
+
+def _order_key_exprs(items) -> list[Expr]:
+    # sort keys appear both as (expr, ascending) tuples and OrderItems
+    return [it[0] if isinstance(it, tuple) else it.expr for it in items]
+
+
+def _agg_child_reads(attrs) -> set[str] | None:
+    """Base column names an agg reads from its child; None = keep all."""
+    if attrs.get("mode", "complete") == "final":
+        return None  # reads partial accumulator columns (already tiny)
+    out = {_colbase(k) for k in attrs.get("group_keys", ())}
+    specs = list(attrs.get("aggs", ())) + list(attrs.get("partial_specs", ()) or ())
+    for s in specs:
+        if getattr(s, "arg", None):
+            out.add(_colbase(s.arg))
+        if getattr(s, "valid_col", None):
+            out.add(_colbase(s.valid_col))
+    return out
+
+
+def _prune_wire(op: PhysOp, child_needed: set[str] | None) -> None:
+    """Insert a projection below an exchange so dead columns never hit
+    the wire codec; no-op when the child already shrank to the set."""
+    child = op.children[0]
+    if child_needed is not None:
+        kept = [c for c in child.schema if _colbase(c.name) in child_needed]
+        if 0 < len(kept) < len(child.schema.columns):
+            pruned = Schema(kept)
+            op.children = [
+                make(
+                    "project",
+                    [child],
+                    pruned,
+                    child.site,
+                    child.partitioning,
+                    exprs=[(c.name, ColumnRef(c.name)) for c in kept],
+                )
+            ]
+    op.schema = op.children[0].schema
+
+
+def _prune(op: PhysOp, needed: set[str] | None) -> None:
+    kind = op.op
+    if kind in _PASS_THROUGH:
+        if kind == "filter":
+            extra = _expr_refs([op.attrs["predicate"]])
+        elif kind in ("sort", "topk"):
+            extra = _expr_refs(_order_key_exprs(op.attrs["keys"]))
+        else:
+            extra = set()
+        child_needed = None if needed is None else {_colbase(n) for n in needed} | {_colbase(n) for n in extra}
+        _prune(op.children[0], child_needed)
+        op.schema = op.children[0].schema
+    elif kind == "project":
+        _prune(op.children[0], _expr_refs([e for _, e in op.attrs["exprs"]]))
+    elif kind == "agg":
+        _prune(op.children[0], _agg_child_reads(op.attrs))
+    elif kind in ("shuffle", "broadcast"):
+        extra = _expr_refs(op.attrs.get("key_exprs", ()))
+        child_needed = None if needed is None else {_colbase(n) for n in needed} | {_colbase(n) for n in extra}
+        _prune(op.children[0], child_needed)
+        _prune_wire(op, child_needed)
+    elif kind == "gather":
+        if op.attrs.get("mode") in ("concat", "merge", "topk"):
+            extra = _expr_refs(_order_key_exprs(op.attrs.get("sort_keys", ()) or ()))
+            child_needed = None if needed is None else {_colbase(n) for n in needed} | {_colbase(n) for n in extra}
+            _prune(op.children[0], child_needed)
+            _prune_wire(op, child_needed)
+        else:  # combine: reads every accumulator column
+            _prune(op.children[0], None)
+    elif kind == "hashjoin" and op.attrs.get("kind") in ("inner", "cross", "semi", "anti"):
+        pairs = op.attrs.get("pairs", ())
+        extra = (
+            _expr_refs([le for le, _ in pairs])
+            | _expr_refs([re for _, re in pairs])
+            | _expr_refs(op.attrs.get("residual", ()) or ())
+        )
+        extra = {_colbase(n) for n in extra}
+        child_needed = None if needed is None else {_colbase(n) for n in needed} | extra
+        _prune(op.children[0], child_needed)
+        if op.attrs["kind"] in ("semi", "anti"):
+            # right side only feeds key/residual lookups; its rows never
+            # reach the output
+            _prune(op.children[1], None if needed is None else extra)
+            op.schema = op.children[0].schema
+        else:
+            _prune(op.children[1], child_needed)
+            if child_needed is not None:
+                kept = [c for c in op.schema if _colbase(c.name) in needed]
+                if not kept:
+                    # e.g. COUNT(*) above: keep one (key) column so row
+                    # counts survive; keys are in child_needed by design
+                    kept = [
+                        c for c in op.schema.columns
+                        if _colbase(c.name) in child_needed
+                    ][:1]
+                if kept and len(kept) < len(op.schema.columns):
+                    op.schema = Schema(kept)
+    else:
+        # scan/dual/union/distinct/left/single joins/unknown: liveness
+        # is unknown or every column matters — keep everything below
+        for c in op.children:
+            _prune(c, None)
+
+
+def prune_exchange_columns(plan: PhysOp) -> PhysOp:
+    """Drop columns nothing above an exchange reads (paper §V: exchange
+    cost scales with shipped bytes).
+
+    Filter inputs consumed by fused scan predicates and join keys that
+    no downstream operator projects would otherwise ride every shuffle,
+    broadcast and gather — paying wire encode/decode (string columns
+    especially) for values that are already dead. Liveness restrictions
+    originate at projections and aggregations; pass-through and join
+    schemas shrink to match so plan schemas stay consistent with the
+    batches operators actually build.
+    """
+    _prune(plan, None)
     return plan

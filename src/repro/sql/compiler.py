@@ -52,10 +52,32 @@ class Compiled:
     dtype: DataType
 
 
+#: (schema id, expr) -> Compiled. Expr nodes are frozen dataclasses
+#: (structural hash); schemas are compared by identity because plans —
+#: and their op schemas — are reused verbatim by the plan cache, so
+#: repeat executions hit without the cost of structural schema hashing.
+#: Compiled closures are pure functions of (expr, schema): safe to share
+#: across queries and threads.
+_COMPILE_CACHE: dict[tuple[int, Expr], tuple[Schema, Compiled]] = {}
+_COMPILE_CACHE_MAX = 4096
+
+
 def compile_expr(expr: Expr, schema: Schema) -> Compiled:
     if is_aggregate(expr):
         raise PlanError(f"aggregate {expr} must be split out before compilation")
-    return _compile(expr, schema)
+    key = (id(schema), expr)
+    try:
+        hit = _COMPILE_CACHE.get(key)
+    except TypeError:  # unhashable literal somewhere in the tree
+        return _compile(expr, schema)
+    # the schema ref in the value keeps the id from being recycled
+    if hit is not None and hit[0] is schema:
+        return hit[1]
+    compiled = _compile(expr, schema)
+    if len(_COMPILE_CACHE) >= _COMPILE_CACHE_MAX:
+        _COMPILE_CACHE.clear()
+    _COMPILE_CACHE[key] = (schema, compiled)
+    return compiled
 
 
 def compile_predicate(expr: Expr, schema: Schema) -> Callable[[RowBatch], np.ndarray]:

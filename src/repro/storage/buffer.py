@@ -130,6 +130,35 @@ class BufferManager:
                 frame.pin_count += 1
             return frame.payload
 
+    def get_many(self, path: str, page_nos: list[int]) -> list[bytes]:
+        """Fetch several pages unpinned in one call.
+
+        Hot scan path: one page set's column pages per call, so the
+        per-page function/dispatch overhead of :meth:`get` is paid once
+        per set instead of once per column."""
+        stripes = self.stripes
+        n = len(stripes)
+        out: list[bytes] = []
+        for page_no in page_nos:
+            key = (path, page_no)
+            stripe = stripes[hash(page_no) % n]
+            with stripe.lock:
+                frame = stripe.frames.get(key)
+                if frame is None:
+                    self.misses += 1
+                    payload = self.file(path).read_page(page_no)
+                    while len(stripe.frames) >= stripe.capacity:
+                        stripe._evict_one(self._writeback)
+                    frame = _Frame(key, payload)
+                    stripe.frames[key] = frame
+                    stripe.ring.append(key)
+                else:
+                    self.hits += 1
+                    frame.referenced = True
+                    frame.declared = False
+                out.append(frame.payload)
+        return out
+
     def put(self, path: str, page_no: int, payload: bytes, pin: bool = False) -> None:
         """Install a new/updated page image and mark it dirty."""
         key = (path, page_no)
@@ -160,13 +189,20 @@ class BufferManager:
 
     def declare_scan(self, path: str, page_nos: list[int]) -> None:
         """Pre-declare pages a scan will request soon (clock prioritizes)."""
+        # group by stripe so each stripe lock is taken once per scan,
+        # not once per declared page
+        by_stripe: dict[int, list[int]] = {}
+        n = len(self.stripes)
         for page_no in page_nos:
-            key = (path, page_no)
-            stripe = self._stripe_of(key)
+            by_stripe.setdefault(hash(page_no) % n, []).append(page_no)
+        for idx, nos in by_stripe.items():
+            stripe = self.stripes[idx]
             with stripe.lock:
-                frame = stripe.frames.get(key)
-                if frame is not None:
-                    frame.declared = True
+                frames = stripe.frames
+                for page_no in nos:
+                    frame = frames.get((path, page_no))
+                    if frame is not None:
+                        frame.declared = True
 
     def flush(self, path: str | None = None) -> None:
         """Write back dirty frames (all files, or one file)."""

@@ -310,13 +310,17 @@ class _Fragment:
         out_schema = self.schema.project([self.schema.resolve(c) for c in columns])
         names = out_schema.names()
         col_idx = {c.name: i for i, c in enumerate(self.schema.columns)}
-        # pre-declare the pages this scan will touch (paper's clock hint)
+        # pre-declare the pages this scan will touch (paper's clock
+        # hint); the buffer manager only honours the first 256, so stop
+        # building the list there instead of enumerating every set
         upcoming: list[int] = []
         for s in self.sets:
             if self.format == COLUMN:
                 upcoming.extend(s.first_page + col_idx[n] for n in names)
             else:
                 upcoming.append(s.first_page)
+            if len(upcoming) >= 256:
+                break
         self.bufmgr.declare_scan(self.path, upcoming[:256])
 
         index_candidates = (
@@ -355,14 +359,17 @@ class _Fragment:
         stats: ScanStats,
     ) -> RowBatch:
         if self.format == COLUMN:
-            cols: dict[str, np.ndarray] = {}
-            for name in names:
-                payload = self.bufmgr.get(self.path, s.first_page + col_idx[name], pin=False)
-                cols[name] = decode_column(
-                    payload, self.schema.dtype_of(name), s.n_rows
-                )
-                stats.pages_read += 1
-            batch = RowBatch(out_schema, cols)
+            base = s.first_page
+            payloads = self.bufmgr.get_many(
+                self.path, [base + col_idx[n] for n in names]
+            )
+            cols: dict[str, np.ndarray] = {
+                name: decode_column(payload, self.schema.dtype_of(name), s.n_rows)
+                for name, payload in zip(names, payloads)
+            }
+            stats.pages_read += len(names)
+            # decode_column validates every column against s.n_rows
+            batch = RowBatch._trusted(out_schema, cols, s.n_rows)
         else:
             payload = self.bufmgr.get(self.path, s.first_page, pin=False)
             stats.pages_read += 1

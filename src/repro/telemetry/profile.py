@@ -127,6 +127,16 @@ def render_analyze(
         f"morsels={stats.morsels} "
         f"peak_inflight_batches={stats.peak_inflight_batches}"
     )
+    site_total = sum(getattr(stats, "site_busy_s", {}).values())
+    coord_s = getattr(stats, "coord_busy_s", 0.0)
+    per_site = " ".join(
+        f"w{site}={_fmt_ms(s)}"
+        for site, s in sorted(getattr(stats, "site_busy_s", {}).items())
+    )
+    lines.append(
+        f"-- coord_busy={_fmt_ms(coord_s)} site_busy={_fmt_ms(site_total)}"
+        + (f" [{per_site}]" if per_site else "")
+    )
     lines.append(
         f"-- scanned={stats.rows_scanned} pages={stats.pages_read} "
         f"skipped={stats.sets_skipped}/{stats.sets_total} "

@@ -91,6 +91,48 @@ class TestBinomialGraph:
         t = BinomialGraphTopology(range(256), n_max=8)
         assert t.diameter <= 12
 
+    def test_reduce_schedule_folds_to_root(self):
+        t = BinomialGraphTopology(range(8), n_max=4)
+        rounds = t.reduce_schedule(0)
+        assert len(rounds) == 3  # ceil(log2 8)
+        senders = [src for rnd in rounds for src, _ in rnd]
+        # every non-root sends exactly once; the root never sends
+        assert sorted(senders) == list(range(1, 8))
+        # once a node has sent its state away it never reappears
+        seen_senders: set[int] = set()
+        for rnd in rounds:
+            for src, dst in rnd:
+                assert src not in seen_senders
+                assert dst not in seen_senders
+            seen_senders.update(src for src, _ in rnd)
+
+    def test_reduce_schedule_one_incoming_per_round(self):
+        """Deterministic fold order needs <=1 received stream per node
+        per round."""
+        for n in (1, 2, 3, 5, 7, 16, 33):
+            t = BinomialGraphTopology(range(n), n_max=4)
+            for root in (0, n - 1, n // 2):
+                rounds = t.reduce_schedule(root)
+                assert len(rounds) <= max(1, n - 1).bit_length()
+                for rnd in rounds:
+                    dsts = [dst for _, dst in rnd]
+                    assert len(dsts) == len(set(dsts))
+                senders = [s for rnd in rounds for s, _ in rnd]
+                assert sorted(senders) == sorted(set(t.nodes) - {root})
+
+    def test_reduce_schedule_arbitrary_root_and_ids(self):
+        t = BinomialGraphTopology([10, 20, 30, 40, 50], n_max=3)
+        rounds = t.reduce_schedule(30)
+        senders = [s for rnd in rounds for s, _ in rnd]
+        assert sorted(senders) == [10, 20, 40, 50]
+        assert all(30 != s for s in senders)
+
+    def test_reduce_schedule_singleton_and_bad_root(self):
+        t = BinomialGraphTopology([7], n_max=4)
+        assert t.reduce_schedule(7) == []
+        with pytest.raises(TopologyError):
+            t.reduce_schedule(99)
+
 
 @settings(max_examples=60, deadline=None)
 @given(
