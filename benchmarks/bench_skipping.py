@@ -4,7 +4,20 @@ Validates the §III claims executably: repeated selective scans get
 faster (pages skipped via the predicate cache + min-max), and the cache
 footprint for an 80-20 workload stays small (the paper reports
 ~250 MB/node for 10 TB + 1000 queries; scaled down proportionally here).
+
+Besides the pytest-benchmark entry points, the module runs standalone
+and emits a machine-readable report::
+
+    PYTHONPATH=src python benchmarks/bench_skipping.py [--out skipping.json]
+
+exiting non-zero when skipping failed to reduce pages read (the CI
+smoke gate).
 """
+
+import argparse
+import json
+import sys
+import time
 
 import numpy as np
 
@@ -106,3 +119,51 @@ def test_8020_workload_cache_footprint():
     # ~7 orders of magnitude smaller; the cache must stay well under 1 MB.
     assert cache_bytes < 1_000_000
     assert hits > 0
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--repeat", type=int, default=5, help="timed scans per leg (best-of)")
+    ap.add_argument("--out", default=None, help="write the JSON report here (default: stdout)")
+    args = ap.parse_args()
+
+    t = _build_table()
+    cold = ScanStats()
+    _scan(t, 100.0, 120.0, False, cold)
+    _scan(t, 100.0, 120.0, True)  # warm the predicate cache
+    hot = ScanStats()
+    _scan(t, 100.0, 120.0, True, hot)
+
+    def best_of(skipping):
+        best = float("inf")
+        for _ in range(args.repeat):
+            t0 = time.perf_counter()
+            _scan(t, 100.0, 120.0, skipping)
+            best = min(best, time.perf_counter() - t0)
+        return best
+
+    t_off, t_on = best_of(False), best_of(True)
+    report = {
+        "n_rows": N_ROWS,
+        "repeat": args.repeat,
+        "cold_pages_read": cold.pages_read,
+        "hot_pages_read": hot.pages_read,
+        "pages_skipped": hot.pages_skipped,
+        "sets_skipped": hot.sets_skipped_cache + hot.sets_skipped_minmax,
+        "sets_total": hot.sets_total,
+        "scan_off_s": round(t_off, 5),
+        "scan_on_s": round(t_on, 5),
+        "speedup": round(t_off / t_on, 2) if t_on else None,
+        "pass": hot.pages_read < cold.pages_read and hot.pages_skipped > 0,
+    }
+    blob = json.dumps(report, indent=2) + "\n"
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(blob)
+        print(f"wrote {args.out}")
+    sys.stdout.write(blob)
+    return 0 if report["pass"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -205,6 +205,12 @@ class Session:
 class Database:
     def __init__(self, config: ClusterConfig | None = None):
         self.config = config or ClusterConfig()
+        # storage-layer knobs live in module state (the caches and the
+        # shared-pass retention are process-wide, like the page formats)
+        from ..storage import col_page, shared_scan
+
+        col_page.set_decoded_cache_limit(self.config.decoded_cache_mb * 1024 * 1024)
+        shared_scan.MAX_PUBLISHED_SETS = self.config.shared_scan_max_sets
         n = self.config.n_workers
         self.worker_ids = list(range(n))
         self.coord_ids = [COORD_BASE + i for i in range(self.config.n_coordinators)]
@@ -377,6 +383,58 @@ class Database:
             "repro_buffer_cached_pages", "gauge", "pages resident in the pool",
             per_worker(lambda wk: wk.bufmgr.cached_pages),
         )
+
+        # near-data storage layer: these reconcile exactly with ScanStats
+        # (each fragment folds its per-scan deltas into lifetime counters)
+        def storage_total(field_name):
+            def fn(wk):
+                return sum(
+                    getattr(ts.cumulative_stats(), field_name)
+                    for ts in wk.storage.values()
+                )
+
+            return fn
+
+        m.register_collector(
+            "repro_storage_pages_read_total", "counter",
+            "column/row pages fetched and decoded by table scans",
+            per_worker(storage_total("pages_read")),
+        )
+        m.register_collector(
+            "repro_storage_pages_skipped_total", "counter",
+            "pages avoided by zone maps, predicate cache, indexes, or encoded-page pruning",
+            per_worker(storage_total("pages_skipped")),
+        )
+        m.register_collector(
+            "repro_storage_pages_pushed_down_total", "counter",
+            "pages whose predicate atoms ran over the encoded representation",
+            per_worker(storage_total("pages_pushed_down")),
+        )
+        m.register_collector(
+            "repro_storage_pages_shared_total", "counter",
+            "pages served from a shared-scan leader's published arrays",
+            per_worker(storage_total("pages_shared")),
+        )
+        m.register_collector(
+            "repro_storage_shared_attaches_total", "counter",
+            "scans that attached to another query's in-flight page pass",
+            per_worker(storage_total("shared_attaches")),
+        )
+        # decoded-page caches are content-keyed and process-wide
+        from ..storage.col_page import decoded_cache_stats
+
+        for key, kind in (
+            ("hits", "counter"),
+            ("misses", "counter"),
+            ("evictions", "counter"),
+            ("bytes", "gauge"),
+        ):
+            m.register_collector(
+                f"repro_storage_decoded_cache_{key}" + ("_total" if kind == "counter" else ""),
+                kind,
+                f"decoded-page LRU cache {key}",
+                lambda k=key: [({}, decoded_cache_stats()[k])],
+            )
         # lock managers (per worker node)
         nodes = self.txn_system.nodes
         m.register_collector(

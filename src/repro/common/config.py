@@ -116,6 +116,21 @@ class ClusterConfig:
     slow_query_threshold_s: float = 0.0
     #: completed query traces retained for export (oldest evicted first)
     trace_retention: int = 16
+    #: evaluate pushed-down predicate atoms directly over encoded column
+    #: pages (raw fixed-width views, dictionary code space) and gather
+    #: only qualifying rows — scans materialize RowBatches only for data
+    #: that survives; False decodes every surviving page set (A/B)
+    neardata_scan: bool = True
+    #: concurrent scans of the same table fragment attach to one shared
+    #: page pass (leader publishes decoded sets, followers apply their
+    #: own filter bitmaps) instead of K redundant decode passes; epoch
+    #: pinning is preserved because passes coordinate per fragment object
+    shared_scans: bool = True
+    #: byte cap (MB) for the content-keyed decoded-page LRU caches
+    decoded_cache_mb: int = 64
+    #: decoded page sets a shared-scan leader retains for late
+    #: followers; oldest evicted first
+    shared_scan_max_sets: int = 64
 
     def __post_init__(self):
         if self.n_workers < 1:
@@ -162,6 +177,10 @@ class ClusterConfig:
             raise ConfigError("slow_query_threshold_s must be >= 0 (0 disables)")
         if self.trace_retention < 1:
             raise ConfigError("trace_retention must be >= 1")
+        if self.decoded_cache_mb < 1:
+            raise ConfigError("decoded_cache_mb must be >= 1")
+        if self.shared_scan_max_sets < 0:
+            raise ConfigError("shared_scan_max_sets must be >= 0 (0 disables publishing)")
 
     def with_(self, **kwargs) -> "ClusterConfig":
         """Functional update."""

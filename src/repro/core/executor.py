@@ -32,6 +32,7 @@ import numpy as np
 
 from ..common.batch import RowBatch
 from ..common.config import ClusterConfig
+from ..common.dtypes import DataType
 from ..common.errors import ExecutionError, NetworkError, WorkerFailureError
 from ..common.schema import Schema
 from ..fault.health import WorkerHealthTracker
@@ -97,6 +98,14 @@ class ExecStats:
     pages_read: int = 0
     sets_skipped: int = 0
     sets_total: int = 0
+    #: pages a plain decode scan would have read but skipping avoided
+    pages_skipped: int = 0
+    #: pages whose predicate atoms ran over the encoded representation
+    pages_pushed_down: int = 0
+    #: column pages served from a shared-scan leader's published arrays
+    pages_shared: int = 0
+    #: scans that attached to another query's in-flight page pass
+    shared_attaches: int = 0
     shuffle_bytes: int = 0
     network_bytes: int = 0
     network_messages: int = 0
@@ -145,6 +154,10 @@ class ExecStats:
         self.pages_read += other.pages_read
         self.sets_skipped += other.sets_skipped
         self.sets_total += other.sets_total
+        self.pages_skipped += other.pages_skipped
+        self.pages_pushed_down += other.pages_pushed_down
+        self.pages_shared += other.pages_shared
+        self.shared_attaches += other.shared_attaches
         self.shuffle_bytes += other.shuffle_bytes
         self.network_bytes += other.network_bytes
         self.network_messages += other.network_messages
@@ -327,8 +340,13 @@ class DistributedExecutor:
                 self._scan_stats.sets_skipped_cache
                 + self._scan_stats.sets_skipped_minmax
                 + self._scan_stats.sets_skipped_index
+                + self._scan_stats.sets_skipped_encoded
             ),
             sets_total=self._scan_stats.sets_total,
+            pages_skipped=self._scan_stats.pages_skipped,
+            pages_pushed_down=self._scan_stats.pages_pushed_down,
+            pages_shared=self._scan_stats.pages_shared,
+            shared_attaches=self._scan_stats.shared_attaches,
             network_bytes=end.bytes - base.bytes,
             network_messages=end.messages - base.messages,
             forwarded_bytes=end.forwarded_bytes - base.forwarded_bytes,
@@ -415,8 +433,23 @@ class DistributedExecutor:
         st = self._scan_stats
         traffic = self.net.traffic_of(self.qtag)
         spill = sum(w.governor.spilled_bytes for w in self.workers.values())
-        skipped = st.sets_skipped_cache + st.sets_skipped_minmax + st.sets_skipped_index
-        return (st.rows_out, st.pages_read, skipped, st.sets_total, traffic.bytes, spill)
+        skipped = (
+            st.sets_skipped_cache
+            + st.sets_skipped_minmax
+            + st.sets_skipped_index
+            + st.sets_skipped_encoded
+        )
+        return (
+            st.rows_out,
+            st.pages_read,
+            skipped,
+            st.sets_total,
+            traffic.bytes,
+            spill,
+            st.pages_skipped,
+            st.pages_pushed_down,
+            st.pages_shared,
+        )
 
     def _prof_fill(self, p: OpProfile, base: tuple) -> None:
         after = self._prof_snapshot()
@@ -426,6 +459,9 @@ class DistributedExecutor:
         p.sets_total = after[3] - base[3]
         p.net_bytes = after[4] - base[4]
         p.spilled_bytes = after[5] - base[5]
+        p.pages_skipped = after[6] - base[6]
+        p.pages_pushed = after[7] - base[7]
+        p.pages_shared = after[8] - base[8]
 
     # -- fused pipelines ------------------------------------------------------------
     def _chain_for(self, op: PhysOp, allow_bare_scan: bool) -> FusedChain | None:
@@ -514,7 +550,7 @@ class DistributedExecutor:
         self._close_chain(run)
         return out
 
-    def _chain_site_batches(self, chain: FusedChain, w: int, run: _ChainRun):
+    def _chain_site_batches(self, chain: FusedChain, w: int, run: _ChainRun, fold=None):
         """Stream one site's batches through the fused chain, wrapped in a
         per-site ``pipeline`` span when tracing.
 
@@ -527,20 +563,20 @@ class DistributedExecutor:
         """
         tr = self.tracer
         if tr is None:
-            yield from self._chain_site_batches_impl(chain, w, run)
+            yield from self._chain_site_batches_impl(chain, w, run, fold)
             return
         sp = tr.begin(
             "pipeline", cat="pipeline", node=w, table=chain.scan.attrs["table"]
         )
         rows = 0
         try:
-            for b in self._chain_site_batches_impl(chain, w, run):
+            for b in self._chain_site_batches_impl(chain, w, run, fold):
                 rows += b.length
                 yield b
         finally:
             tr.end(sp, rows=rows)
 
-    def _chain_site_batches_impl(self, chain: FusedChain, w: int, run: _ChainRun):
+    def _chain_site_batches_impl(self, chain: FusedChain, w: int, run: _ChainRun, fold=None):
         """Stream one site's batches through the fused chain.
 
         Each table fragment becomes one morsel task that scans and runs
@@ -596,6 +632,36 @@ class DistributedExecutor:
         # batch width (grouping depends only on deterministic sizes)
         target = max(1, self.config.batch_size)
 
+        def fold_morsel(ds: list[int] | None) -> tuple[list[RowBatch], dict[int, int], ScanStats]:
+            """Near-data aggregation morsel: fold every page set's rows
+            into a running partial-aggregate accumulator the moment the
+            scan produces them — the pipeline never holds more than one
+            set's worth of materialized rows per morsel. Only exactness-
+            gated aggregates ride this (COUNT / int SUM / MIN / MAX), so
+            the per-set fold order cannot perturb results."""
+            f_keys, f_specs, f_schema = fold
+            t0 = time.perf_counter()
+            st = ScanStats()
+            local: dict[int, int] = {}
+            acc: RowBatch | None = None
+            for raw in storage.scan(
+                needed, pred_fn, scan_pred,
+                skipping=self.config.data_skipping, stats=st, disks=ds,
+                neardata=self.config.neardata_scan, shared=self.config.shared_scans,
+            ):
+                b = finish(raw)
+                local[scan_id] = local.get(scan_id, 0) + b.length
+                part = _partial_aggregate(b, f_keys, f_specs, f_schema)
+                if acc is None:
+                    acc = part
+                else:
+                    both = RowBatch.concat(f_schema, [acc, part])
+                    acc = _combine_partials(both, f_keys, f_specs, f_schema)
+            outs = [acc] if acc is not None else []
+            self.inflight.produced(len(outs))
+            self._note_busy(serving, time.perf_counter() - t0)
+            return outs, local, st
+
         def morsel(ds: list[int] | None) -> tuple[list[RowBatch], dict[int, int], ScanStats]:
             t0 = time.perf_counter()
             st = ScanStats()
@@ -616,6 +682,7 @@ class DistributedExecutor:
             for raw in storage.scan(
                 needed, pred_fn, scan_pred,
                 skipping=self.config.data_skipping, stats=st, disks=ds,
+                neardata=self.config.neardata_scan, shared=self.config.shared_scans,
             ):
                 buf.append(raw)
                 held += raw.length
@@ -636,10 +703,11 @@ class DistributedExecutor:
             self._note_busy(serving, time.perf_counter() - t0)
             return outs, local, st
 
+        body = morsel if fold is None else fold_morsel
         if inline:
-            tasks = [lambda: morsel(None)]
+            tasks = [lambda: body(None)]
         else:
-            tasks = [lambda d=d: morsel([d]) for d in range(n_disks)]
+            tasks = [lambda d=d: body([d]) for d in range(n_disks)]
         self.pipe.morsels += len(tasks)
         for outs, local, st in run_tasks_ordered(tasks, dop, threaded, self.scheduler):
             self._scan_stats.merge(st)
@@ -843,6 +911,8 @@ class DistributedExecutor:
                     for b in storage.scan(
                         needed, pred_fn, scan_pred,
                         skipping=self.config.data_skipping, stats=st, disks=[d],
+                        neardata=self.config.neardata_scan,
+                        shared=self.config.shared_scans,
                     )
                 ]
                 self._note_busy(site, time.perf_counter() - t0)
@@ -861,6 +931,8 @@ class DistributedExecutor:
             for b in storage.scan(
                 needed, pred_fn, scan_pred,
                 skipping=self.config.data_skipping, stats=self._scan_stats,
+                neardata=self.config.neardata_scan,
+                shared=self.config.shared_scans,
             )
         ]
         self._note_busy(site, time.perf_counter() - t0)
@@ -1047,16 +1119,37 @@ class DistributedExecutor:
 
             node = SimpleNamespace(group_keys=keys, aggs=op.attrs["aggs"])
             partial_schema, partial_specs, final_specs = _split_aggs(node, child_schema)
+        # near-data aggregation: a bare-scan chain whose aggregates are
+        # all fold-order-insensitive (COUNT, exact int/bool SUM, MIN/MAX
+        # — float SUM folds pairwise and would shift last-ulp results)
+        # folds partials per page set inside the scan morsels, so rows
+        # never accumulate beyond one set per morsel
+        fold = None
+        if (
+            self.config.neardata_scan
+            and not chain.transforms
+            and _fold_exact(partial_specs, child_schema)
+        ):
+            fold = (keys, partial_specs, partial_schema)
         run = self._open_chain(chain)
         out: SiteData = {}
         for site in self.worker_ids:
             acc: RowBatch | None = None
             fold_s = 0.0
-            for b in self._coalesce(
-                self._chain_site_batches(chain, site, run), child_schema
-            ):
+            source = (
+                self._chain_site_batches(chain, site, run, fold)
+                if fold is not None
+                else self._coalesce(
+                    self._chain_site_batches(chain, site, run), child_schema
+                )
+            )
+            for b in source:
                 t0 = time.perf_counter()
-                part = _partial_aggregate(b, keys, partial_specs, partial_schema)
+                part = (
+                    b  # already a morsel-level partial in partial_schema
+                    if fold is not None
+                    else _partial_aggregate(b, keys, partial_specs, partial_schema)
+                )
                 if acc is None:
                     acc = part
                 else:
@@ -1611,6 +1704,31 @@ class DistributedExecutor:
 # ---------------------------------------------------------------------------
 # aggregate partial/final helpers
 # ---------------------------------------------------------------------------
+
+
+def _fold_exact(partial_specs, child_schema: Schema) -> bool:
+    """True when per-page-set partial folding is bit-identical to the
+    batch-at-a-time fold regardless of where set boundaries fall.
+
+    COUNT and int/bool SUM are exact integer adds; MIN/MAX are
+    associative (the NaN-as-NULL skip included). Float/decimal SUM is
+    excluded: the engine's grouped float SUM reduces pairwise, so
+    different fold boundaries shift the last ulps. Validity-masked
+    COUNTs stay on the generic path too.
+    """
+    for _col, func, arg, valid in partial_specs:
+        if valid is not None:
+            return False
+        if func in ("COUNT", "MIN", "MAX"):
+            continue
+        if func == "SUM":
+            if arg is None or arg not in child_schema:
+                return False
+            if child_schema.dtype_of(arg) not in (DataType.INT64, DataType.BOOL):
+                return False
+            continue
+        return False
+    return True
 
 
 def _partial_aggregate(batch: RowBatch, keys, partial_specs, out_schema: Schema) -> RowBatch:

@@ -13,12 +13,21 @@ dictionary-encoded first — a tiny Huffman-coded dictionary plus
 fixed-width integer codes — so decode is a frombuffer and a gather
 instead of a Huffman stream over every row. Page-slot compression
 happens one layer down in :class:`~repro.storage.page.PagedFile`.
+
+Decoded-page reuse is content-keyed (pages are immutable, so a payload's
+bytes fully determine its decoded form) and bounded by a byte-capped LRU
+— long sessions over many tables stay within ``set_decoded_cache_limit``
+instead of growing without bound. The near-data scan layer additionally
+reads a dictionary page's *parts* (decoded dictionary + raw code vector)
+so predicates can run in code space without ever materializing the
+string column.
 """
 
 from __future__ import annotations
 
 import struct
-from functools import lru_cache
+import threading
+from collections import OrderedDict
 
 import numpy as np
 
@@ -41,6 +50,103 @@ _DICT_MAGIC = b"DPG1"
 
 _DICT_MIN_ROWS = 64
 
+#: decodes that actually ran (cache misses + uncached paths) — the
+#: near-data benchmark reads this to show redundant-decode reduction
+DECODE_CALLS = 0
+
+
+class _ByteLRU:
+    """Content-keyed LRU bounded by total payload bytes, not entry count.
+
+    The previous ``functools.lru_cache(maxsize=4096)`` bounded entries
+    but not bytes: 4096 wide string pages can pin gigabytes. This keeps
+    the same content-keyed semantics (immutable pages, so staleness is
+    impossible) with an explicit byte budget and hit/miss/evict counters
+    for the metrics registry. Values are computed outside the lock so
+    concurrent scans never serialize on a decode; a racing duplicate
+    compute is tolerated (both produce identical immutable values).
+    """
+
+    def __init__(self, max_bytes: int):
+        self.max_bytes = max_bytes
+        self._d: OrderedDict = OrderedDict()
+        self._lock = threading.Lock()
+        self.bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def lookup(self, key):
+        with self._lock:
+            try:
+                val = self._d[key]
+            except KeyError:
+                self.misses += 1
+                return None
+            self._d.move_to_end(key)
+            self.hits += 1
+            return val[0]
+
+    def insert(self, key, val, nbytes: int) -> None:
+        with self._lock:
+            old = self._d.pop(key, None)
+            if old is not None:
+                self.bytes -= old[1]
+            self._d[key] = (val, nbytes)
+            self.bytes += nbytes
+            while self.bytes > self.max_bytes and len(self._d) > 1:
+                _, (_, sz) = self._d.popitem(last=False)
+                self.bytes -= sz
+                self.evictions += 1
+
+    def set_limit(self, max_bytes: int) -> None:
+        with self._lock:
+            self.max_bytes = max_bytes
+            while self.bytes > self.max_bytes and len(self._d) > 1:
+                _, (_, sz) = self._d.popitem(last=False)
+                self.bytes -= sz
+                self.evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._d.clear()
+            self.bytes = 0
+
+
+#: default byte budgets; Database applies ClusterConfig.decoded_cache_mb
+_DEFAULT_CACHE_BYTES = 64 * 1024 * 1024
+
+#: decoded full column arrays (numeric copies + string object arrays)
+_COLUMN_CACHE = _ByteLRU(_DEFAULT_CACHE_BYTES)
+#: Huffman-decoded string tuples (page dictionaries + plain string pages)
+_STRING_CACHE = _ByteLRU(_DEFAULT_CACHE_BYTES // 4)
+
+
+def set_decoded_cache_limit(column_bytes: int, string_bytes: int | None = None) -> None:
+    """Rebound both decoded caches (Database wires the config knob here)."""
+    _COLUMN_CACHE.set_limit(max(1, column_bytes))
+    _STRING_CACHE.set_limit(max(1, string_bytes if string_bytes is not None else column_bytes // 4))
+
+
+def decoded_cache_stats() -> dict[str, int]:
+    """Hit/miss/evict/byte counters for the metrics registry."""
+    return {
+        "hits": _COLUMN_CACHE.hits + _STRING_CACHE.hits,
+        "misses": _COLUMN_CACHE.misses + _STRING_CACHE.misses,
+        "evictions": _COLUMN_CACHE.evictions + _STRING_CACHE.evictions,
+        "bytes": _COLUMN_CACHE.bytes + _STRING_CACHE.bytes,
+    }
+
+
+def clear_decoded_caches() -> None:
+    _COLUMN_CACHE.clear()
+    _STRING_CACHE.clear()
+
+
+def _strings_nbytes(values: tuple) -> int:
+    # object-array estimate: pointer + header + UTF-8 body per string
+    return sum(len(s) + 56 for s in values)
+
 
 def _dict_encode_strings(arr: np.ndarray) -> bytes | None:
     n = len(arr)
@@ -59,7 +165,6 @@ def _dict_encode_strings(arr: np.ndarray) -> bytes | None:
     return header + dict_blob + codes.astype(f"<u{width}").tobytes()
 
 
-@lru_cache(maxsize=4096)
 def _decode_strings_cached(blob: bytes) -> tuple[str, ...]:
     """Huffman-decode a string blob once per distinct content.
 
@@ -70,21 +175,41 @@ def _decode_strings_cached(blob: bytes) -> tuple[str, ...]:
     string tables. The tuple is immutable; callers materialize fresh
     arrays from it.
     """
-    return tuple(huffman_decode_strings(blob))
+    hit = _STRING_CACHE.lookup(blob)
+    if hit is not None:
+        return hit
+    global DECODE_CALLS
+    DECODE_CALLS += 1
+    values = tuple(huffman_decode_strings(blob))
+    _STRING_CACHE.insert(blob, values, _strings_nbytes(values))
+    return values
 
 
-def _dict_decode_strings(payload: bytes, n_rows: int) -> np.ndarray:
+def is_dict_page(payload: bytes) -> bool:
+    return payload[:4] == _DICT_MAGIC
+
+
+def dict_page_parts(payload: bytes, n_rows: int) -> tuple[tuple[str, ...], np.ndarray]:
+    """A dictionary page's decoded dictionary plus its raw code vector.
+
+    This is the near-data entry point: predicates evaluate against the
+    (tiny) dictionary and map through the codes, and output gathers take
+    ``codes[sel]`` — the full string column never materializes.
+    """
     width, n, dict_len = struct.unpack_from("<BII", payload, 4)
     if n != n_rows:
-        raise PageFormatError(
-            f"string page holds {n} values, expected {n_rows}"
-        )
+        raise PageFormatError(f"string page holds {n} values, expected {n_rows}")
     off = 4 + struct.calcsize("<BII")
     blob = payload[off : off + dict_len]
     uniq = _decode_strings_cached(blob) if CACHE_DECODED else huffman_decode_strings(blob)
     codes = np.frombuffer(payload, dtype=f"<u{width}", offset=off + dict_len)
     if len(codes) != n_rows:
         raise PageFormatError("dictionary page code vector length mismatch")
+    return tuple(uniq), codes
+
+
+def _dict_decode_strings(payload: bytes, n_rows: int) -> np.ndarray:
+    uniq, codes = dict_page_parts(payload, n_rows)
     uniq_arr = np.empty(len(uniq), dtype=object)
     uniq_arr[:] = uniq
     return uniq_arr[codes]
@@ -101,6 +226,8 @@ def encode_column(arr: np.ndarray, dtype: DataType) -> bytes:
 
 
 def _decode_column_impl(payload: bytes, dtype: DataType, n_rows: int) -> np.ndarray:
+    global DECODE_CALLS
+    DECODE_CALLS += 1
     if dtype == DataType.STRING:
         if payload[:4] == _DICT_MAGIC:
             return _dict_decode_strings(payload, n_rows)
@@ -121,22 +248,39 @@ def _decode_column_impl(payload: bytes, dtype: DataType, n_rows: int) -> np.ndar
     return arr.copy()
 
 
-@lru_cache(maxsize=4096)
-def _decode_column_cached(payload: bytes, dtype: DataType, n_rows: int) -> np.ndarray:
-    arr = _decode_column_impl(payload, dtype, n_rows)
-    # shared across scans and queries: read-only so an accidental
-    # in-place mutation fails loudly instead of corrupting the cache
-    arr.setflags(write=False)
-    return arr
-
-
 def decode_column(payload: bytes, dtype: DataType, n_rows: int) -> np.ndarray:
     """Decode one column page. Pages are immutable and the cache key is
     the payload *content*, so rewritten pages can never serve stale
     values — they are a different payload."""
-    if CACHE_DECODED:
-        return _decode_column_cached(payload, dtype, n_rows)
-    return _decode_column_impl(payload, dtype, n_rows)
+    if not CACHE_DECODED:
+        return _decode_column_impl(payload, dtype, n_rows)
+    key = (payload, dtype, n_rows)
+    hit = _COLUMN_CACHE.lookup(key)
+    if hit is not None:
+        return hit
+    arr = _decode_column_impl(payload, dtype, n_rows)
+    # shared across scans and queries: read-only so an accidental
+    # in-place mutation fails loudly instead of corrupting the cache
+    arr.setflags(write=False)
+    nbytes = arr.nbytes if arr.dtype != object else _strings_nbytes(tuple(arr.tolist()))
+    _COLUMN_CACHE.insert(key, arr, nbytes)
+    return arr
+
+
+def column_values_view(payload: bytes, dtype: DataType, n_rows: int) -> np.ndarray:
+    """Zero-copy view over a fixed-width column page (near-data path).
+
+    Unlike :func:`decode_column` this neither copies nor caches — the
+    view borrows the page payload's buffer, which is exactly what a
+    predicate evaluated *at* the page wants. STRING pages have no raw
+    view; callers go through :func:`dict_page_parts` or decode.
+    """
+    if dtype == DataType.STRING:
+        raise PageFormatError("string pages have no fixed-width view")
+    arr = np.frombuffer(payload, dtype=dtype.numpy_dtype)
+    if len(arr) != n_rows:
+        raise PageFormatError(f"column page holds {len(arr)} values, expected {n_rows}")
+    return arr
 
 
 def estimate_rows_per_set(schema_types: list[DataType], max_payload: int, avg_string: int = 24) -> int:

@@ -15,21 +15,32 @@ matched nothing.
 
 from __future__ import annotations
 
+import operator
 import pickle
-from dataclasses import dataclass
+import threading
+from dataclasses import astuple, dataclass
 from typing import Callable, Iterator, Sequence
 
 import numpy as np
 
 from ..common.batch import RowBatch
+from ..common.dtypes import DataType
 from ..common.errors import StorageError
 from ..common.schema import Schema
 from ..util.fs import FileSystem
 from .buffer import BufferManager
-from .col_page import decode_column, encode_column, estimate_rows_per_set
+from .col_page import (
+    column_values_view,
+    decode_column,
+    dict_page_parts,
+    encode_column,
+    estimate_rows_per_set,
+    is_dict_page,
+)
 from .page import PagedFile
-from .predicate_cache import PageMinMax, PredicateCache, ScanPredicate
+from .predicate_cache import Atom, Op, PageMinMax, PredicateCache, ScanPredicate
 from .row_page import RowPage, encode_row
+from .shared_scan import FOLLOWER_WAIT_BUDGET_S, SharedScanState
 
 PredicateFn = Callable[[RowBatch], np.ndarray]
 
@@ -39,14 +50,29 @@ COLUMN = "column"
 
 @dataclass
 class ScanStats:
-    """Per-scan observability; benchmarks read these to show skipping."""
+    """Per-scan observability; benchmarks read these to show skipping.
+
+    ``pages_skipped`` counts pages a solo decode scan would have read
+    but this scan avoided (zone maps, predicate cache, indexes, or
+    encoded-page elimination); ``pages_pushed_down`` counts pages whose
+    predicate atoms were evaluated in encoded form (raw fixed-width view
+    or dictionary code space) without materializing a RowBatch;
+    ``pages_shared`` counts column pages served from a shared-scan
+    leader's published arrays instead of a redundant read+decode.
+    """
 
     sets_total: int = 0
     sets_skipped_cache: int = 0
     sets_skipped_minmax: int = 0
     sets_skipped_index: int = 0
+    sets_skipped_encoded: int = 0
     sets_read: int = 0
+    sets_pushed: int = 0
     pages_read: int = 0
+    pages_skipped: int = 0
+    pages_pushed_down: int = 0
+    pages_shared: int = 0
+    shared_attaches: int = 0
     rows_out: int = 0
 
     def merge(self, other: "ScanStats") -> None:
@@ -54,9 +80,84 @@ class ScanStats:
         self.sets_skipped_cache += other.sets_skipped_cache
         self.sets_skipped_minmax += other.sets_skipped_minmax
         self.sets_skipped_index += other.sets_skipped_index
+        self.sets_skipped_encoded += other.sets_skipped_encoded
         self.sets_read += other.sets_read
+        self.sets_pushed += other.sets_pushed
         self.pages_read += other.pages_read
+        self.pages_skipped += other.pages_skipped
+        self.pages_pushed_down += other.pages_pushed_down
+        self.pages_shared += other.pages_shared
+        self.shared_attaches += other.shared_attaches
         self.rows_out += other.rows_out
+
+
+#: atom comparison semantics must match the compiled predicate exactly:
+#: both sides reduce to the same NumPy elementwise operator over the same
+#: decoded values (object arrays dispatch to the identical Python
+#: comparisons), so an encoded-page mask equals the decode-path mask
+_ATOM_OPS = {
+    Op.LT: operator.lt,
+    Op.LE: operator.le,
+    Op.GT: operator.gt,
+    Op.GE: operator.ge,
+    Op.EQ: operator.eq,
+    Op.NE: operator.ne,
+}
+
+
+def _apply_atom(values: np.ndarray, atom: Atom) -> np.ndarray:
+    return _ATOM_OPS[atom.op](values, atom.value)
+
+
+def _atom_mask(
+    payload: bytes, dtype: DataType, n_rows: int, atoms: list[Atom]
+) -> tuple[np.ndarray, bool]:
+    """Row mask for a conjunction of atoms over one encoded column page.
+
+    Returns ``(mask, encoded)`` where ``encoded`` is True when the page
+    was evaluated near-data (fixed-width view or dictionary code space)
+    rather than via a full decode.
+    """
+    if dtype == DataType.STRING:
+        if is_dict_page(payload):
+            # evaluate against the (tiny) dictionary, map through codes:
+            # the string column itself never materializes. A value absent
+            # from the dictionary (dictionary miss) simply yields an
+            # all-false dictionary mask for EQ — the whole set drops.
+            uniq, codes = dict_page_parts(payload, n_rows)
+            dmask = np.ones(len(uniq), dtype=bool)
+            for a in atoms:
+                dmask &= np.fromiter(
+                    (bool(_ATOM_OPS[a.op](u, a.value)) for u in uniq),
+                    dtype=bool,
+                    count=len(uniq),
+                )
+            return dmask[codes], True
+        # plain Huffman page: no encoded representation to test — decode
+        # (content-cached) and evaluate; counted as read, not pushed
+        values = decode_column(payload, dtype, n_rows)
+        mask = np.ones(n_rows, dtype=bool)
+        for a in atoms:
+            mask &= _apply_atom(values, a)
+        return mask, False
+    values = column_values_view(payload, dtype, n_rows)
+    mask: np.ndarray | None = None
+    for a in atoms:
+        m = _apply_atom(values, a)
+        mask = m if mask is None else mask & m
+    return mask, True
+
+
+def _gather_column(payload: bytes, dtype: DataType, n_rows: int, sel: np.ndarray) -> np.ndarray:
+    """Materialize only the selected rows of one encoded column page."""
+    if dtype == DataType.STRING:
+        if is_dict_page(payload):
+            uniq, codes = dict_page_parts(payload, n_rows)
+            uniq_arr = np.empty(len(uniq), dtype=object)
+            uniq_arr[:] = uniq
+            return uniq_arr[codes[sel]]
+        return decode_column(payload, dtype, n_rows)[sel]
+    return column_values_view(payload, dtype, n_rows)[sel]
 
 
 @dataclass
@@ -98,6 +199,13 @@ class _Fragment:
         self.next_page = 0
         self.pred_cache = PredicateCache()
         self.minmax = PageMinMax()
+        #: shared-pass coordination point (one per fragment per epoch —
+        #: rebalances build new fragment objects, so epoch-pinned scans
+        #: can never share pages across an epoch boundary)
+        self.shared = SharedScanState()
+        #: lifetime scan counters for the metrics registry
+        self.cum_stats = ScanStats()
+        self._cum_lock = threading.Lock()
         #: set-granular secondary indexes: column -> B+-tree(value -> set id)
         self.indexes: dict[str, "BPlusTree"] = {}
         if fs.exists(self.meta_path):
@@ -305,11 +413,34 @@ class _Fragment:
         scan_pred: ScanPredicate | None = None,
         skipping: bool = True,
         stats: ScanStats | None = None,
+        neardata: bool = False,
+        shared: bool = False,
     ) -> Iterator[RowBatch]:
         stats = stats if stats is not None else ScanStats()
+        before = astuple(stats)
+        try:
+            yield from self._scan_impl(
+                columns, predicate, scan_pred, skipping, stats, neardata, shared
+            )
+        finally:
+            delta = ScanStats(*(b - a for a, b in zip(before, astuple(stats))))
+            with self._cum_lock:
+                self.cum_stats.merge(delta)
+
+    def _scan_impl(
+        self,
+        columns: Sequence[str],
+        predicate: PredicateFn | None,
+        scan_pred: ScanPredicate | None,
+        skipping: bool,
+        stats: ScanStats,
+        neardata: bool,
+        shared: bool,
+    ) -> Iterator[RowBatch]:
         out_schema = self.schema.project([self.schema.resolve(c) for c in columns])
         names = out_schema.names()
         col_idx = {c.name: i for i, c in enumerate(self.schema.columns)}
+        pages_per_set = len(names) if self.format == COLUMN else 1
         # pre-declare the pages this scan will touch (paper's clock
         # hint); the buffer manager only honours the first 256, so stop
         # building the list there instead of enumerating every set
@@ -326,19 +457,153 @@ class _Fragment:
         index_candidates = (
             self._index_candidates(scan_pred) if skipping and scan_pred else None
         )
-        for set_id, s in enumerate(self.sets):
+
+        # predicate atoms grouped by column for the encoded-page path; the
+        # compiler guarantees atoms+opaque ≡ the full predicate, so when
+        # opaque is empty the atom masks alone ARE the predicate
+        atoms_by_col: dict[str, list[Atom]] | None = None
+        atoms_exact = False
+        if (
+            neardata
+            and self.format == COLUMN
+            and skipping
+            and scan_pred is not None
+            and scan_pred.atoms
+        ):
+            atoms_by_col = {}
+            for a in sorted(scan_pred.atoms, key=str):
+                atoms_by_col.setdefault(a.column, []).append(a)
+            atoms_exact = not scan_pred.opaque
+
+        # cooperative shared pass: first concurrent scan of this fragment
+        # leads; later ones attach and ride its published decoded sets
+        spass = None
+        is_leader = False
+        if shared and self.format == COLUMN and self.sets:
+            spass, is_leader = self.shared.join()
+            if not is_leader:
+                stats.shared_attaches += 1
+        wait_budget = FOLLOWER_WAIT_BUDGET_S
+
+        def read_decoded(set_id: int, s: _SetMeta, shared_cols: dict | None) -> RowBatch:
+            """Classic decode path, sourcing columns from the shared pass
+            when available and publishing them when leading with
+            followers attached. Values are identical either way."""
+            if self.format != COLUMN:
+                payload = self.bufmgr.get(self.path, s.first_page, pin=False)
+                stats.pages_read += 1
+                page = RowPage.from_payload(payload, self.file.max_payload)
+                batch = page.to_batch(self.schema).project(names)
+            else:
+                cols: dict[str, np.ndarray] = {}
+                missing = []
+                for name in names:
+                    if shared_cols is not None and name in shared_cols:
+                        cols[name] = shared_cols[name]
+                        stats.pages_shared += 1
+                    else:
+                        missing.append(name)
+                if missing:
+                    payloads = self.bufmgr.get_many(
+                        self.path, [s.first_page + col_idx[n] for n in missing]
+                    )
+                    for name, payload in zip(missing, payloads):
+                        cols[name] = decode_column(
+                            payload, self.schema.dtype_of(name), s.n_rows
+                        )
+                    stats.pages_read += len(missing)
+                if spass is not None and is_leader and spass.followers > 0:
+                    spass.publish(set_id, dict(cols))
+                batch = RowBatch._trusted(out_schema, cols, s.n_rows)
+            if s.deleted is not None and s.deleted.any():
+                batch = batch.filter(~s.deleted[: batch.length])
+            return batch
+
+        def near_data_set(set_id: int, s: _SetMeta) -> RowBatch | None:
+            """Evaluate atoms over encoded pages; materialize only
+            qualifying rows. Returns None when the set is eliminated."""
+            n = s.n_rows
+            fetched: dict[str, bytes] = {}
+            mask: np.ndarray | None = None
+            pushed = 0
+            for colname, alist in atoms_by_col.items():
+                payload = self.bufmgr.get(
+                    self.path, s.first_page + col_idx[colname], pin=False
+                )
+                fetched[colname] = payload
+                stats.pages_read += 1
+                cmask, encoded = _atom_mask(
+                    payload, self.schema.dtype_of(colname), n, alist
+                )
+                pushed += int(encoded)
+                mask = cmask if mask is None else mask & cmask
+                if not mask.any():
+                    break
+            stats.pages_pushed_down += pushed
+            if mask is not None and not mask.any():
+                # the full predicate implies its atoms, so an empty atom
+                # mask over the whole set proves the set empty for the
+                # predicate too — same cache fact the decode path records
+                if s.full and s.deleted is None:
+                    self.pred_cache.record_empty(set_id, scan_pred)
+                stats.sets_skipped_encoded += 1
+                stats.pages_skipped += len(names) - len(fetched.keys() & set(names))
+                return None
+            stats.sets_pushed += 1
+            stats.sets_read += 1
+            if s.deleted is not None and s.deleted.any():
+                mask = mask & ~s.deleted[:n]
+            sel = np.flatnonzero(mask)
+            if not len(sel):
+                return None  # every candidate row is tombstoned
+            cols: dict[str, np.ndarray] = {}
+            for name in names:
+                payload = fetched.get(name)
+                if payload is None:
+                    payload = self.bufmgr.get(
+                        self.path, s.first_page + col_idx[name], pin=False
+                    )
+                    stats.pages_read += 1
+                cols[name] = _gather_column(
+                    payload, self.schema.dtype_of(name), n, sel
+                )
+            batch = RowBatch._trusted(out_schema, cols, len(sel))
+            if not atoms_exact and predicate is not None:
+                # opaque conjuncts remain: finish on the (already thinned)
+                # candidates with the compiled predicate — bit-identical
+                # to decode-then-filter because expr ⇒ atoms
+                m2 = predicate(batch)
+                if not m2.any() and s.full and s.deleted is None:
+                    self.pred_cache.record_empty(set_id, scan_pred)
+                batch = batch.filter(m2)
+            return batch
+
+        def do_set(set_id: int, s: _SetMeta) -> RowBatch | None:
+            nonlocal wait_budget
             stats.sets_total += 1
             if skipping and scan_pred is not None and s.full:
                 if index_candidates is not None and set_id not in index_candidates:
                     stats.sets_skipped_index += 1
-                    continue
+                    stats.pages_skipped += pages_per_set
+                    return None
                 if self.pred_cache.can_skip(set_id, scan_pred):
                     stats.sets_skipped_cache += 1
-                    continue
+                    stats.pages_skipped += pages_per_set
+                    return None
                 if self.minmax.can_skip(set_id, scan_pred):
                     stats.sets_skipped_minmax += 1
-                    continue
-            batch = self._read_set(s, names, col_idx, out_schema, stats)
+                    stats.pages_skipped += pages_per_set
+                    return None
+            shared_cols = None
+            if spass is not None and not is_leader:
+                shared_cols, waited = spass.fetch(set_id, wait_budget)
+                wait_budget = max(0.0, wait_budget - waited)
+            if atoms_by_col is not None and shared_cols is None:
+                # leaders with followers attached stay on the decode path
+                # so the pass publishes full columns for everyone
+                if spass is None or not is_leader or spass.followers <= 0:
+                    return near_data_set(set_id, s)
+            batch = read_decoded(set_id, s, shared_cols)
             stats.sets_read += 1
             if predicate is not None:
                 mask = predicate(batch)
@@ -346,9 +611,21 @@ class _Fragment:
                     if s.deleted is None:  # deletes could hide future matches
                         self.pred_cache.record_empty(set_id, scan_pred)
                 batch = batch.filter(mask)
-            if batch.length:
-                stats.rows_out += batch.length
-                yield batch
+            return batch
+
+        try:
+            for set_id, s in enumerate(self.sets):
+                try:
+                    batch = do_set(set_id, s)
+                finally:
+                    if spass is not None and is_leader:
+                        spass.advance(set_id)
+                if batch is not None and batch.length:
+                    stats.rows_out += batch.length
+                    yield batch
+        finally:
+            if spass is not None:
+                self.shared.leave(spass, is_leader)
 
     def _read_set(
         self,
@@ -547,11 +824,15 @@ class TableStorage:
         skipping: bool = True,
         stats: ScanStats | None = None,
         disks: Sequence[int] | None = None,
+        neardata: bool = False,
+        shared: bool = False,
     ) -> Iterator[RowBatch]:
         cols = list(columns) if columns is not None else self.schema.names()
         frag_ids = disks if disks is not None else range(len(self.fragments))
         for d in frag_ids:
-            yield from self.fragments[d].scan(cols, predicate, scan_pred, skipping, stats)
+            yield from self.fragments[d].scan(
+                cols, predicate, scan_pred, skipping, stats, neardata, shared
+            )
 
     def reorganize(self) -> None:
         for f in self.fragments:
@@ -579,6 +860,14 @@ class TableStorage:
 
     def predicate_cache_bytes(self) -> int:
         return sum(f.pred_cache.nbytes for f in self.fragments)
+
+    def cumulative_stats(self) -> ScanStats:
+        """Lifetime scan counters across fragments (metrics registry)."""
+        out = ScanStats()
+        for f in self.fragments:
+            with f._cum_lock:
+                out.merge(f.cum_stats)
+        return out
 
 
 def _column_minmax(batch: RowBatch) -> dict[str, tuple]:

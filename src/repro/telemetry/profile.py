@@ -44,6 +44,12 @@ class OpProfile:
     #: data skipping under this operator: column sets skipped / total
     sets_skipped: int = 0
     sets_total: int = 0
+    #: pages a plain decode scan would have read but skipping avoided
+    pages_skipped: int = 0
+    #: pages whose predicate ran near-data over the encoded form
+    pages_pushed: int = 0
+    #: pages served from a shared-scan leader's published arrays
+    pages_shared: int = 0
     #: bytes this operator's exchanges put on the wire (per-hop accounted)
     net_bytes: int = 0
     #: bytes spilled to disk while this operator (or its children) ran
@@ -110,6 +116,12 @@ def render_analyze(
                 bits.append(f"skipped={prof.sets_skipped}/{prof.sets_total}")
             if prof.pages:
                 bits.append(f"pages={prof.pages}")
+            if prof.pages_skipped:
+                bits.append(f"pages_skipped={prof.pages_skipped}")
+            if prof.pages_pushed:
+                bits.append(f"pushed={prof.pages_pushed}")
+            if prof.pages_shared:
+                bits.append(f"shared={prof.pages_shared}")
             if prof.net_bytes:
                 bits.append(f"net={prof.net_bytes}B")
             if prof.spilled_bytes:
@@ -137,10 +149,21 @@ def render_analyze(
         f"-- coord_busy={_fmt_ms(coord_s)} site_busy={_fmt_ms(site_total)}"
         + (f" [{per_site}]" if per_site else "")
     )
+    near = ""
+    if (
+        getattr(stats, "pages_skipped", 0)
+        or getattr(stats, "pages_pushed_down", 0)
+        or getattr(stats, "pages_shared", 0)
+    ):
+        near = (
+            f" pages_skipped={stats.pages_skipped}"
+            f" pages_pushed={stats.pages_pushed_down}"
+            f" pages_shared={stats.pages_shared}"
+        )
     lines.append(
         f"-- scanned={stats.rows_scanned} pages={stats.pages_read} "
         f"skipped={stats.sets_skipped}/{stats.sets_total} "
-        f"spilled={stats.spilled_bytes}B peak_mem={stats.peak_memory}B"
+        f"spilled={stats.spilled_bytes}B peak_mem={stats.peak_memory}B" + near
     )
     if stats.restarts or stats.retries:
         lines.append(
