@@ -41,6 +41,7 @@ from ..network.topology import BinomialGraphTopology, TreeTopology
 from ..optimizer.binder import Binder
 from ..optimizer.dataflow import DataflowPlanner, convert_naive
 from ..optimizer.derive import StatsDeriver
+from ..optimizer.feedback import FeedbackStore, actual_overrides, score_plan
 from ..optimizer.logical import LogicalPlan
 from ..optimizer.physical import PhysOp
 from ..optimizer.rewrite import optimize_logical, push_filters
@@ -92,6 +93,9 @@ class QueryResult:
     #: placement epoch the query executed under (elastic membership:
     #: in-flight queries finish against the epoch they planned under)
     epoch: int = 0
+    #: per-operator output rows (physical-op id -> rows), recorded on
+    #: every execution — feeds the Q-error adaptive-replanning loop
+    op_rows: dict | None = None
 
     def rows(self) -> list[tuple]:
         return self.batch.rows()
@@ -244,6 +248,9 @@ class Database:
         )
         #: optimized-plan cache (normalized SQL + catalog/stats versions)
         self.plan_cache = PlanCache(self.config.plan_cache_size)
+        #: per-statement Q-error feedback records, keyed like the plan
+        #: cache (optimizer.feedback; drives adaptive re-planning)
+        self.feedback = FeedbackStore()
         #: planning mutates global fresh-name state; one planner at a time
         self._plan_lock = threading.Lock()
         #: DDL/DML writers serialize against each other
@@ -505,6 +512,28 @@ class Database:
         m.register_collector(
             "repro_plancache_misses_total", "counter", "plan cache misses",
             lambda: [({}, pc.misses)],
+        )
+        # adaptive optimizer (Q-error feedback loop)
+        fb = self.feedback
+        m.register_collector(
+            "repro_optimizer_feedback_runs_total", "counter",
+            "executions whose actuals were folded into feedback records",
+            lambda: [({}, fb.runs_total)],
+        )
+        m.register_collector(
+            "repro_optimizer_replans_total", "counter",
+            "plans evicted and re-optimized with observed cardinalities",
+            lambda: [({}, fb.replans_total)],
+        )
+        m.register_collector(
+            "repro_optimizer_qerror_worst", "gauge",
+            "worst per-operator Q-error across live feedback records",
+            lambda: [({}, fb.worst_q())],
+        )
+        m.register_collector(
+            "repro_storage_sets_skipped_bloom_total", "counter",
+            "column sets skipped by sideways-pushed join bloom filters",
+            per_worker(storage_total("sets_skipped_bloom")),
         )
         # network (per-link traffic; links is a plain dict, snapshot under
         # the net lock via list() to stay consistent)
@@ -1090,7 +1119,11 @@ class Database:
 
     # -- query pipeline -----------------------------------------------------------------
     def plan_select(
-        self, stmt: SelectStmt, naive_dataflow: bool = False, coordinator: int = 0
+        self,
+        stmt: SelectStmt,
+        naive_dataflow: bool = False,
+        coordinator: int = 0,
+        overrides: dict | None = None,
     ) -> tuple[LogicalPlan, PhysOp]:
         from ..optimizer.logical import reset_fresh_names
 
@@ -1099,25 +1132,29 @@ class Database:
             coord = self.coordinators[coordinator]
             binder = Binder(coord.catalog)
             logical = binder.bind(stmt)
-            deriver = StatsDeriver(coord.stats)
+            # ``overrides`` (locus -> observed rows, from the feedback
+            # loop) reach both derivers, so join enumeration and the
+            # dataflow cost model each see the actuals
+            deriver = StatsDeriver(coord.stats, overrides=overrides)
             logical = optimize_logical(logical, deriver)
             placement = lambda t: coord.catalog.entry(t).partitioning()
             if naive_dataflow:
                 physical = convert_naive(logical, placement)
             else:
-                deriver2 = StatsDeriver(coord.stats)
+                deriver2 = StatsDeriver(coord.stats, overrides=overrides)
                 physical = DataflowPlanner(placement, deriver2, self.config).plan(logical)
             return logical, physical
 
     def _plan_select_cached(
         self, text: str, stmt: SelectStmt, naive_dataflow: bool, coordinator: int
-    ) -> tuple[LogicalPlan, PhysOp]:
+    ) -> tuple[LogicalPlan, PhysOp, tuple]:
         """Plan through the coordinator's plan cache.
 
         Plans are immutable after optimization, so a cached (logical,
         physical) pair is shared by concurrent executions as-is; only
         per-query executor state is cloned. The key carries the catalog
-        and statistics versions, so DDL or ANALYZE invalidates."""
+        and statistics versions, so DDL or ANALYZE invalidates. The key
+        is returned too — execution feedback files under it."""
         coord = self.coordinators[coordinator]
         key = PlanCache.key(
             text,
@@ -1128,9 +1165,15 @@ class Database:
         )
         pair = self.plan_cache.get(key)
         if pair is None:
-            pair = self.plan_select(stmt, naive_dataflow, coordinator)
+            fb = self.feedback.get(key)
+            pair = self.plan_select(
+                stmt,
+                naive_dataflow,
+                coordinator,
+                overrides=fb.overrides if fb is not None and fb.overrides else None,
+            )
             self.plan_cache.put(key, pair)
-        return pair
+        return pair[0], pair[1], key
 
     def _run_select(
         self,
@@ -1222,6 +1265,7 @@ class Database:
         stats = carried.merge(stats)
         stats.restarts = attempts - 1
         result = QueryResult(batch, stats, logical, physical, qid=qid, epoch=ex.epoch)
+        result.op_rows = dict(ex.op_rows)
         if profiled:
             result.profiles = ex.op_prof
         return result
@@ -1268,7 +1312,7 @@ class Database:
         try:
             psp = tr.begin("plan", cat="phase") if tr is not None else None
             try:
-                logical, physical = self._plan_select_cached(
+                logical, physical, key = self._plan_select_cached(
                     text, stmt, naive_dataflow, coordinator
                 )
             finally:
@@ -1292,8 +1336,45 @@ class Database:
         finally:
             if root is not None:
                 tr.end(root)
+        if self.config.adaptive_feedback and self.config.plan_cache_size > 0:
+            self._observe_feedback(key, text, stmt, naive_dataflow, coordinator, result)
         self._finish_query(qid, text, time.perf_counter() - t0, result.stats)
         return result
+
+    def _observe_feedback(
+        self, key, text: str, stmt: SelectStmt, naive_dataflow: bool,
+        coordinator: int, result: QueryResult,
+    ) -> None:
+        """Fold one execution's actuals into the feedback store; re-plan
+        when the worst per-operator Q-error crosses the threshold.
+
+        The re-plan is eager — the corrected plan replaces the cached
+        entry before the next execution — and claimed atomically, so
+        concurrent sessions observing the same mis-estimate re-plan once.
+        ``claim_replan`` also refuses once the per-statement budget is
+        spent or the proposed overrides already shaped the cached plan,
+        which bounds oscillation when actuals drift run to run."""
+        scores = score_plan(result.physical, result.op_rows or {})
+        worst = max(scores, key=lambda s: s.q, default=None)
+        self.feedback.observe(
+            key,
+            text,
+            worst.q if worst is not None else 1.0,
+            worst.locus if worst is not None else None,
+        )
+        thr = self.config.replan_qerror_threshold
+        if thr <= 0 or worst is None or worst.q <= thr:
+            return
+        proposed = actual_overrides(result.physical, result.op_rows or {})
+        if not proposed or not self.feedback.claim_replan(key, proposed):
+            return
+        pair = self.plan_select(stmt, naive_dataflow, coordinator, overrides=proposed)
+        self.plan_cache.invalidate(key)
+        self.plan_cache.put(key, pair)
+
+    def feedback_stats(self) -> dict:
+        """Adaptive-optimizer observability (runs, re-plans, worst Q)."""
+        return self.feedback.stats()
 
     def _finish_query(self, qid: int, text: str, duration: float, stats) -> None:
         """Query-level metrics + the slow-query log (queries over the

@@ -9,10 +9,12 @@ plan. Physical plans are immutable after optimization, so concurrent
 queries can execute one shared plan object simultaneously; only the
 executor's per-query state (counters, exchange tags) is cloned per run.
 
-Normalization is deliberately light: whitespace collapsing only. SQL
-string literals are case-sensitive, so lowercasing the text would
-alias distinct queries; collapsing runs of whitespace catches the
-common formatting-only variation without semantic risk.
+Normalization is deliberately light: whitespace collapsing only, and
+only *outside* single-quoted string literals. SQL literals are
+case- and whitespace-sensitive — lowercasing the text or collapsing
+runs inside ``'a  b'`` would alias distinct queries (and serve one
+query the other's cached plan) — so literal spans pass through
+verbatim while formatting-only variation around them still folds.
 """
 
 from __future__ import annotations
@@ -23,11 +25,20 @@ from collections import OrderedDict
 from typing import Hashable
 
 _WS = re.compile(r"\s+")
+#: a single-quoted SQL literal; '' is the escaped quote, so 'a''b' is one span
+_LITERAL = re.compile(r"'(?:[^']|'')*'")
 
 
 def normalize_sql(sql: str) -> str:
-    """Collapse whitespace runs; keep case (string literals!)."""
-    return _WS.sub(" ", sql).strip()
+    """Collapse whitespace runs outside string literals; keep case."""
+    out = []
+    pos = 0
+    for m in _LITERAL.finditer(sql):
+        out.append(_WS.sub(" ", sql[pos : m.start()]))
+        out.append(m.group(0))
+        pos = m.end()
+    out.append(_WS.sub(" ", sql[pos:]))
+    return "".join(out).strip()
 
 
 class PlanCache:
@@ -66,6 +77,11 @@ class PlanCache:
             while len(self._plans) > self.capacity:
                 self._plans.popitem(last=False)
                 self.evictions += 1
+
+    def invalidate(self, key: Hashable) -> bool:
+        """Evict one entry (adaptive re-planning); True if it was cached."""
+        with self._mu:
+            return self._plans.pop(key, None) is not None
 
     def clear(self) -> None:
         with self._mu:

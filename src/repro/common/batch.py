@@ -173,17 +173,7 @@ class RowBatch:
         shuffle operator, and hash joins' Bloom filters, so co-location
         reasoning in the optimizer matches runtime behaviour exactly.
         """
-        h = np.zeros(self.length, dtype=np.uint64)
-        for name in key_columns:
-            arr = self.columns[name]
-            if arr.dtype == object:
-                codes = _fnv1a_bulk(arr)
-            else:
-                codes = arr.astype(np.int64, copy=False).view(np.uint64).copy()
-            codes *= np.uint64(0x9E3779B97F4A7C15)
-            codes ^= codes >> np.uint64(29)
-            h ^= codes + np.uint64(0x9E3779B9) + (h << np.uint64(6)) + (h >> np.uint64(2))
-        return h
+        return hash_value_arrays([self.columns[name] for name in key_columns], self.length)
 
     def partition(self, key_columns: Sequence[str], n_parts: int) -> list["RowBatch"]:
         """Split into ``n_parts`` batches by hash of the key columns."""
@@ -425,6 +415,30 @@ def _decode_string_column(payload: bytes, n: int, enc: int) -> np.ndarray:
     uniq = _decode_strings(payload[4 : 4 + dict_len], nuniq)
     codes = np.frombuffer(payload, dtype=np.uint32, offset=4 + dict_len, count=n)
     return uniq[codes.astype(np.int64)]
+
+
+def hash_value_arrays(arrays, length: int | None = None) -> np.ndarray:
+    """Stable engine-wide 64-bit hash of parallel value arrays.
+
+    The column-wise Fibonacci multiply-xor mix of ``RowBatch.hash_codes``
+    without needing a batch. Table partitioning, shuffle routing, join
+    Bloom prefilters, and the storage layer's sideways bloom scan
+    pushdown all hash through here, so a key hashed on the build side
+    matches the same key hashed over raw scan values exactly.
+    """
+    if length is None:
+        length = len(arrays[0]) if arrays else 0
+    h = np.zeros(length, dtype=np.uint64)
+    for arr in arrays:
+        arr = np.asarray(arr)
+        if arr.dtype == object:
+            codes = _fnv1a_bulk(arr)
+        else:
+            codes = arr.astype(np.int64, copy=False).view(np.uint64).copy()
+        codes *= np.uint64(0x9E3779B97F4A7C15)
+        codes ^= codes >> np.uint64(29)
+        h ^= codes + np.uint64(0x9E3779B9) + (h << np.uint64(6)) + (h >> np.uint64(2))
+    return h
 
 
 def _fnv1a(s: str) -> int:

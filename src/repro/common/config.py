@@ -131,6 +131,19 @@ class ClusterConfig:
     #: decoded page sets a shared-scan leader retains for late
     #: followers; oldest evicted first
     shared_scan_max_sets: int = 64
+    #: fold per-operator actuals from every cached SELECT back into a
+    #: per-plan feedback record (Q-error bookkeeping, repro_optimizer_*
+    #: metrics); required for automatic re-planning
+    adaptive_feedback: bool = True
+    #: re-optimize a cached plan when its worst per-operator Q-error
+    #: max(est/actual, actual/est) exceeds this, injecting the observed
+    #: cardinalities as estimate overrides; 0 disables re-planning
+    #: (observation stays on via adaptive_feedback)
+    replan_qerror_threshold: float = 0.0
+    #: pass hash-join build-side Bloom filters sideways into probe-side
+    #: scans so zone maps and dictionary code space skip on join keys,
+    #: not just base predicates (requires bloom_filters)
+    bloom_scan_pushdown: bool = True
 
     def __post_init__(self):
         if self.n_workers < 1:
@@ -181,6 +194,8 @@ class ClusterConfig:
             raise ConfigError("decoded_cache_mb must be >= 1")
         if self.shared_scan_max_sets < 0:
             raise ConfigError("shared_scan_max_sets must be >= 0 (0 disables publishing)")
+        if self.replan_qerror_threshold < 0:
+            raise ConfigError("replan_qerror_threshold must be >= 0 (0 disables)")
 
     def with_(self, **kwargs) -> "ClusterConfig":
         """Functional update."""

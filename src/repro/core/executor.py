@@ -30,7 +30,7 @@ from typing import Callable, Optional, Sequence
 
 import numpy as np
 
-from ..common.batch import RowBatch
+from ..common.batch import RowBatch, hash_value_arrays
 from ..common.config import ClusterConfig
 from ..common.dtypes import DataType
 from ..common.errors import ExecutionError, NetworkError, WorkerFailureError
@@ -42,7 +42,7 @@ from ..optimizer.logical import AggSpec
 from ..optimizer.physical import COORD, WORKERS, PhysOp
 from ..sql.ast import ColumnRef, Expr
 from ..sql.compiler import compile_expr, compile_predicate, to_scan_predicate
-from ..storage.table import ScanStats, TableStorage
+from ..storage.table import ScanBloom, ScanStats, TableStorage
 from .kernels import (
     JoinHashTable,
     bloom_filter_codes,
@@ -106,6 +106,8 @@ class ExecStats:
     pages_shared: int = 0
     #: scans that attached to another query's in-flight page pass
     shared_attaches: int = 0
+    #: column sets skipped by sideways-passed join-key Bloom filters
+    sets_skipped_bloom: int = 0
     shuffle_bytes: int = 0
     network_bytes: int = 0
     network_messages: int = 0
@@ -158,6 +160,7 @@ class ExecStats:
         self.pages_pushed_down += other.pages_pushed_down
         self.pages_shared += other.pages_shared
         self.shared_attaches += other.shared_attaches
+        self.sets_skipped_bloom += other.sets_skipped_bloom
         self.shuffle_bytes += other.shuffle_bytes
         self.network_bytes += other.network_bytes
         self.network_messages += other.network_messages
@@ -197,6 +200,10 @@ class _ChainRun:
 
     counts: dict[int, int]
     probes: dict[int, dict[int, Callable[[RowBatch], RowBatch]]]
+    #: (site, scan op id) → join-key ScanBlooms passed sideways into
+    #: that site's storage scan (built from the site-local build
+    #: partitions, plus any global bloom a shuffle prefilter shipped)
+    blooms: dict[tuple[int, int], list] = field(default_factory=dict)
 
 
 class DistributedExecutor:
@@ -221,6 +228,10 @@ class DistributedExecutor:
         self.fault_injector = None
         #: actual output rows per physical-op id, from the last execute()
         self.op_rows: dict[int, int] = {}
+        #: scan op id → ScanBlooms a shuffle-level prefilter wants pushed
+        #: into that scan (consumed by _open_chain when the probe side's
+        #: chain opens; per-query state, cleared by the prefilter builder)
+        self._pending_scan_blooms: dict[int, list] = {}
         #: per-worker health (blacklist-and-failover for replicated reads);
         #: persists across queries so repeated failures accumulate, and
         #: across membership epochs (the Database re-installs it when it
@@ -284,6 +295,7 @@ class DistributedExecutor:
             )
         clone._scan_stats = ScanStats()
         clone.op_rows = {}
+        clone._pending_scan_blooms = {}
         clone.retries = 0
         clone.backoff_time = 0.0
         clone.failed_workers = set()
@@ -311,6 +323,7 @@ class DistributedExecutor:
         base = self.net.traffic_of(self.qtag)
         self._scan_stats = ScanStats()
         self.op_rows = {}
+        self._pending_scan_blooms = {}
         if self.op_prof is not None:
             self.op_prof = {}  # a restarted attempt profiles afresh
         self.retries = 0
@@ -341,12 +354,14 @@ class DistributedExecutor:
                 + self._scan_stats.sets_skipped_minmax
                 + self._scan_stats.sets_skipped_index
                 + self._scan_stats.sets_skipped_encoded
+                + self._scan_stats.sets_skipped_bloom
             ),
             sets_total=self._scan_stats.sets_total,
             pages_skipped=self._scan_stats.pages_skipped,
             pages_pushed_down=self._scan_stats.pages_pushed_down,
             pages_shared=self._scan_stats.pages_shared,
             shared_attaches=self._scan_stats.shared_attaches,
+            sets_skipped_bloom=self._scan_stats.sets_skipped_bloom,
             network_bytes=end.bytes - base.bytes,
             network_messages=end.messages - base.messages,
             forwarded_bytes=end.forwarded_bytes - base.forwarded_bytes,
@@ -438,6 +453,7 @@ class DistributedExecutor:
             + st.sets_skipped_minmax
             + st.sets_skipped_index
             + st.sets_skipped_encoded
+            + st.sets_skipped_bloom
         )
         return (
             st.rows_out,
@@ -481,6 +497,52 @@ class DistributedExecutor:
             return None
         return chain
 
+    def _scan_bloom_targets(self, chain: FusedChain, jop: PhysOp, pairs) -> dict[int, str]:
+        """Map probe-key pair index → base column of the chain's scan.
+
+        Walks each left (probe-side) key expression down through the
+        chain's transforms *below* ``jop``: filters pass names through,
+        projects must map the name to a plain column reference, and
+        lower fused joins must source the name from their probe (left)
+        side — any widening join preserves the value on every output
+        copy, so scan-level dropping stays exact. Keys that survive to
+        the scan resolve to the storage column the bloom can test.
+        Returns {} when no key maps (pushdown silently off for this
+        probe).
+        """
+        try:
+            upto = chain.transforms.index(jop)
+        except ValueError:
+            upto = len(chain.transforms)
+        out: dict[int, str] = {}
+        scan_names = {c.name: c.unqualified for c in chain.scan.schema}
+        for i, (le, _re) in enumerate(pairs):
+            if not isinstance(le, ColumnRef):
+                continue
+            name = le.name
+            ok = True
+            for t in reversed(chain.transforms[:upto]):
+                if t.op == "filter":
+                    continue
+                if t.op == "project":
+                    expr = next(
+                        (e for n, e in t.attrs["exprs"] if n == name), None
+                    )
+                    if not isinstance(expr, ColumnRef):
+                        ok = False
+                        break
+                    name = expr.name
+                elif t.op == "hashjoin":
+                    if not any(c.name == name for c in t.children[0].schema):
+                        ok = False  # key comes from the build side
+                        break
+                else:
+                    ok = False
+                    break
+            if ok and name in scan_names:
+                out[i] = scan_names[name]
+        return out
+
     def _open_chain(self, chain: FusedChain) -> "_ChainRun":
         """Account a chain execution and prepare its per-run state.
 
@@ -499,6 +561,7 @@ class DistributedExecutor:
         probes: dict[int, dict[int, Callable[[RowBatch], RowBatch]]] = {
             w: {} for w in self.worker_ids
         }
+        blooms: dict[tuple[int, int], list] = {}
         for jop in chain.probe_ops:
             right_op = jop.children[1]
             right = self._eval(right_op)
@@ -508,12 +571,39 @@ class DistributedExecutor:
             lschema = jop.children[0].schema
             rschema = right_op.schema
             lkey_fns = [compile_expr(le, lschema).fn for le, _ in pairs]
+            # sideways bloom pushdown: fused probes are co-partitioned or
+            # broadcast, so site w's probe rows can only match site w's
+            # build partition — a per-site bloom over that partition's
+            # keys is exact per site and tighter than a global one. Only
+            # inner/semi probes eliminate non-matching rows.
+            push_targets: dict[int, str] = {}
+            if (
+                self.config.bloom_filters
+                and self.config.bloom_scan_pushdown
+                and jop.attrs.get("bloom")
+                and pairs
+                and kind in ("inner", "semi")
+            ):
+                push_targets = self._scan_bloom_targets(chain, jop, pairs)
             for w in self.worker_ids:
                 t0 = time.perf_counter()
                 rb = self._materialize(w, rschema, right.get(w, []))
-                jht = JoinHashTable(
-                    [np.asarray(compile_expr(re, rschema).fn(rb)) for _, re in pairs]
-                )
+                rkeys = [np.asarray(compile_expr(re, rschema).fn(rb)) for _, re in pairs]
+                jht = JoinHashTable(rkeys)
+                if push_targets:
+                    site_bl = blooms.setdefault((w, chain.scan.id), [])
+                    if rb.length == 0:
+                        site_bl.append(ScanBloom(column="", drop_all=True))
+                    else:
+                        for i, col in push_targets.items():
+                            site_bl.append(
+                                ScanBloom(
+                                    column=col,
+                                    bits=bloom_filter_codes(
+                                        hash_value_arrays([rkeys[i]])
+                                    ),
+                                )
+                            )
                 self._note_busy(w, time.perf_counter() - t0)
                 probes[w][jop.id] = (
                     lambda lb, jop=jop, jht=jht, rb=rb, kind=kind, pairs=pairs,
@@ -523,7 +613,13 @@ class DistributedExecutor:
                         lschema, rschema, lkey_fns=lkey_fns,
                     )
                 )
-        return _ChainRun(counts=counts, probes=probes)
+        pending = self._pending_scan_blooms.get(chain.scan.id)
+        if pending:
+            # a shuffle-level prefilter shipped a (global) build bloom —
+            # every site's scan of this chain can test it too
+            for w in self.worker_ids:
+                blooms.setdefault((w, chain.scan.id), []).extend(pending)
+        return _ChainRun(counts=counts, probes=probes, blooms=blooms)
 
     def _close_chain(self, run: "_ChainRun") -> None:
         """Publish fused per-op actuals for EXPLAIN ANALYZE."""
@@ -601,6 +697,10 @@ class DistributedExecutor:
         probes = run.probes.get(w)
         counts = run.counts
         scan_id = op.id
+        # join-key blooms for this site's scan (fused-probe build sides
+        # and/or a shuffle prefilter's shipped filter); None when the
+        # pushdown is off or no probe key maps to a scan column
+        scan_blooms = run.blooms.get((w, scan_id))
         n_disks = len(storage.fragments)
         min_rows = self.config.morsel_min_rows
         inline = min_rows > 0 and storage.row_count < min_rows
@@ -648,6 +748,7 @@ class DistributedExecutor:
                 needed, pred_fn, scan_pred,
                 skipping=self.config.data_skipping, stats=st, disks=ds,
                 neardata=self.config.neardata_scan, shared=self.config.shared_scans,
+                blooms=scan_blooms,
             ):
                 b = finish(raw)
                 local[scan_id] = local.get(scan_id, 0) + b.length
@@ -683,6 +784,7 @@ class DistributedExecutor:
                 needed, pred_fn, scan_pred,
                 skipping=self.config.data_skipping, stats=st, disks=ds,
                 neardata=self.config.neardata_scan, shared=self.config.shared_scans,
+                blooms=scan_blooms,
             ):
                 buf.append(raw)
                 held += raw.length
@@ -1221,19 +1323,46 @@ class DistributedExecutor:
 
         right = self._eval(right_op)
         prefilter = None
+        pushed_scan_id = None
         if (
             op.attrs.get("bloom")
             and pairs
             and left_op.op == "shuffle"
             and kind in ("inner", "semi")
         ):
-            prefilter = self._build_bloom_prefilter(op, right, right_op, pairs)
-        if left_op.op == "shuffle":
-            left = self._traced(
-                left_op, lambda: self._eval_shuffle(left_op, prefilter=prefilter)
-            )
-        else:
-            left = self._eval(left_op)
+            built = self._build_bloom_prefilter(op, right, right_op, pairs)
+            # baseline engines override the builder to return None
+            # (no bloom shuffle at all) — treat that as "no prefilter"
+            prefilter, bits = built if built is not None else (None, None)
+            if built is not None and self.config.bloom_scan_pushdown:
+                # pass the same build bloom sideways into the probe side's
+                # scan, so zone maps / dictionary pages skip on the join
+                # key before rows are even decoded for the shuffle
+                chain = self._chain_for(left_op.children[0], allow_bare_scan=True)
+                if chain is not None:
+                    targets = self._scan_bloom_targets(chain, op, pairs)
+                    scan_blooms = None
+                    if bits is None:
+                        # empty build side: nothing can match — the scan
+                        # itself is dead for this query
+                        scan_blooms = [ScanBloom(column="", drop_all=True)]
+                    elif len(pairs) == 1 and 0 in targets:
+                        # the shipped bits hash the full key tuple, so a
+                        # per-column scan test is only sound single-key
+                        scan_blooms = [ScanBloom(column=targets[0], bits=bits)]
+                    if scan_blooms:
+                        pushed_scan_id = chain.scan.id
+                        self._pending_scan_blooms[pushed_scan_id] = scan_blooms
+        try:
+            if left_op.op == "shuffle":
+                left = self._traced(
+                    left_op, lambda: self._eval_shuffle(left_op, prefilter=prefilter)
+                )
+            else:
+                left = self._eval(left_op)
+        finally:
+            if pushed_scan_id is not None:
+                self._pending_scan_blooms.pop(pushed_scan_id, None)
 
         # left/single/cross joins need the whole probe side (row order of
         # unmatched padding, scalar cardinality checks), so only the
@@ -1306,10 +1435,16 @@ class DistributedExecutor:
 
     def _build_bloom_prefilter(
         self, op: PhysOp, right: SiteData, right_op: PhysOp, pairs
-    ) -> Callable[[RowBatch], RowBatch]:
+    ) -> tuple[Callable[[RowBatch], RowBatch], np.ndarray | None]:
         """Build a Bloom filter over the build side's join keys and ship it
         (accounted through the tree topology) so probe batches are filtered
-        before they hit the shuffle."""
+        before they hit the shuffle.
+
+        Returns ``(prefilter, bits)``; ``bits`` is None for an empty
+        build side — the prefilter then drops everything outright
+        (an inner/semi probe against nothing matches nothing) instead
+        of shipping and probing an all-zero filter.
+        """
         key_exprs = [re for _, re in pairs]
         bits = None
         for w, batches in right.items():
@@ -1323,7 +1458,10 @@ class DistributedExecutor:
             local = bloom_filter_codes(codes)
             bits = local if bits is None else (bits | local)
         if bits is None:
-            bits = bloom_filter_codes(np.zeros(0, dtype=np.uint64))
+            def drop_all(batch: RowBatch) -> RowBatch:
+                return batch.filter(np.zeros(batch.length, dtype=bool))
+
+            return drop_all, None
         # account the filter exchange: every worker receives the merged bits
         payload = bits.tobytes()
         tag = f"{self.qtag}bloom{op.id}"
@@ -1346,7 +1484,7 @@ class DistributedExecutor:
             codes = _value_hash(arrays)
             return batch.filter(bloom_filter_test(bits, codes))
 
-        return prefilter
+        return prefilter, bits
 
     # -- exchanges ----------------------------------------------------------------------
     def _shuffle_batch(self, src: int, batch: RowBatch, compiled, buffers, tag: str, prefilter) -> None:
@@ -1787,29 +1925,13 @@ def _final_aggregate(batch: RowBatch, keys, final_specs, out_schema: Schema) -> 
 
 
 def _value_hash(arrays: list[np.ndarray]) -> np.ndarray:
-    """Stable engine-wide hash of key value tuples (matches RowBatch.hash_codes)."""
-    from ..common.batch import RowBatch as RB
-    from ..common.dtypes import DataType
-    from ..common.schema import Column, Schema as Sch
+    """Stable engine-wide hash of key value tuples.
 
-    cols = {}
-    schema_cols = []
-    for i, a in enumerate(arrays):
-        name = f"k{i}"
-        if a.dtype == object:
-            dt = DataType.STRING
-        elif a.dtype == np.float64:
-            dt = DataType.FLOAT64
-        elif a.dtype == np.bool_:
-            dt = DataType.BOOL
-        elif a.dtype == np.int32:
-            dt = DataType.DATE
-        else:
-            dt = DataType.INT64
-        schema_cols.append(Column(name, dt))
-        cols[name] = a
-    tmp = RB(Sch(schema_cols), cols)
-    return tmp.hash_codes([c.name for c in schema_cols])
+    Delegates to :func:`hash_value_arrays` — the single mix shared with
+    ``RowBatch.hash_codes`` and the storage layer's bloom scan
+    pushdown, so build-side and scan-side key hashes always agree.
+    """
+    return hash_value_arrays(arrays)
 
 
 def _strip_qualifiers(expr: Expr) -> Expr:

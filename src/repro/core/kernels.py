@@ -166,31 +166,10 @@ def match_mask(lcode: np.ndarray, rcode: np.ndarray) -> np.ndarray:
     return uniq_r[pos] == lcode
 
 
-def bloom_filter_codes(codes: np.ndarray, n_bits: int = 1 << 20) -> np.ndarray:
-    """Build a Bloom filter bitset over key codes (2 hash functions).
-
-    HRDBMS builds Bloom filters over the join attributes of both inputs
-    to cut shuffle volume; the distributed hash join uses this to
-    pre-filter probe-side batches before they travel.
-    """
-    bits = np.zeros(n_bits // 8, dtype=np.uint8)
-    for salt in (np.uint64(0x9E3779B97F4A7C15), np.uint64(0xC2B2AE3D27D4EB4F)):
-        h = codes.astype(np.uint64) * salt
-        h ^= h >> np.uint64(31)
-        idx = (h % np.uint64(n_bits)).astype(np.int64)
-        np.bitwise_or.at(bits, idx // 8, (1 << (idx % 8)).astype(np.uint8))
-    return bits
-
-
-def bloom_filter_test(bits: np.ndarray, codes: np.ndarray) -> np.ndarray:
-    n_bits = len(bits) * 8
-    out = np.ones(len(codes), dtype=bool)
-    for salt in (np.uint64(0x9E3779B97F4A7C15), np.uint64(0xC2B2AE3D27D4EB4F)):
-        h = codes.astype(np.uint64) * salt
-        h ^= h >> np.uint64(31)
-        idx = (h % np.uint64(n_bits)).astype(np.int64)
-        out &= (bits[idx // 8] & (1 << (idx % 8)).astype(np.uint8)) != 0
-    return out
+# Bloom filters moved to common.bloom so the storage layer can test
+# fragment zone-maps and dictionary code space against build-side
+# filters without importing repro.core; re-exported here for callers.
+from ..common.bloom import bloom_filter_codes, bloom_filter_test  # noqa: E402,F401
 
 
 # ---------------------------------------------------------------------------

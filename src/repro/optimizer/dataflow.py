@@ -168,8 +168,11 @@ class DataflowPlanner:
         for it) with cardinality estimates for the cost layer."""
         p = self._plan_inner(node)
         prof = self.deriver.profile(node)
-        p.attrs.setdefault("est_rows", prof.rows)
-        p.attrs.setdefault("est_bytes", prof.bytes)
+        # always float: EXPLAIN ANALYZE and the Q-error feedback loop key
+        # off est_rows, and int row counts (e.g. a Scan's raw row_count)
+        # must not render or compare differently from derived estimates
+        p.attrs.setdefault("est_rows", float(prof.rows))
+        p.attrs.setdefault("est_bytes", float(prof.bytes))
         return p
 
     def _plan_inner(self, node: LogicalPlan) -> PhysOp:
@@ -424,7 +427,7 @@ class DataflowPlanner:
             return make("agg", [shuffled], node.schema, WORKERS, hash_part(keys),
                         mode="complete", group_keys=keys, aggs=node.aggs)
         partial_schema, partial_specs, final_specs = _split_aggs(node, node.child.schema)
-        partial_rows = min(rows, local_groups * n)
+        partial_rows = float(min(rows, local_groups * n))
         partial = make("agg", [child], partial_schema, WORKERS, child.partitioning,
                        mode="partial", group_keys=keys, aggs=node.aggs,
                        partial_specs=partial_specs,

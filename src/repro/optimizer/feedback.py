@@ -1,0 +1,237 @@
+"""Adaptive optimization: Q-error feedback from actuals to the planner.
+
+The executor records per-operator output rows on every execution
+(``Executor.op_rows``). This module closes the loop the way the
+DuckDB/Snowflake playbooks describe: compute per-operator Q-error
+``max(est/actual, actual/est)``, keep a per-plan feedback record next
+to the plan-cache entry, and when the worst Q-error exceeds
+``ClusterConfig.replan_qerror_threshold`` re-optimize the statement
+with the observed cardinalities injected as estimate overrides.
+
+Estimates and actuals belong to *different* plan trees (the re-plan
+rebuilds the tree from SQL), so they meet on an operator **locus** — a
+structural key ``(category, tables-under-subtree, detail)`` that is
+stable across plan rebuilds: a scan of ``lineitem`` matches the scan
+of ``lineitem`` in the next plan regardless of operator ids. Fused
+physical scans carry their filter's estimate (``fuse_scans`` merges
+the predicate down), so a scan-with-predicate reports the *filter*
+locus and lines up with the logical ``Filter`` node the deriver sees.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Hashable, Optional
+
+from .logical import Aggregate, Filter, Join, LogicalPlan, Scan, walk
+
+#: re-plans allowed per cached statement before the feedback loop holds
+#: (bounds oscillation when actuals themselves shift run to run)
+REPLAN_BUDGET = 4
+
+
+def qerror(est: float, actual: float) -> float:
+    """Symmetric relative estimation error, clamped finite.
+
+    Both sides clamp to >= 1 row so empty results stay well-defined:
+    q(0, 0) == 1 (a correct "nothing"), q(0, n) == n, q(n, 0) == n.
+    """
+    e = max(float(est), 1.0)
+    a = max(float(actual), 1.0)
+    return e / a if e >= a else a / e
+
+
+# ---------------------------------------------------------------------------
+# operator loci
+# ---------------------------------------------------------------------------
+
+
+def _logical_tables(plan: LogicalPlan) -> frozenset:
+    return frozenset(
+        (n.table, n.alias or "") for n in walk(plan) if isinstance(n, Scan)
+    )
+
+
+def logical_locus(plan: LogicalPlan) -> Optional[tuple]:
+    """Locus of a logical node, or None for nodes feedback skips."""
+    if isinstance(plan, Scan):
+        return ("scan", frozenset({(plan.table, plan.alias or "")}), "")
+    if isinstance(plan, Filter):
+        return ("filter", _logical_tables(plan), repr(plan.predicate))
+    if isinstance(plan, Join):
+        return (
+            "join",
+            _logical_tables(plan),
+            f"{plan.kind}|{sorted(_logical_tables(plan.left))!r}",
+        )
+    if isinstance(plan, Aggregate):
+        return ("agg", _logical_tables(plan), ",".join(plan.group_keys))
+    return None
+
+
+def _physical_tables(op) -> frozenset:
+    out = set()
+    for o in op.walk():
+        if o.op == "scan":
+            out.add((o.attrs["table"], o.attrs.get("alias") or ""))
+        elif o.op == "dual":
+            out.add(("__dual", ""))
+    return frozenset(out)
+
+
+def physical_locus(op) -> Optional[tuple]:
+    """Locus of a physical operator, mirroring :func:`logical_locus`.
+
+    A scan with a fused predicate reports the *filter* locus — its
+    ``est_rows``/actuals are post-predicate (``fuse_scans`` copies the
+    filter's estimate onto the scan), so that's what they calibrate.
+    """
+    if op.op == "scan":
+        tabs = frozenset({(op.attrs["table"], op.attrs.get("alias") or "")})
+        pred = op.attrs.get("predicate")
+        if pred is not None:
+            return ("filter", tabs, repr(pred))
+        return ("scan", tabs, "")
+    if op.op == "filter":
+        return ("filter", _physical_tables(op), repr(op.attrs["predicate"]))
+    if op.op == "hashjoin":
+        return (
+            "join",
+            _physical_tables(op),
+            f"{op.attrs['kind']}|{sorted(_physical_tables(op.children[0]))!r}",
+        )
+    if op.op == "agg" and op.attrs.get("mode") in ("complete", "final"):
+        return ("agg", _physical_tables(op), ",".join(op.attrs.get("group_keys") or ()))
+    return None
+
+
+@dataclass
+class OpScore:
+    """One operator's estimate vs actual for a single execution."""
+
+    op_id: int
+    locus: tuple
+    est: float
+    actual: float
+    q: float
+
+
+def score_plan(physical, op_rows: dict) -> list[OpScore]:
+    """Q-error per locus-bearing operator that has both est and actual."""
+    out = []
+    for op in physical.walk():
+        locus = physical_locus(op)
+        if locus is None or op.id not in op_rows:
+            continue
+        est = op.attrs.get("est_rows")
+        if not isinstance(est, (int, float)) or isinstance(est, bool):
+            continue
+        actual = float(op_rows[op.id])
+        out.append(OpScore(op.id, locus, float(est), actual, qerror(est, actual)))
+    return out
+
+
+def actual_overrides(physical, op_rows: dict) -> dict:
+    """Locus -> observed output rows, for re-planning with actuals.
+
+    First (outermost) occurrence wins on duplicate loci — self-joins of
+    the same table set are rare and the walk order is deterministic.
+    """
+    out: dict = {}
+    for op in physical.walk():
+        locus = physical_locus(op)
+        if locus is not None and op.id in op_rows and locus not in out:
+            out[locus] = float(op_rows[op.id])
+    return out
+
+
+# ---------------------------------------------------------------------------
+# per-plan feedback records
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class PlanFeedback:
+    """Execution feedback accumulated for one cached statement."""
+
+    sql: str
+    runs: int = 0
+    replans: int = 0
+    #: worst per-operator Q-error of the latest run (of the current plan)
+    worst_q: float = 1.0
+    worst_locus: Optional[tuple] = None
+    #: cardinality overrides the current cached plan was optimized with
+    overrides: dict = field(default_factory=dict)
+
+
+class FeedbackStore:
+    """Bounded LRU of :class:`PlanFeedback`, keyed like the plan cache.
+
+    Keys intentionally match ``PlanCache.key`` (minus nothing) so a
+    feedback record lives and dies with its plan-cache entry's
+    identity: DDL or ANALYZE bumps a version, both start fresh.
+    """
+
+    def __init__(self, capacity: int = 256):
+        self.capacity = max(1, capacity)
+        self._entries: OrderedDict[Hashable, PlanFeedback] = OrderedDict()
+        self._mu = threading.Lock()
+        self.runs_total = 0
+        self.replans_total = 0
+
+    def observe(self, key: Hashable, sql: str, worst_q: float, worst_locus) -> PlanFeedback:
+        """Fold one execution's worst Q-error into the record for ``key``."""
+        with self._mu:
+            fb = self._entries.get(key)
+            if fb is None:
+                fb = PlanFeedback(sql=sql)
+                self._entries[key] = fb
+                while len(self._entries) > self.capacity:
+                    self._entries.popitem(last=False)
+            self._entries.move_to_end(key)
+            fb.runs += 1
+            fb.worst_q = worst_q
+            fb.worst_locus = worst_locus
+            self.runs_total += 1
+            return fb
+
+    def claim_replan(self, key: Hashable, proposed: dict) -> bool:
+        """Atomically claim the right to re-plan ``key`` with ``proposed``.
+
+        False when another session already installed the same overrides
+        (concurrent observers re-plan once, not once each) or the
+        per-statement re-plan budget is exhausted.
+        """
+        with self._mu:
+            fb = self._entries.get(key)
+            if fb is None or fb.replans >= REPLAN_BUDGET or fb.overrides == proposed:
+                return False
+            fb.overrides = dict(proposed)
+            fb.replans += 1
+            self.replans_total += 1
+            return True
+
+    def get(self, key: Hashable) -> Optional[PlanFeedback]:
+        with self._mu:
+            return self._entries.get(key)
+
+    def worst_q(self) -> float:
+        with self._mu:
+            return max((fb.worst_q for fb in self._entries.values()), default=1.0)
+
+    def stats(self) -> dict:
+        with self._mu:
+            return {
+                "entries": len(self._entries),
+                "runs": self.runs_total,
+                "replans": self.replans_total,
+                "worst_q": max(
+                    (fb.worst_q for fb in self._entries.values()), default=1.0
+                ),
+            }
+
+    def clear(self) -> None:
+        with self._mu:
+            self._entries.clear()

@@ -91,6 +91,8 @@ def render_analyze(
     reconciliation footer.
     """
 
+    from ..optimizer.feedback import qerror
+
     def render(op, indent: int = 0) -> list[str]:
         pad = "  " * indent
         prof = profiles.get(op.id)
@@ -99,8 +101,11 @@ def render_analyze(
         if prof is not None:
             bits.append(f"rows={prof.rows}")
             est = op.attrs.get("est_rows")
-            if isinstance(est, float):
-                bits.append(f"est={est:.0f}")
+            # int or float: dataflow seeds floats, but older plans (and
+            # raw Scan row counts) may carry ints — both must render
+            if isinstance(est, (int, float)) and not isinstance(est, bool):
+                bits.append(f"est={float(est):.0f}")
+                bits.append(f"q={qerror(float(est), float(prof.rows)):.1f}")
             if prof.batches:
                 bits.append(f"batches={prof.batches}")
             child_time = sum(
@@ -160,6 +165,8 @@ def render_analyze(
             f" pages_pushed={stats.pages_pushed_down}"
             f" pages_shared={stats.pages_shared}"
         )
+        if getattr(stats, "sets_skipped_bloom", 0):
+            near += f" bloom_sets={stats.sets_skipped_bloom}"
     lines.append(
         f"-- scanned={stats.rows_scanned} pages={stats.pages_read} "
         f"skipped={stats.sets_skipped}/{stats.sets_total} "

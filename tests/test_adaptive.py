@@ -1,0 +1,345 @@
+"""Adaptive optimization: Q-error feedback re-planning and sideways
+bloom pushdown into scans.
+
+The feedback loop (optimizer.feedback + Database._observe_feedback)
+must re-plan a mis-estimated statement exactly once — eagerly, behind
+an atomic claim, bounded by the per-statement budget — and the
+corrected plan must return identical rows. Bloom pushdown
+(executor._scan_bloom_targets → storage ScanBloom) must only ever
+*skip work*: every query reads byte-identical to the non-pushdown
+path, under chaos seeds included. Plus regression tests for the two
+satellite bugs: quote-aware SQL normalization and int ``est_rows``
+rendering in EXPLAIN ANALYZE.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro import ClusterConfig, Database
+from repro.common import DataType, RowBatch
+from repro.common.bloom import bloom_filter_codes, bloom_filter_test
+from repro.common.schema import Schema
+from repro.cluster.plancache import PlanCache, normalize_sql
+from repro.fault import FaultSchedule
+from repro.optimizer.feedback import REPLAN_BUDGET, qerror
+from repro.optimizer.stats import TableStats
+from repro.telemetry import render_analyze
+from repro.workloads import tpch_schema
+from repro.workloads.tpch_queries import query as tpch_query
+
+
+# ---------------------------------------------------------------------------
+# satellite: quote-aware SQL normalization
+# ---------------------------------------------------------------------------
+
+
+class TestNormalizeSQL:
+    def test_outside_whitespace_collapses(self):
+        assert normalize_sql("SELECT   1  FROM   t") == normalize_sql("SELECT 1 FROM t")
+
+    def test_literal_whitespace_preserved(self):
+        # 'a  b' and 'a b' are different literals — collapsing inside
+        # quotes made the cache alias them to one plan (the bug)
+        a = normalize_sql("SELECT * FROM t WHERE c = 'a  b'")
+        b = normalize_sql("SELECT * FROM t WHERE c = 'a b'")
+        assert a != b
+        assert "'a  b'" in a
+
+    def test_escaped_quote_stays_inside_literal(self):
+        s = normalize_sql("SELECT 'it''s  fine'   ,  2")
+        assert "'it''s  fine'" in s
+        assert s.endswith(", 2")
+
+    def test_cache_keys_distinguish_literals(self):
+        k1 = PlanCache.key("SELECT 'x  y'", "opt", 0, 1, 1)
+        k2 = PlanCache.key("SELECT 'x y'", "opt", 0, 1, 1)
+        assert k1 != k2
+
+    def test_formatting_only_same_key(self):
+        k1 = PlanCache.key("SELECT  *  FROM t", "opt", 0, 1, 1)
+        k2 = PlanCache.key("SELECT * FROM t", "opt", 0, 1, 1)
+        assert k1 == k2
+
+
+def test_plancache_invalidate():
+    pc = PlanCache(4)
+    key = PlanCache.key("SELECT 1", "opt", 0, 1, 1)
+    pc.put(key, ("logical", "physical"))
+    assert pc.get(key) is not None
+    assert pc.invalidate(key) is True
+    assert pc.get(key) is None
+    assert pc.invalidate(key) is False
+
+
+# ---------------------------------------------------------------------------
+# Q-error edges
+# ---------------------------------------------------------------------------
+
+
+class TestQError:
+    def test_both_zero_is_one(self):
+        assert qerror(0, 0) == 1.0  # a correct "nothing"
+
+    def test_zero_estimate(self):
+        assert qerror(0, 50) == 50.0
+
+    def test_zero_actual(self):
+        assert qerror(1000, 0) == 1000.0
+
+    def test_symmetry(self):
+        assert qerror(10, 250) == qerror(250, 10) == 25.0
+
+    def test_exact_is_one(self):
+        assert qerror(42, 42) == 1.0
+
+    def test_finite_for_extremes(self):
+        assert np.isfinite(qerror(1e18, 0))
+
+
+# ---------------------------------------------------------------------------
+# satellite: bloom kernel guards
+# ---------------------------------------------------------------------------
+
+
+class TestBloomKernel:
+    def test_zero_length_bits_rejects_all(self):
+        codes = np.arange(16, dtype=np.uint64)
+        mask = bloom_filter_test(np.zeros(0, dtype=np.uint8), codes)
+        assert mask.shape == (16,) and not mask.any()
+
+    def test_membership(self):
+        build = np.arange(100, dtype=np.uint64) * np.uint64(2654435761)
+        bits = bloom_filter_codes(build)
+        assert bloom_filter_test(bits, build).all()
+        probe = (np.arange(100_000, 100_050, dtype=np.uint64)
+                 * np.uint64(2654435761))
+        # false-positive rate of a 1M-bit filter over 100 keys ~ 0
+        assert bloom_filter_test(bits, probe).sum() <= 2
+
+
+# ---------------------------------------------------------------------------
+# adaptive re-planning
+# ---------------------------------------------------------------------------
+
+N_DIM, N_FACT = 20, 5000
+JOIN_SQL = "SELECT d_tag, SUM(f_v) FROM fact JOIN dim ON f_d = d_id GROUP BY d_tag"
+
+
+def feedback_db(**overrides) -> Database:
+    """dim/fact cluster where ``fact``'s statistics lie by 1000x."""
+    cfg = dict(n_workers=2, n_max=4, page_size=16 * 1024,
+               replan_qerror_threshold=5.0)
+    cfg.update(overrides)
+    db = Database(ClusterConfig(**cfg))
+    db.create_table("dim", Schema.of(("d_id", DataType.INT64), ("d_tag", DataType.STRING)))
+    db.create_table("fact", Schema.of(
+        ("f_id", DataType.INT64), ("f_d", DataType.INT64), ("f_v", DataType.FLOAT64)))
+    db.load("dim", RowBatch.from_pairs(
+        ("d_id", DataType.INT64, list(range(N_DIM))),
+        ("d_tag", DataType.STRING, [f"t{i % 4}" for i in range(N_DIM)]),
+    ))
+    db.load("fact", RowBatch.from_pairs(
+        ("f_id", DataType.INT64, list(range(N_FACT))),
+        ("f_d", DataType.INT64, [i % N_DIM for i in range(N_FACT)]),
+        ("f_v", DataType.FLOAT64, [float(i) for i in range(N_FACT)]),
+    ))
+    # install the mis-estimate AFTER load (load auto-analyzes)
+    db.set_table_stats("fact", TableStats(row_count=5.0))
+    return db
+
+
+class TestAdaptiveReplan:
+    def test_exactly_one_replan_then_hits(self):
+        db = feedback_db()
+        rows = [sorted(db.sql(JOIN_SQL).rows()) for _ in range(4)]
+        assert all(r == rows[0] for r in rows)
+        st = db.feedback_stats()
+        assert st["runs"] == 4
+        assert st["replans"] == 1, st
+        # after the re-plan the corrected plan's estimates line up
+        assert st["worst_q"] < 5.0
+        # runs 2..4 hit the corrected cached plan
+        assert db.plan_cache.stats()["hits"] >= 2
+
+    def test_replan_improves_network(self):
+        db = feedback_db()
+        before = db.sql(JOIN_SQL).stats.network_bytes
+        after = db.sql(JOIN_SQL).stats.network_bytes
+        assert after < before, (before, after)
+
+    def test_threshold_zero_observes_only(self):
+        db = feedback_db(replan_qerror_threshold=0.0)
+        for _ in range(3):
+            db.sql(JOIN_SQL)
+        st = db.feedback_stats()
+        assert st["runs"] == 3 and st["replans"] == 0
+        assert st["worst_q"] > 100  # the lie is visible, just not acted on
+
+    def test_feedback_disabled(self):
+        db = feedback_db(adaptive_feedback=False)
+        for _ in range(3):
+            db.sql(JOIN_SQL)
+        st = db.feedback_stats()
+        assert st["runs"] == 0 and st["replans"] == 0
+
+    def test_concurrent_sessions_replan_once(self):
+        db = feedback_db()
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            futs = [pool.submit(lambda: sorted(db.session().sql(JOIN_SQL).rows()))
+                    for _ in range(8)]
+            rows = [f.result() for f in futs]
+        assert all(r == rows[0] for r in rows)
+        st = db.feedback_stats()
+        # the claim is atomic: concurrent observers of the same
+        # mis-estimate re-plan once, never once each (budget bounds the
+        # worst case when racing actuals propose different overrides)
+        assert 1 <= st["replans"] <= REPLAN_BUDGET, st
+
+    def test_restart_merged_stats_feedback(self):
+        """A chaos-restarted query feeds the successful attempt's
+        actuals — not counters doubled across attempts — so its worst
+        Q-error matches the fault-free run's."""
+        calm = feedback_db(replan_qerror_threshold=0.0)
+        calm.chaos(FaultSchedule.none())
+        calm.sql(JOIN_SQL)
+        want_q = calm.feedback_stats()["worst_q"]
+        for seed in (11, 23, 37):
+            db = feedback_db(replan_qerror_threshold=0.0,
+                             send_retries=6, max_query_restarts=16)
+            db.chaos(FaultSchedule.chaos(seed, [0, 1]))
+            r = db.sql(JOIN_SQL)
+            st = db.feedback_stats()
+            assert st["runs"] == 1
+            assert st["worst_q"] == pytest.approx(want_q), (seed, r.stats.restarts)
+
+
+# ---------------------------------------------------------------------------
+# satellite: est= rendering accepts int and float
+# ---------------------------------------------------------------------------
+
+
+class TestEstRendering:
+    def test_explain_analyze_renders_est_and_q(self):
+        db = feedback_db(replan_qerror_threshold=0.0)
+        out = db.explain_analyze(JOIN_SQL)
+        assert "est=" in out and "q=" in out
+
+    def test_int_est_rows_renders(self):
+        # older plans (and raw Scan row counts) carry int est_rows;
+        # the renderer must not silently drop them (the bug)
+        db = feedback_db(replan_qerror_threshold=0.0)
+        res = db._explain_analyze_run(JOIN_SQL)
+        for op in res.physical.walk():
+            est = op.attrs.get("est_rows")
+            if isinstance(est, float):
+                op.attrs["est_rows"] = int(est)
+        out = render_analyze(res.physical, res.profiles or {}, res.stats)
+        assert "est=" in out and "q=" in out
+
+
+# ---------------------------------------------------------------------------
+# sideways bloom pushdown
+# ---------------------------------------------------------------------------
+
+BLOOM_QUERIES = [3, 10, 12]
+CHAOS_SEEDS = [11, 23, 37]
+
+
+def tpch_db(data, **overrides) -> Database:
+    cfg = dict(n_workers=4, n_max=4, page_size=8 * 1024, batch_size=4096,
+               send_retries=6, max_query_restarts=16)
+    cfg.update(overrides)
+    db = Database(ClusterConfig(**cfg))
+    for name, schema in tpch_schema.SCHEMAS.items():
+        db.create_table(name, schema, tpch_schema.PARTITIONING[name],
+                        clustering=tpch_schema.CLUSTERING.get(name, ()))
+        db.load(name, data[name])
+    return db
+
+
+class TestBloomPushdown:
+    @pytest.fixture(scope="class")
+    def canonical(self, tpch_data):
+        """Bloom pushdown off, fault-free: the reference bytes."""
+        db = tpch_db(tpch_data, bloom_scan_pushdown=False)
+        db.chaos(FaultSchedule.none())
+        return {q: db.sql(tpch_query(q, sf=0.002)).rows() for q in BLOOM_QUERIES}
+
+    def test_skips_sets_and_stays_byte_identical(self, tpch_data, canonical):
+        db = tpch_db(tpch_data)
+        db.chaos(FaultSchedule.none())
+        skipped = 0
+        for q in BLOOM_QUERIES:
+            r = db.sql(tpch_query(q, sf=0.002))
+            assert r.rows() == canonical[q], f"Q{q} diverged under bloom pushdown"
+            skipped += r.stats.sets_skipped_bloom
+        # the probe-side scans must actually skip work
+        assert skipped > 0
+
+    @pytest.mark.parametrize("seed", CHAOS_SEEDS)
+    def test_byte_identical_under_chaos(self, tpch_data, canonical, seed):
+        db = tpch_db(tpch_data)
+        db.chaos(FaultSchedule.chaos(seed, [0, 1, 2, 3]))
+        for q in BLOOM_QUERIES:
+            got = db.sql(tpch_query(q, sf=0.002)).rows()
+            assert got == canonical[q], f"Q{q} diverged under seed {seed}"
+
+    def test_q3_q10_probe_side_pages_skipped(self, tpch_data):
+        on = tpch_db(tpch_data)
+        off = tpch_db(tpch_data, bloom_scan_pushdown=False)
+        for q in (3, 10):
+            s_on = on.sql(tpch_query(q, sf=0.002)).stats
+            s_off = off.sql(tpch_query(q, sf=0.002)).stats
+            assert s_on.sets_skipped_bloom > 0, f"Q{q}"
+            assert s_on.pages_skipped > s_off.pages_skipped, f"Q{q}"
+            assert s_on.pages_read < s_off.pages_read, f"Q{q}"
+
+
+def string_key_db(**overrides) -> Database:
+    """Probe table with a STRING join key, clustered so the bloom can
+    drop whole column sets through the dictionary code space."""
+    cfg = dict(n_workers=2, n_max=4, page_size=4 * 1024)
+    cfg.update(overrides)
+    db = Database(ClusterConfig(**cfg))
+    db.create_table("skus", Schema.of(("s_key", DataType.STRING), ("s_cat", DataType.STRING)))
+    db.create_table("sales", Schema.of(
+        ("x_key", DataType.STRING), ("x_amt", DataType.FLOAT64)),
+        clustering=("x_key",))
+    n = 4000
+    db.load("sales", RowBatch.from_pairs(
+        ("x_key", DataType.STRING, [f"sku{i % 400:04d}" for i in range(n)]),
+        ("x_amt", DataType.FLOAT64, [float(i % 97) for i in range(n)]),
+    ))
+    # build side touches only a narrow slice of the key space
+    db.load("skus", RowBatch.from_pairs(
+        ("s_key", DataType.STRING, [f"sku{i:04d}" for i in range(8)]),
+        ("s_cat", DataType.STRING, ["hot"] * 8),
+    ))
+    return db
+
+
+STRING_SQL = "SELECT x_key, x_amt FROM sales JOIN skus ON x_key = s_key"
+
+
+class TestBloomStringKeys:
+    def test_dictionary_sets_skipped(self):
+        on = string_key_db()
+        off = string_key_db(bloom_scan_pushdown=False)
+        r_on, r_off = on.sql(STRING_SQL), off.sql(STRING_SQL)
+        assert sorted(r_on.rows()) == sorted(r_off.rows())
+        assert r_on.stats.sets_skipped_bloom > 0
+        assert r_on.stats.pages_read < r_off.stats.pages_read
+
+    def test_empty_build_drops_probe_scan(self):
+        """0 build rows -> explicit drop-all, not a zero-length filter."""
+        sql = STRING_SQL + " WHERE s_cat = 'nothing'"
+        on = string_key_db()
+        off = string_key_db(bloom_scan_pushdown=False)
+        r_on, r_off = on.sql(sql), off.sql(sql)
+        assert r_on.rows() == r_off.rows() == []
+        assert r_on.stats.sets_skipped_bloom > 0
+        assert r_on.stats.pages_read < r_off.stats.pages_read
