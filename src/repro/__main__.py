@@ -6,11 +6,15 @@ Usage::
     python -m repro [--workers N] [--tpch SF]                 # REPL
     python -m repro [--tpch SF] trace "SELECT ..." [--out f]  # traced run
     python -m repro [--tpch SF] metrics ["SELECT ..." ...]    # Prometheus dump
+    python -m repro [--tpch SF] events ["SELECT ..." ...]     # flight-recorder dump
 
 ``trace`` runs one query with tracing on, prints the span tree, and
 writes Chrome ``trace_event`` JSON (load it in ``chrome://tracing`` or
 Perfetto). ``metrics`` runs the given queries (if any) and prints the
 cluster metrics registry in Prometheus text format (or JSON).
+``events`` runs the given queries (if any) and dumps the cluster
+flight recorder as JSON — the post-incident artifact for
+reconstructing what a chaos run or elastic event actually did.
 
 REPL commands: any SQL statement ending in ``;``, plus
 ``\\explain <select>``, ``\\analyze <select>`` (profile-grade actuals),
@@ -113,6 +117,21 @@ def cmd_metrics(db: Database, args) -> None:
         print(db.metrics_prometheus(), end="")
 
 
+def cmd_events(db: Database, args) -> None:
+    """Run the given queries (if any) and dump the flight recorder."""
+    for q in args.sql:
+        db.sql(q.rstrip(";"))
+    if db.recorder is None:
+        raise SystemExit("flight recorder is disabled (ClusterConfig.flight_recorder)")
+    dump = db.recorder.dump_json()
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(dump)
+        print(f"-- {db.recorder.stats()['retained']} events written to {args.out}")
+    else:
+        print(dump)
+
+
 def main(argv: list[str] | None = None) -> None:  # pragma: no cover
     ap = argparse.ArgumentParser(prog="python -m repro")
     ap.add_argument("--workers", type=int, default=4)
@@ -126,6 +145,9 @@ def main(argv: list[str] | None = None) -> None:  # pragma: no cover
     mp = sub.add_parser("metrics", help="print the cluster metrics registry")
     mp.add_argument("sql", nargs="*", help="queries to run before the dump")
     mp.add_argument("--format", choices=("prom", "json"), default="prom")
+    ep = sub.add_parser("events", help="dump the cluster flight recorder as JSON")
+    ep.add_argument("sql", nargs="*", help="queries to run before the dump")
+    ep.add_argument("--out", default=None, help="write to a file instead of stdout")
     args = ap.parse_args(argv)
     cfg = ClusterConfig(
         n_workers=args.workers, n_max=args.nmax, tracing=args.cmd == "trace"
@@ -138,6 +160,9 @@ def main(argv: list[str] | None = None) -> None:  # pragma: no cover
         return
     if args.cmd == "metrics":
         cmd_metrics(db, args)
+        return
+    if args.cmd == "events":
+        cmd_events(db, args)
         return
     print(f"repro shell — {args.workers} workers, N_max={args.nmax}. \\q to quit.")
     repl(db)

@@ -16,7 +16,7 @@ from typing import Optional
 from ..common.errors import CatalogError
 from ..common.schema import Schema
 from ..optimizer.binder import Catalog as BinderCatalog
-from ..optimizer.physical import ARBITRARY, REPLICATED, Partitioning, hash_part
+from ..optimizer.physical import ARBITRARY, REPLICATED, SINGLETON, Partitioning, hash_part
 from ..storage.partition import (
     HashPartition,
     PartitionScheme,
@@ -51,8 +51,16 @@ class CatalogEntry:
     fmt: str = "column"
     clustering: tuple[str, ...] = ()
     external: bool = False
+    #: virtual (sys.*) relation: no storage, materialized on demand at
+    #: the coordinator by an executor-side provider
+    virtual: bool = False
 
     def partitioning(self) -> Partitioning:
+        if self.virtual:
+            # non-fragmented: the whole relation exists at the
+            # coordinator — this is what routes the planner to a
+            # sysscan instead of a worker scan
+            return SINGLETON
         if isinstance(self.scheme, Replicated):
             return REPLICATED
         if isinstance(self.scheme, HashPartition):
@@ -68,6 +76,10 @@ class ClusterCatalog(BinderCatalog):
 
     def __init__(self):
         self.tables: dict[str, CatalogEntry] = {}
+        #: virtual (sys.*) relations, kept out of ``tables`` so
+        #: placement/rebalance/DML paths that iterate stored tables
+        #: never see them
+        self.virtual: dict[str, CatalogEntry] = {}
         self.version = 0
         #: current placement epoch (membership + fragment assignment)
         self.placement = PlacementMap()
@@ -82,16 +94,28 @@ class ClusterCatalog(BinderCatalog):
         try:
             return self.tables[name]
         except KeyError:
+            pass
+        try:
+            return self.virtual[name]
+        except KeyError:
             raise CatalogError(f"unknown table {name!r}") from None
 
     def has_table(self, name: str) -> bool:
-        return name in self.tables
+        return name in self.tables or name in self.virtual
 
     def add(self, entry: CatalogEntry) -> None:
-        if entry.name in self.tables:
+        if entry.name in self.tables or entry.name in self.virtual:
             raise CatalogError(f"table {entry.name!r} already exists")
         self.tables[entry.name] = entry
         self.version += 1
+
+    def add_virtual(self, entry: CatalogEntry) -> None:
+        """Register a virtual relation. Does not bump ``version``:
+        virtual schemas are fixed at wiring time and must not
+        invalidate cached plans."""
+        if entry.name in self.tables:
+            raise CatalogError(f"table {entry.name!r} already exists")
+        self.virtual[entry.name] = entry
 
     def drop(self, name: str) -> None:
         if name not in self.tables:
@@ -125,6 +149,7 @@ class ClusterCatalog(BinderCatalog):
     def snapshot(self) -> dict:
         return {
             "tables": dict(self.tables),
+            "virtual": dict(self.virtual),
             "version": self.version,
             "placement": self.placement,
             "placement_history": dict(self.placement_history),
@@ -132,6 +157,7 @@ class ClusterCatalog(BinderCatalog):
 
     def restore(self, snap: dict) -> None:
         self.tables = dict(snap["tables"])
+        self.virtual = dict(snap.get("virtual", {}))
         self.version = snap["version"]
         self.placement = snap.get("placement", PlacementMap())
         self.placement_history = dict(

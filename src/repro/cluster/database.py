@@ -60,12 +60,20 @@ from ..storage.buffer import BufferManager
 from ..storage.external import ExternalTableType
 from ..storage.partition import Replicated, disk_of_rows
 from ..storage.table import TableStorage
-from ..telemetry import MetricsRegistry, SlowQuery, Tracer, render_analyze
+from ..telemetry import (
+    FlightRecorder,
+    MetricsRegistry,
+    MetricsSampler,
+    SlowQuery,
+    Tracer,
+    render_analyze,
+)
 from ..txn.manager import TransactionSystem
 from ..util.fs import FileSystem, LocalFS, MemFS
 from .catalog import CatalogEntry, ClusterCatalog, PlacementMap, scheme_from_clause
+from .introspection import SYS_SCHEMAS, QueryRegistry, build_providers
 from .plancache import PlanCache
-from .resource import AdmissionController
+from .resource import AdmissionController, AdmissionTimeout
 
 COORD_BASE = 10_000
 
@@ -285,6 +293,33 @@ class Database:
         #: restarted under chaos), traces attached
         self.slow_queries: list[SlowQuery] = []
         self._slow_mu = threading.Lock()
+        # -- introspection (DESIGN.md §14) ----------------------------------
+        #: always-on cluster flight recorder (sys.events, `repro events`)
+        self.recorder: FlightRecorder | None = None
+        if self.config.flight_recorder:
+            self.recorder = FlightRecorder(
+                self.config.recorder_shards, self.config.recorder_events
+            )
+        #: metrics time-series sampler (sys.metrics_history)
+        self.sampler: MetricsSampler | None = None
+        if self.config.metrics_history_window > 0:
+            self.sampler = MetricsSampler(
+                self.metrics,
+                window=self.config.metrics_history_window,
+                tick_every=self.config.metrics_sample_ticks,
+                wall_every_s=self.config.metrics_sample_s,
+            )
+        #: per-query lifecycle summaries (sys.queries/sys.query_operators)
+        self.query_log = QueryRegistry(self.config.query_history)
+        if self.tracer is not None:
+            # retention eviction keeps the summary row, drops heavy refs
+            self.tracer.on_evict = self.query_log.evict_trace
+        self._executor.recorder = self.recorder
+        self._executor.sys_tables = build_providers(self)
+        self._executor.health.listener = self._breaker_event
+        for w, wk in self.workers.items():
+            self._wire_governor(w, wk.governor)
+        self._register_sys_tables()
 
     def chaos(self, schedule=None):
         """Attach a fault injector driven by ``schedule`` to the cluster
@@ -298,10 +333,18 @@ class Database:
             # spans carry simulated time off the fault clock, and every
             # chaos event lands inline on the active query's span
             self.tracer.sim_clock = lambda: injector.tick
-            injector.listener = self._chaos_to_trace
+        # the recorder and sampler follow the fault clock too, so chaos
+        # runs replay with deterministic ticks in sys.events/history
+        if self.recorder is not None:
+            self.recorder.clock = lambda: injector.tick
+        if self.sampler is not None:
+            self.sampler.clock = lambda: injector.tick
+        injector.listener = self._chaos_event
         return injector
 
-    def _chaos_to_trace(self, ev) -> None:
+    def _chaos_event(self, ev) -> None:
+        """Injector listener: every fault lands on the active query's
+        trace span AND in the flight recorder."""
         tr = self.tracer
         if tr is not None:
             tr.event(
@@ -312,6 +355,88 @@ class Database:
                 tag=ev.tag,
                 detail=ev.detail,
             )
+        rec = self.recorder
+        if rec is not None:
+            rec.record(
+                "chaos_" + ev.kind,
+                node=-1 if ev.node is None else ev.node,
+                src=ev.src,
+                dst=ev.dst,
+                tag=ev.tag,
+                detail=ev.detail,
+            )
+
+    # -- introspection wiring (DESIGN.md §14) -------------------------------------
+    def _register_sys_tables(self) -> None:
+        """Register every sys.* relation as a virtual catalog entry on
+        all coordinators, plus live row-count stats for the optimizer."""
+        from ..storage.partition import RoundRobin
+
+        for name, schema in SYS_SCHEMAS.items():
+            entry = CatalogEntry(name, schema, RoundRobin(), virtual=True)
+            for c in self.coordinators:
+                c.catalog.add_virtual(entry)
+        # cheap live row-count estimates, consulted fresh at plan time
+        # (a cache miss only); they never bump the stats version, so
+        # drifting counts don't thrash the plan cache
+        counts = {
+            "sys.queries": lambda: len(self.query_log.records()),
+            "sys.query_operators": lambda: sum(
+                len(r.op_rows) for r in self.query_log.records()
+            ),
+            "sys.metrics": lambda: 4 * len(self.metrics.snapshot()),
+            "sys.metrics_history": lambda: (
+                self.sampler.stats()["points"] if self.sampler is not None else 0
+            ),
+            "sys.workers": lambda: len(self.workers),
+            "sys.fragments": lambda: sum(
+                len(ts.fragments) for wk in self.workers.values()
+                for ts in wk.storage.values()
+            ),
+            "sys.plan_cache": lambda: len(self.plan_cache),
+            "sys.shared_scans": lambda: sum(
+                len(ts.fragments) for wk in self.workers.values()
+                for ts in wk.storage.values()
+            ),
+            "sys.events": lambda: (
+                self.recorder.stats()["retained"] if self.recorder is not None else 0
+            ),
+        }
+        for c in self.coordinators:
+            for name, fn in counts.items():
+                c.stats.register_dynamic(
+                    name, lambda f=fn: TableStats(float(max(1, f())))
+                )
+
+    def _wire_governor(self, worker_id: int, governor: MemoryGovernor) -> None:
+        def on_spill(nbytes: int, _w: int = worker_id) -> None:
+            rec = self.recorder
+            if rec is not None:
+                rec.record("spill", node=_w, nbytes=nbytes)
+
+        governor.listener = on_spill
+
+    def _breaker_event(self, worker: int, old: str, new: str) -> None:
+        """Health-tracker listener: circuit-breaker transitions
+        (healthy/blacklisted/probation) land in the flight recorder."""
+        rec = self.recorder
+        if rec is not None:
+            rec.record("breaker_" + new, node=worker, prev=old)
+
+    def _record_admission(self, qid: int, wait_s: float, granted: bool = True) -> None:
+        self.query_log.note_admission(qid, wait_s)
+        rec = self.recorder
+        if rec is not None:
+            rec.record(
+                "admission_grant" if granted else "admission_timeout",
+                qid=qid,
+                wait_s=round(wait_s, 6),
+            )
+
+    def _introspection_tick(self) -> None:
+        """Per-query-completion cadence check for the metrics sampler."""
+        if self.sampler is not None:
+            self.sampler.maybe_sample()
 
     def _make_fs(self, worker_id: int) -> FileSystem:
         if self.config.data_dir:
@@ -648,6 +773,8 @@ class Database:
         fmt: str = "column",
         clustering: Sequence[str] = (),
     ) -> None:
+        if name.startswith("sys."):
+            raise CatalogError("the sys schema is reserved for system tables")
         scheme = scheme_from_clause(partition, len(self.worker_ids))
         entry = CatalogEntry(name, schema, scheme, fmt, tuple(clustering))
         with self._write_lock:
@@ -656,6 +783,8 @@ class Database:
                 w.create_table(entry)
 
     def drop_table(self, name: str) -> None:
+        if name.startswith("sys."):
+            raise CatalogError("system tables cannot be dropped")
         with self._write_lock:
             self._replicate_metadata(lambda c: c.catalog.drop(name))
             for w in self.workers.values():
@@ -1060,6 +1189,20 @@ class Database:
         ex.tracer = old_exec.tracer
         ex.fault_injector = old_exec.fault_injector
         ex.epoch = report.epoch
+        # introspection survives epochs too: providers close over the
+        # Database (not a specific executor), the recorder is shared,
+        # and joining workers' governors start reporting spills
+        ex.sys_tables = old_exec.sys_tables
+        ex.recorder = old_exec.recorder
+        for wk in joining.values():
+            self._wire_governor(wk.worker_id, wk.governor)
+        if self.recorder is not None:
+            self.recorder.record(
+                "epoch_publish",
+                epoch=report.epoch,
+                change=report.kind,
+                workers=sorted(self.worker_ids),
+            )
         self._executor = ex
         # membership-aware resource management: the admission budget
         # follows the live aggregate memory; worker DOP scales back when
@@ -1200,11 +1343,17 @@ class Database:
         ex = self._executor.for_query(
             qid, self.coord_ids[coordinator % len(self.coord_ids)], profiled=profiled
         )
-        if tr is not None:
-            with tr.span("admit", cat="phase"):
+        t_adm = time.perf_counter()
+        try:
+            if tr is not None:
+                with tr.span("admit", cat="phase"):
+                    admission = self.admission.admit()
+            else:
                 admission = self.admission.admit()
-        else:
-            admission = self.admission.admit()
+        except AdmissionTimeout:
+            self._record_admission(qid, time.perf_counter() - t_adm, granted=False)
+            raise
+        self._record_admission(qid, time.perf_counter() - t_adm)
         with admission:
             esp = tr.begin("execute", cat="phase") if tr is not None else None
             try:
@@ -1308,6 +1457,7 @@ class Database:
         qid = next(self._qid)
         tr = self.tracer
         t0 = time.perf_counter()
+        self.query_log.start(qid, text, coordinator)
         root = tr.start_query(qid, text) if tr is not None else None
         try:
             psp = tr.begin("plan", cat="phase") if tr is not None else None
@@ -1320,7 +1470,8 @@ class Database:
                     tr.end(psp)
             if txn is not None:
                 # serializable reads: SS2PL shared locks on every scanned
-                # table, held until the transaction ends (paper §VI)
+                # table, held until the transaction ends (paper §VI);
+                # virtual sys.* relations have no storage to lock
                 from ..optimizer.logical import Scan, walk
 
                 tables = {
@@ -1328,16 +1479,21 @@ class Database:
                     for n in walk(logical)
                     if isinstance(n, Scan) and n.table != "__dual"
                     and not self.catalog.entry(n.table).external
+                    and not self.catalog.entry(n.table).virtual
                 }
                 self.txn_system.lock_read(txn, tables)
             result = self._run_select(
                 logical, physical, txn=txn, coordinator=coordinator, qid=qid
             )
+        except BaseException as e:
+            self.query_log.fail(qid, e, time.perf_counter() - t0)
+            raise
         finally:
             if root is not None:
                 tr.end(root)
         if self.config.adaptive_feedback and self.config.plan_cache_size > 0:
             self._observe_feedback(key, text, stmt, naive_dataflow, coordinator, result)
+        self.query_log.finish(qid, result, time.perf_counter() - t0)
         self._finish_query(qid, text, time.perf_counter() - t0, result.stats)
         return result
 
@@ -1368,6 +1524,12 @@ class Database:
         proposed = actual_overrides(result.physical, result.op_rows or {})
         if not proposed or not self.feedback.claim_replan(key, proposed):
             return
+        self.query_log.note_replan(result.qid)
+        if self.recorder is not None:
+            self.recorder.record(
+                "replan", qid=result.qid, worst_q=round(worst.q, 3),
+                locus=str(worst.locus),
+            )
         pair = self.plan_select(stmt, naive_dataflow, coordinator, overrides=proposed)
         self.plan_cache.invalidate(key)
         self.plan_cache.put(key, pair)
@@ -1381,21 +1543,27 @@ class Database:
         threshold, and any query that restarted under chaos)."""
         self._m_query_total.inc()
         self._m_query_hist.observe(duration)
+        self._introspection_tick()
         thr = self.config.slow_query_threshold_s
         if thr <= 0 or (duration < thr and stats.restarts == 0):
             return
+        reason = "slow" if duration >= thr else "restarted"
         entry = SlowQuery(
             qid=qid,
             sql=text,
             duration_s=duration,
             restarts=stats.restarts,
             failed_workers=stats.failed_workers,
-            reason="slow" if duration >= thr else "restarted",
+            reason=reason,
             trace=self.tracer.export(qid) if self.tracer is not None else None,
         )
         with self._slow_mu:
             self.slow_queries.append(entry)
         self._m_query_slow.inc()
+        if self.recorder is not None:
+            self.recorder.record(
+                "slow_query", qid=qid, duration_s=round(duration, 6), reason=reason
+            )
 
     def explain(self, text: str, naive_dataflow: bool = False) -> str:
         stmt = parse(text)
@@ -1466,6 +1634,8 @@ class Database:
     # -- DML (transactional paths live in repro.txn) ------------------------------------
     def insert_values(self, stmt: InsertValues, txn=None) -> QueryResult:
         entry = self.catalog.entry(stmt.table)
+        if entry.virtual:
+            raise PlanError(f"system table {stmt.table!r} is read-only")
         rows = []
         for row in stmt.rows:
             vals = []
@@ -1491,6 +1661,8 @@ class Database:
         return self._dml(stmt.table, "update", predicate=stmt.where, assignments=stmt.assignments, txn=txn)
 
     def _dml(self, table: str, op: str, batch=None, predicate=None, assignments=None, txn=None) -> QueryResult:
+        if self.catalog.has_table(table) and self.catalog.entry(table).virtual:
+            raise PlanError(f"system table {table!r} is read-only")
         with self._write_lock:
             n = self.txn_system.run_dml(table, op, batch=batch, predicate=predicate,
                                         assignments=assignments, txn=txn)

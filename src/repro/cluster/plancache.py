@@ -87,6 +87,11 @@ class PlanCache:
         with self._mu:
             self._plans.clear()
 
+    def entries(self) -> list:
+        """Cached plan keys, LRU-oldest first (``sys.plan_cache``)."""
+        with self._mu:
+            return list(self._plans.keys())
+
     def __len__(self) -> int:
         with self._mu:
             return len(self._plans)

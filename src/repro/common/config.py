@@ -144,6 +144,24 @@ class ClusterConfig:
     #: scans so zone maps and dictionary code space skip on join keys,
     #: not just base predicates (requires bloom_filters)
     bloom_scan_pushdown: bool = True
+    #: always-on cluster flight recorder: bounded ring of structured
+    #: operational events (admission, faults, breaker transitions, epoch
+    #: publishes, re-plans, slow queries, spills), queryable as
+    #: ``sys.events`` and dumpable via ``python -m repro events``
+    flight_recorder: bool = True
+    #: lock shards in the flight recorder (threads hash onto shards)
+    recorder_shards: int = 4
+    #: events retained per recorder shard (oldest dropped first)
+    recorder_events: int = 4096
+    #: samples retained per metric series in ``sys.metrics_history``;
+    #: 0 disables the sampler entirely
+    metrics_history_window: int = 240
+    #: simulated-network ticks between metric samples (chaos attached)
+    metrics_sample_ticks: int = 256
+    #: wall-clock seconds between metric samples (no chaos clock)
+    metrics_sample_s: float = 0.25
+    #: completed-query summary rows retained in ``sys.queries``
+    query_history: int = 256
 
     def __post_init__(self):
         if self.n_workers < 1:
@@ -196,6 +214,18 @@ class ClusterConfig:
             raise ConfigError("shared_scan_max_sets must be >= 0 (0 disables publishing)")
         if self.replan_qerror_threshold < 0:
             raise ConfigError("replan_qerror_threshold must be >= 0 (0 disables)")
+        if self.recorder_shards < 1:
+            raise ConfigError("recorder_shards must be >= 1")
+        if self.recorder_events < 1:
+            raise ConfigError("recorder_events must be >= 1")
+        if self.metrics_history_window < 0:
+            raise ConfigError("metrics_history_window must be >= 0 (0 disables)")
+        if self.metrics_sample_ticks < 1:
+            raise ConfigError("metrics_sample_ticks must be >= 1")
+        if self.metrics_sample_s <= 0:
+            raise ConfigError("metrics_sample_s must be positive")
+        if self.query_history < 1:
+            raise ConfigError("query_history must be >= 1")
 
     def with_(self, **kwargs) -> "ClusterConfig":
         """Functional update."""

@@ -268,6 +268,14 @@ class DistributedExecutor:
         #: per-operator profiles for EXPLAIN ANALYZE ({} when profiling,
         #: None otherwise)
         self.op_prof: dict[int, OpProfile] | None = None
+        #: virtual (sys.*) relation providers: table name -> () -> RowBatch,
+        #: materialized on demand at the coordinator by ``_eval_sysscan``.
+        #: Shared by reference across per-query clones — providers are
+        #: read-only closures over cluster state.
+        self.sys_tables: dict[str, object] = {}
+        #: cluster flight recorder (None = not wired); chaos events land
+        #: here even without an injector or tracer attached
+        self.recorder = None
 
     def for_query(
         self, qid: int, coord_id: int | None = None, profiled: bool = False
@@ -857,10 +865,15 @@ class DistributedExecutor:
         inj = getattr(self.net, "injector", None)
         if inj is not None:
             # the injector's listener (Database wiring) forwards the
-            # event into the active trace, so don't emit twice here
+            # event into the active trace and the flight recorder, so
+            # don't emit twice here
             inj.record(kind, **kw)
-        elif self.tracer is not None:
+            return
+        if self.tracer is not None:
             self.tracer.event("chaos:" + kind, **kw)
+        if self.recorder is not None:
+            node = kw.pop("node", -1)
+            self.recorder.record("chaos_" + kind, node=node, **kw)
 
     def _probe_worker(self, w: int, op: PhysOp) -> None:
         """Raise WorkerFailureError if worker ``w`` cannot serve the op."""
@@ -889,6 +902,28 @@ class DistributedExecutor:
     # -- leaves ---------------------------------------------------------------------
     def _eval_dual(self, op: PhysOp) -> SiteData:
         return {self.coord_id: [RowBatch(op.schema, {"__one": np.array([1], dtype=np.int64)})]}
+
+    def _eval_sysscan(self, op: PhysOp) -> SiteData:
+        """Materialize a virtual (sys.*) relation at the coordinator.
+
+        The provider snapshots live cluster state into a RowBatch with
+        unqualified column names; a fused predicate (``fuse_scans``
+        merges the filter down, same as storage scans) is applied here,
+        then columns are aligned to the possibly alias-qualified
+        physical schema."""
+        table = op.attrs["table"]
+        provider = self.sys_tables.get(table)
+        if provider is None:
+            raise ExecutionError(f"unknown system table {table!r}")
+        t0 = time.perf_counter()
+        batch: RowBatch = provider()
+        pred_expr = op.attrs.get("predicate")
+        if pred_expr is not None:
+            pred_fn = compile_predicate(_strip_qualifiers(pred_expr), batch.schema)
+            batch = batch.filter(pred_fn(batch))
+        out = RowBatch(op.schema, {c.name: batch.col(c.unqualified) for c in op.schema})
+        self._note_busy(self.coord_id, time.perf_counter() - t0)
+        return {self.coord_id: [out]}
 
     def _serving_for(self, op: PhysOp, w: int, table: str, replicated: bool) -> int:
         """The worker that will serve site ``w``'s partition of ``table``:

@@ -44,6 +44,9 @@ class MemoryGovernor:
         self.spilled_bytes = 0
         self.peak = 0
         self._mu = threading.Lock()
+        #: called (outside the lock) with each spilled byte count — the
+        #: Database points this at the flight recorder
+        self.listener = None
 
     def acquire(self, n: int) -> None:
         with self._mu:
@@ -61,6 +64,9 @@ class MemoryGovernor:
     def note_spill(self, n: int) -> None:
         with self._mu:
             self.spilled_bytes += n
+        listener = self.listener
+        if listener is not None:
+            listener(n)
 
 
 class SpillableList:

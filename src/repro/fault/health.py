@@ -53,14 +53,31 @@ class WorkerHealthTracker:
         #: workers being drained out of the placement map
         self._draining: set[int] = set()
         self._mu = threading.Lock()
+        #: called (outside the lock) as listener(worker, old_state,
+        #: new_state) on every breaker transition — the Database points
+        #: this at the flight recorder
+        self.listener = None
+
+    def _state_locked(self, worker: int) -> str:
+        if self._failures.get(worker, 0) < self.blacklist_after:
+            return HEALTHY
+        return PROBATION if self._successes.get(worker, 0) > 0 else BLACKLISTED
+
+    def _notify(self, worker: int, old: str, new: str) -> None:
+        if old != new and self.listener is not None:
+            self.listener(worker, old, new)
 
     def record_failure(self, worker: int) -> None:
         with self._mu:
+            old = self._state_locked(worker)
             self._failures[worker] = self._failures.get(worker, 0) + 1
             self._successes.pop(worker, None)  # probation progress resets
+            new = self._state_locked(worker)
+        self._notify(worker, old, new)
 
     def record_success(self, worker: int) -> None:
         with self._mu:
+            old = self._state_locked(worker)
             fails = self._failures.get(worker, 0)
             if fails < self.blacklist_after:
                 # healthy: a success clears transient failure noise
@@ -74,6 +91,8 @@ class WorkerHealthTracker:
                 self._skips.pop(worker, None)
             else:
                 self._successes[worker] = n
+            new = self._state_locked(worker)
+        self._notify(worker, old, new)
 
     def failures(self, worker: int) -> int:
         with self._mu:

@@ -70,6 +70,10 @@ def convert_naive(plan: LogicalPlan, placement: PlacementFn) -> PhysOp:
     def conv(node: LogicalPlan) -> PhysOp:
         if isinstance(node, Scan):
             part = placement(node.table)
+            if part.kind == "singleton":
+                # virtual (sys.*) relation: materialized on demand at
+                # the coordinator, never fragmented across workers
+                return _sysscan(node)
             scan = make(
                 "scan",
                 [],
@@ -123,6 +127,24 @@ def _coord_op(node: LogicalPlan, children: list[PhysOp]) -> PhysOp:
     if isinstance(node, UnionAll):
         return make("union", children, node.schema, COORD, SINGLETON)
     raise PlanError(f"cannot convert {type(node).__name__}")
+
+
+def _sysscan(node: Scan) -> PhysOp:
+    """A virtual-relation scan: the executor materializes the rows from
+    an in-process provider at the coordinator (SINGLETON placement), so
+    every downstream operator — filters, joins, aggregates — treats it
+    like any other COORD-resident input."""
+    return make(
+        "sysscan",
+        [],
+        node.schema,
+        COORD,
+        SINGLETON,
+        table=node.table,
+        alias=node.alias,
+        columns=[c.name for c in node.schema],
+        predicate=None,
+    )
 
 
 def _gather_concat(child: PhysOp, mode: str = "concat") -> PhysOp:
@@ -215,6 +237,8 @@ class DataflowPlanner:
         if node.table == "__dual":
             return make("dual", [], node.schema, COORD, SINGLETON)
         part = self.placement(node.table)
+        if part.kind == "singleton":
+            return _sysscan(node)
         return make(
             "scan",
             [],
@@ -602,7 +626,7 @@ def fuse_scans(plan: PhysOp) -> PhysOp:
     """Merge a filter directly above a scan into the scan (storage-level
     predicate pushdown, which is what enables predicate-based skipping)."""
     plan.children = [fuse_scans(c) for c in plan.children]
-    if plan.op == "filter" and plan.children[0].op == "scan":
+    if plan.op == "filter" and plan.children[0].op in ("scan", "sysscan"):
         scan = plan.children[0]
         if scan.attrs.get("predicate") is None:
             scan.attrs["predicate"] = plan.attrs["predicate"]

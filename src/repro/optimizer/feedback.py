@@ -74,7 +74,7 @@ def logical_locus(plan: LogicalPlan) -> Optional[tuple]:
 def _physical_tables(op) -> frozenset:
     out = set()
     for o in op.walk():
-        if o.op == "scan":
+        if o.op in ("scan", "sysscan"):
             out.add((o.attrs["table"], o.attrs.get("alias") or ""))
         elif o.op == "dual":
             out.add(("__dual", ""))
@@ -88,7 +88,7 @@ def physical_locus(op) -> Optional[tuple]:
     ``est_rows``/actuals are post-predicate (``fuse_scans`` copies the
     filter's estimate onto the scan), so that's what they calibrate.
     """
-    if op.op == "scan":
+    if op.op in ("scan", "sysscan"):
         tabs = frozenset({(op.attrs["table"], op.attrs.get("alias") or "")})
         pred = op.attrs.get("predicate")
         if pred is not None:

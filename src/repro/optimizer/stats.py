@@ -172,19 +172,32 @@ class StatsProvider:
 
     def __init__(self, tables: Mapping[str, TableStats] | None = None):
         self._tables = dict(tables or {})
+        #: live stats sources (virtual sys.* tables): name -> () -> TableStats.
+        #: Consulted fresh at plan time, never versioned — their row
+        #: counts drift constantly and must not thrash the plan cache.
+        self._dynamic: dict[str, object] = {}
         self.version = 0
 
     def put(self, name: str, stats: TableStats) -> None:
         self._tables[name] = stats
         self.version += 1
 
+    def register_dynamic(self, name: str, fn) -> None:
+        self._dynamic[name] = fn
+
     def table(self, name: str) -> TableStats:
         if name in self._tables:
             return self._tables[name]
+        fn = self._dynamic.get(name)
+        if fn is not None:
+            try:
+                return fn()
+            except Exception:
+                return TableStats(1000.0)
         return TableStats(1000.0)
 
     def has(self, name: str) -> bool:
-        return name in self._tables
+        return name in self._tables or name in self._dynamic
 
 
 # ---------------------------------------------------------------------------

@@ -267,13 +267,22 @@ class Parser:
             self.accept_kw("AS")
             alias = self.expect_ident().lower()
             return SubqueryRef(sub, alias)
-        name = self.expect_ident().lower()
+        name = self.table_name()
         alias = None
         if self.accept_kw("AS"):
             alias = self.expect_ident().lower()
         elif self.peek().kind == TokKind.IDENT:
             alias = self.next().text.lower()
         return TableRef(name, alias)
+
+    def table_name(self) -> str:
+        """A possibly dotted relation name ("sys.queries"): the catalog
+        stores the full dotted string as the table name, no schema
+        object needed."""
+        name = self.expect_ident().lower()
+        if self.accept_op("."):
+            name = f"{name}.{self.expect_ident().lower()}"
+        return name
 
     # -- expressions --------------------------------------------------------------
     def expr(self) -> Expr:
@@ -532,7 +541,7 @@ class Parser:
             self.expect_op(")")
             return CreateIndex(idx_name, table, column)
         self.expect_kw("TABLE")
-        name = self.expect_ident().lower()
+        name = self.table_name()
         self.expect_op("(")
         cols: list[ColumnDef] = []
         while True:
@@ -581,7 +590,7 @@ class Parser:
     def insert_stmt(self) -> InsertValues:
         self.expect_kw("INSERT")
         self.expect_kw("INTO")
-        table = self.expect_ident().lower()
+        table = self.table_name()
         self.expect_kw("VALUES")
         rows: list[tuple[Expr, ...]] = []
         while True:
@@ -598,13 +607,13 @@ class Parser:
     def delete_stmt(self) -> DeleteStmt:
         self.expect_kw("DELETE")
         self.expect_kw("FROM")
-        table = self.expect_ident().lower()
+        table = self.table_name()
         where = self.expr() if self.accept_kw("WHERE") else None
         return DeleteStmt(table, where)
 
     def update_stmt(self) -> UpdateStmt:
         self.expect_kw("UPDATE")
-        table = self.expect_ident().lower()
+        table = self.table_name()
         self.expect_kw("SET")
         assigns: list[tuple[str, Expr]] = []
         while True:
@@ -619,4 +628,4 @@ class Parser:
     def drop_stmt(self) -> DropTable:
         self.expect_kw("DROP")
         self.expect_kw("TABLE")
-        return DropTable(self.expect_ident().lower())
+        return DropTable(self.table_name())

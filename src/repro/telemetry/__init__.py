@@ -1,6 +1,6 @@
 """Telemetry: query-lifecycle tracing, cluster metrics, query profiles.
 
-Three integrated layers (DESIGN.md §9):
+Four integrated layers (DESIGN.md §9, §14):
 
 * :mod:`repro.telemetry.trace` — hierarchical spans (query → plan phase
   → operator/exchange → per-site pipeline → network leg) exported as
@@ -12,17 +12,26 @@ Three integrated layers (DESIGN.md §9):
   renders Prometheus text format.
 * :mod:`repro.telemetry.profile` — per-operator profiles behind
   profile-grade ``EXPLAIN ANALYZE`` and the slow-query log.
+* :mod:`repro.telemetry.recorder` / :mod:`repro.telemetry.sampler` —
+  the always-on cluster flight recorder (bounded, lock-sharded event
+  ring behind ``sys.events``) and the metrics time-series sampler
+  (ring-buffer history behind ``sys.metrics_history``).
 """
 
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .profile import OpProfile, SlowQuery, render_analyze
+from .recorder import FlightEvent, FlightRecorder
+from .sampler import MetricsSampler
 from .trace import Span, Tracer, validate_trace
 
 __all__ = [
     "Counter",
+    "FlightEvent",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "MetricsSampler",
     "OpProfile",
     "SlowQuery",
     "Span",

@@ -177,6 +177,11 @@ class _Family:
             yield dict(zip(self.labelnames, key)), child
 
 
+#: the registry's self-monitoring family: collectors that raised during
+#: snapshot, skipped and counted (labeled by collector name)
+_COLLECTOR_ERRORS = "repro_telemetry_collector_errors_total"
+
+
 class _Collector:
     """A registered pull source: sampled only at snapshot time."""
 
@@ -194,6 +199,14 @@ class MetricsRegistry:
         self._families: dict[str, _Family] = {}
         self._collectors: dict[str, _Collector] = {}
         self._mu = threading.Lock()
+        # a collector raising mid-snapshot must not abort observability
+        # for every other subsystem: failing collectors are skipped and
+        # counted here (labeled by collector name)
+        self._collector_errors = self.counter(
+            _COLLECTOR_ERRORS,
+            "collector callbacks that raised during snapshot (skipped)",
+            labelnames=("collector",),
+        )
 
     # -- primitive factories ----------------------------------------------------
     def counter(self, name: str, help: str = "", labelnames: Sequence[str] = ()):
@@ -243,7 +256,7 @@ class MetricsRegistry:
         with self._mu:
             families = list(self._families.values())
             collectors = list(self._collectors.values())
-        for fam in families:
+        def fam_entry(fam):
             samples = []
             for labels, child in fam.samples():
                 if isinstance(child, Histogram):
@@ -258,13 +271,30 @@ class MetricsRegistry:
                     )
                 else:
                     samples.append({"labels": labels, "value": child.value})
-            out[fam.name] = {"type": fam.kind, "help": fam.help, "samples": samples}
+            return {"type": fam.kind, "help": fam.help, "samples": samples}
+
+        errors_fam = None
+        for fam in families:
+            if fam.name == _COLLECTOR_ERRORS:
+                errors_fam = fam  # sampled after the collectors run
+                continue
+            out[fam.name] = fam_entry(fam)
         for col in collectors:
-            samples = [
-                {"labels": dict(labels), "value": float(value)}
-                for labels, value in col.fn()
-            ]
+            try:
+                samples = [
+                    {"labels": dict(labels), "value": float(value)}
+                    for labels, value in col.fn()
+                ]
+            except Exception:
+                # skip-and-count: one broken subsystem must not take
+                # down the whole snapshot
+                self._collector_errors.labels(collector=col.name).inc()
+                continue
             out[col.name] = {"type": col.kind, "help": col.help, "samples": samples}
+        if errors_fam is not None:
+            # sampled last so a failure counted during *this* scrape is
+            # visible in the snapshot that observed it
+            out[errors_fam.name] = fam_entry(errors_fam)
         return out
 
     def render_prometheus(self) -> str:
@@ -274,7 +304,14 @@ class MetricsRegistry:
             if metric["help"]:
                 lines.append(f"# HELP {name} {metric['help']}")
             lines.append(f"# TYPE {name} {metric['type']}")
-            for sample in metric["samples"]:
+            # deterministic exposition: family order is sorted above;
+            # within a family, thread-sharded children surface in
+            # insertion (=first-touch) order, which varies run to run —
+            # sort samples by their label items
+            ordered = sorted(
+                metric["samples"], key=lambda s: sorted(s["labels"].items())
+            )
+            for sample in ordered:
                 labels = sample["labels"]
                 if "buckets" in sample:
                     for bound, c in sample["buckets"].items():

@@ -1,0 +1,131 @@
+"""Metrics time-series history: a ring-buffer sampler over the
+metrics registry.
+
+``MetricsRegistry`` only answers "what is the value *now*" — useful
+for dashboards, useless for "when did scan throughput fall off a
+cliff". The sampler periodically snapshots the registry into bounded
+per-series windows so ``sys.metrics_history`` can answer questions
+over time (``SELECT tick, value FROM sys.metrics_history WHERE name =
+'repro_query_total'``).
+
+Cadence follows the simulated clock when chaos is attached (one
+sample every ``tick_every`` network ticks, so chaos runs replay
+deterministically) and falls back to wall clock otherwise. Histograms
+are flattened to their ``_count`` / ``_sum`` series; per-bucket
+history is deliberately out of scope for the window budget.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+
+from .metrics import _fmt_labels
+
+__all__ = ["MetricsSampler"]
+
+
+class MetricsSampler:
+    """Bounded per-series time windows over registry snapshots."""
+
+    def __init__(
+        self,
+        registry,
+        window: int = 240,
+        tick_every: int = 256,
+        wall_every_s: float = 0.25,
+        clock=None,
+    ):
+        if window < 1:
+            raise ValueError("sampler window must be positive")
+        self.registry = registry
+        self.window = window
+        self.tick_every = max(1, tick_every)
+        self.wall_every_s = wall_every_s
+        #: returns the current simulated tick; None means wall-clock cadence
+        self.clock = clock
+        self._mu = threading.Lock()
+        #: (metric name, rendered label string) -> deque of
+        #: (sample_id, tick, value), each bounded to ``window``
+        self._series: dict[tuple[str, str], deque] = {}
+        self._samples = 0
+        self._last_tick = -(10**9)
+        self._last_wall = -(10.0**9)
+
+    # -- sampling -------------------------------------------------------
+
+    def maybe_sample(self) -> bool:
+        """Sample iff the cadence interval elapsed. Called from the
+        query-completion path; the common case is a clock read plus one
+        comparison."""
+        if self.clock is not None:
+            try:
+                tick = int(self.clock())
+            except Exception:
+                return False
+            if tick - self._last_tick < self.tick_every:
+                return False
+        else:
+            now = time.perf_counter()
+            if now - self._last_wall < self.wall_every_s:
+                return False
+        self.sample()
+        return True
+
+    def sample(self) -> int:
+        """Unconditionally snapshot the registry into the windows.
+        Returns the sample id."""
+        tick = 0
+        if self.clock is not None:
+            try:
+                tick = int(self.clock())
+            except Exception:
+                tick = 0
+        snap = self.registry.snapshot()
+        with self._mu:
+            sid = self._samples
+            self._samples = sid + 1
+            self._last_tick = tick
+            self._last_wall = time.perf_counter()
+            for name, metric in snap.items():
+                if metric["type"] == "histogram":
+                    for sample in metric["samples"]:
+                        labels = _fmt_labels(sample["labels"])
+                        self._push(name + "_count", labels, sid, tick, sample["count"])
+                        self._push(name + "_sum", labels, sid, tick, sample["sum"])
+                else:
+                    for sample in metric["samples"]:
+                        labels = _fmt_labels(sample["labels"])
+                        self._push(name, labels, sid, tick, sample["value"])
+        return sid
+
+    def _push(self, name: str, labels: str, sid: int, tick: int, value) -> None:
+        key = (name, labels)
+        series = self._series.get(key)
+        if series is None:
+            series = self._series[key] = deque(maxlen=self.window)
+        series.append((sid, tick, float(value)))
+
+    # -- reading --------------------------------------------------------
+
+    def rows(self) -> list[tuple[int, int, str, str, float]]:
+        """All retained points as (sample_id, tick, name, labels, value),
+        sorted by (name, labels, sample_id)."""
+        with self._mu:
+            out = [
+                (sid, tick, name, labels, value)
+                for (name, labels), series in self._series.items()
+                for (sid, tick, value) in series
+            ]
+        out.sort(key=lambda r: (r[2], r[3], r[0]))
+        return out
+
+    def stats(self) -> dict:
+        with self._mu:
+            return {
+                "samples": self._samples,
+                "series": len(self._series),
+                "points": sum(len(s) for s in self._series.values()),
+                "window": self.window,
+            }

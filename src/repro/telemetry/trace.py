@@ -145,6 +145,10 @@ class Tracer:
         self.enabled = enabled
         self.retention = max(1, retention)
         self.sim_clock = sim_clock
+        #: called (outside the registry lock) with each qid whose trace
+        #: falls out of the retention window — lets the query registry
+        #: drop dangling profile references while keeping summary rows
+        self.on_evict: Optional[Callable[[int], None]] = None
         self._epoch = time.perf_counter()
         self._tls = threading.local()
         self._traces: "OrderedDict[int, Span]" = OrderedDict()
@@ -249,10 +253,18 @@ class Tracer:
         """Open a query root span and register it for export."""
         root = self.begin("query", cat="query", sql=text)
         root.qid = qid
+        evicted: list[int] = []
         with self._mu:
             self._traces[qid] = root
             while len(self._traces) > self.retention:
-                self._traces.popitem(last=False)
+                old_qid, _ = self._traces.popitem(last=False)
+                evicted.append(old_qid)
+        # retention eviction is observable state: the query registry
+        # drops its heavy per-operator references (but keeps the
+        # summary row) when a trace falls out of the window
+        if self.on_evict is not None:
+            for old_qid in evicted:
+                self.on_evict(old_qid)
         return root
 
     def root(self, qid: Optional[int] = None) -> Optional[Span]:

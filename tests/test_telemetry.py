@@ -123,7 +123,9 @@ def test_registry_snapshot_and_prometheus():
     assert '# TYPE repro_foo_total counter' in text
     assert 'repro_foo_total{node="1"} 3' in text
     assert "repro_bar_depth 7" in text
-    assert reg.subsystems() == {"foo", "bar"}
+    # "telemetry" is the registry's own self-monitoring family
+    # (repro_telemetry_collector_errors_total), present from birth.
+    assert reg.subsystems() == {"foo", "bar", "telemetry"}
 
 
 def test_histogram_prometheus_buckets():
@@ -381,3 +383,124 @@ def test_restarted_query_lands_in_slow_log_with_chaos_events():
     assert injector.events, "the injector log itself still records"
     # spans carry simulated (fault-clock) time alongside wall time
     assert root.sim_dur > 0
+
+
+# -- exposition determinism and conformance (the scrape contract) -------------------
+
+
+def _build_sharded_registry(order):
+    """A registry whose labeled children are touched from several
+    threads in the given order — the worst case for render stability."""
+    reg = MetricsRegistry()
+    c = reg.counter("repro_demo_ops_total", "ops", labelnames=("node", "disk"))
+    reg.gauge("repro_demo_depth", "queue depth")
+    h = reg.histogram("repro_demo_wait_seconds", "wait", buckets=(0.1, 1.0))
+    h.observe(0.05)
+
+    def touch(node, disk, amount):
+        c.labels(node=node, disk=disk).inc(amount)
+
+    threads = [
+        threading.Thread(target=touch, args=(n, d, n * 10 + d + 1))
+        for n, d in order
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    return reg
+
+
+def test_render_prometheus_is_deterministic_across_label_orders():
+    order_a = [(0, 0), (0, 1), (1, 0), (2, 1)]
+    text_a = _build_sharded_registry(order_a).render_prometheus()
+    text_b = _build_sharded_registry(list(reversed(order_a))).render_prometheus()
+    assert text_a == text_b
+    # and two renders of the same registry are byte-identical
+    reg = _build_sharded_registry(order_a)
+    assert reg.render_prometheus() == reg.render_prometheus()
+
+
+def test_render_prometheus_families_and_labels_sorted():
+    reg = _build_sharded_registry([(2, 1), (0, 0), (1, 0)])
+    text = reg.render_prometheus()
+    typed = [l.split()[2] for l in text.splitlines() if l.startswith("# TYPE")]
+    assert typed == sorted(typed)
+    demo = [
+        l for l in text.splitlines()
+        if l.startswith("repro_demo_ops_total{")
+    ]
+    assert demo == sorted(demo)  # label-set order is the sort order
+    assert 'disk="0",node="0"' in demo[0]  # label names sorted within a set
+
+
+def test_render_prometheus_exposition_conformance():
+    import re
+
+    reg = _build_sharded_registry([(0, 0), (1, 1)])
+    text = reg.render_prometheus()
+    assert text.endswith("\n") and "\n\n" not in text
+    name_re = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*")
+    sample_re = re.compile(
+        r'^([a-zA-Z_:][a-zA-Z0-9_:]*)'
+        r'(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"(,[a-zA-Z_][a-zA-Z0-9_]*="[^"]*")*\})?'
+        r" (-?[0-9.e+-]+|\+Inf|NaN)$"
+    )
+    seen_type: dict[str, str] = {}
+    for line in text.splitlines():
+        if line.startswith("# HELP "):
+            assert name_re.fullmatch(line.split()[2])
+            continue
+        if line.startswith("# TYPE "):
+            _, _, fam, kind = line.split()
+            assert kind in ("counter", "gauge", "histogram")
+            assert fam not in seen_type, "TYPE line repeated for a family"
+            seen_type[fam] = kind
+            continue
+        m = sample_re.match(line)
+        assert m, f"malformed sample line: {line!r}"
+        base = m.group(1)
+        fam = re.sub(r"_(bucket|sum|count)$", "", base)
+        assert base in seen_type or fam in seen_type, f"sample before TYPE: {line!r}"
+    # histogram series complete: buckets (with +Inf), sum and count
+    assert 'repro_demo_wait_seconds_bucket{le="+Inf"} 1' in text
+    assert "repro_demo_wait_seconds_sum" in text
+    assert "repro_demo_wait_seconds_count 1" in text
+
+
+# -- collector failure isolation (skip-and-count) -----------------------------------
+
+
+def test_broken_collector_skipped_and_counted():
+    reg = MetricsRegistry()
+    reg.counter("repro_good_total", "fine").inc(5)
+    reg.register_collector("repro_ok_depth", "gauge", "works", lambda: [({}, 1.0)])
+    boom = {"on": False}
+
+    def flaky():
+        if boom["on"]:
+            raise RuntimeError("subsystem died mid-scrape")
+        return [({}, 2.0)]
+
+    reg.register_collector("repro_flaky_depth", "gauge", "breaks", flaky)
+    snap = reg.snapshot()
+    assert snap["repro_flaky_depth"]["samples"][0]["value"] == 2.0
+
+    boom["on"] = True
+    snap = reg.snapshot()
+    # the broken source is skipped, every other family survives
+    assert "repro_flaky_depth" not in snap
+    assert snap["repro_good_total"]["samples"][0]["value"] == 5
+    assert snap["repro_ok_depth"]["samples"][0]["value"] == 1.0
+    errs = snap["repro_telemetry_collector_errors_total"]["samples"]
+    assert errs == [{"labels": {"collector": "repro_flaky_depth"}, "value": 1}]
+
+    reg.snapshot()
+    errs = reg.snapshot()["repro_telemetry_collector_errors_total"]["samples"]
+    assert errs[0]["value"] == 3  # one increment per failed scrape
+
+    boom["on"] = False
+    snap = reg.snapshot()
+    assert snap["repro_flaky_depth"]["samples"][0]["value"] == 2.0  # recovers
+    text = reg.render_prometheus()
+    assert 'repro_telemetry_collector_errors_total{collector="repro_flaky_depth"} 3' in text
